@@ -1,0 +1,33 @@
+// Shared bench-binary scaffolding: every reproduction binary prints its
+// table/series first (the paper-reproduction payload), then runs its
+// google-benchmark kernels.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace cnti::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& description) {
+  std::cout << "\n=== " << experiment << " ===\n" << description << "\n\n";
+}
+
+/// Standard main body: reproduction output, then benchmark kernels.
+#define CNTI_BENCH_MAIN(print_reproduction)                       \
+  int main(int argc, char** argv) {                               \
+    print_reproduction();                                         \
+    ::benchmark::Initialize(&argc, argv);                         \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {   \
+      return 1;                                                   \
+    }                                                             \
+    ::benchmark::RunSpecifiedBenchmarks();                        \
+    ::benchmark::Shutdown();                                      \
+    return 0;                                                     \
+  }
+
+}  // namespace cnti::bench

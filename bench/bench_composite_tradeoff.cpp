@@ -1,0 +1,106 @@
+// Reproduces the paper's Sec. II.C composite study: Cu-CNT composite as
+// "an efficient trade-off between resistivity and ampacity" — conductivity,
+// maximum current density, EM lifetime and thermal conductivity vs. CNT
+// volume fraction, and ELD vs. ECD fill processes.
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "charz/em_test.hpp"
+#include "materials/composite.hpp"
+#include "process/composite_process.hpp"
+
+namespace {
+
+using namespace cnti;
+
+void print_reproduction() {
+  bench::print_header(
+      "Sec. II.C — Cu-CNT composite resistivity/ampacity trade-off",
+      "Effective-medium composite over size-effect Cu matrix "
+      "(rho_Cu,matrix = 3e-8 Ohm m at scaled dimensions).");
+
+  Table t({"CNT vol. frac.", "sigma [MS/m]", "j_max [MA/cm^2]",
+           "EM lifetime xCu", "k_th [W/mK]"});
+  for (double vf : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    materials::CompositeSpec spec;
+    spec.cnt_volume_fraction = vf;
+    spec.void_fraction = 0.02;
+    spec.cu_matrix_resistivity = 3e-8;
+    t.add_row(
+        {Table::num(vf, 3),
+         Table::num(materials::composite_conductivity(spec) / 1e6, 4),
+         Table::num(units::to_A_per_cm2(
+                        materials::composite_max_current_density(spec)) /
+                        1e6,
+                    4),
+         Table::num(materials::composite_em_lifetime_factor(spec), 4),
+         Table::num(materials::composite_thermal_conductivity(spec), 4)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nFill-process comparison (30% CNT carpet):\n";
+  Table p({"process", "time [min]", "fill frac.", "void frac.",
+           "CMOS chem.", "feasible"});
+  for (const auto method : {process::FillMethod::kEld,
+                            process::FillMethod::kEcd}) {
+    for (double minutes : {15.0, 60.0, 120.0}) {
+      process::FillRecipe recipe;
+      recipe.method = method;
+      recipe.plating_time_min = minutes;
+      recipe.bath_quality = 0.9;
+      const auto out = process::simulate_fill(recipe, 0.3);
+      p.add_row({process::to_string(method), Table::num(minutes, 4),
+                 Table::num(out.fill_fraction, 3),
+                 Table::num(out.void_fraction, 3),
+                 out.cmos_compatible_chemistry ? "yes" : "no",
+                 out.feasible ? "yes" : "no"});
+    }
+  }
+  p.print(std::cout);
+
+  // EM stress: Cu vs. composite vs. pure CNT (Sec. IV.A focus:
+  // "reliability improvement ... regarding ampacity and EM resistance").
+  std::cout << "\nAccelerated EM stress (2.5 MA/cm^2, 300 C, n=200):\n";
+  charz::EmStressConditions cond;
+  materials::CompositeSpec comp;
+  comp.cnt_volume_fraction = 0.4;
+  comp.cu_matrix_resistivity = 3e-8;
+  const auto cu = charz::run_em_stress(charz::LineTechnology::kCu, cond);
+  const auto cc = charz::run_em_stress(
+      charz::LineTechnology::kCuCntComposite, cond, comp);
+  const auto cnt =
+      charz::run_em_stress(charz::LineTechnology::kPureCnt, cond);
+  Table e({"technology", "median TTF [h]", "use-cond. median [years]"});
+  e.add_row({"Cu", Table::num(cu.ttf_hours.median, 4),
+             Table::num(cu.use_median_years, 4)});
+  e.add_row({"Cu-CNT composite", Table::num(cc.ttf_hours.median, 4),
+             Table::num(cc.use_median_years, 4)});
+  e.add_row({"pure CNT", cnt.immortal ? "no EM failure" : "fails",
+             cnt.immortal ? ">1e9 (EM-immune)" : "0"});
+  e.print(std::cout);
+}
+
+void BM_CompositeModels(benchmark::State& state) {
+  materials::CompositeSpec spec;
+  spec.cnt_volume_fraction = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(materials::composite_conductivity(spec));
+    benchmark::DoNotOptimize(
+        materials::composite_max_current_density(spec));
+  }
+}
+BENCHMARK(BM_CompositeModels);
+
+void BM_EmStressPopulation(benchmark::State& state) {
+  charz::EmStressConditions cond;
+  cond.population = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        charz::run_em_stress(charz::LineTechnology::kCu, cond));
+  }
+}
+BENCHMARK(BM_EmStressPopulation);
+
+}  // namespace
+
+CNTI_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,106 @@
+// Reproduces paper Fig. 10: 3-D TCAD RC extraction of a 14 nm-class
+// interconnect stack. (a) capacitance with cross-talk between neighbouring
+// lines, (b) resistance with the current-density hot-spot (at the via),
+// plus the SPICE-format netlist export of Sec. III.B.
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "tcad/field_solver.hpp"
+#include "tcad/netlist_export.hpp"
+
+namespace {
+
+using namespace cnti;
+
+void print_reproduction() {
+  bench::print_header(
+      "Fig. 10 — 3-D TCAD RC extraction (14 nm-class M1/M2 stack)",
+      "3 parallel M1 lines + orthogonal M2 + via over a ground plane in "
+      "low-k (eps_r 2.5).\nSolves div(eps grad psi)=0 / "
+      "div(kappa grad psi)=0 (paper Eqs. 2-3).");
+
+  tcad::Fig10Options opt;
+  opt.line_length_nm = 420.0;
+  auto fig = tcad::build_fig10_structure(opt);
+  const auto& st = fig.structure;
+  std::cout << "Grid: " << st.grid().nx() << " x " << st.grid().ny()
+            << " x " << st.grid().nz() << " nodes, "
+            << st.conductor_count() << " conductors\n\n";
+
+  const auto caps = tcad::extract_capacitance(fig.structure);
+  std::cout << "(a) Maxwell capacitance matrix [aF] (cross-talk = "
+               "off-diagonals):\n";
+  Table t({"", "gnd_plane", "m1_left", "m1_victim(+via+M2)", "m1_right"});
+  const char* names[] = {"gnd_plane", "m1_left", "m1_victim(+via+M2)",
+                         "m1_right"};
+  for (int i = 0; i < st.conductor_count(); ++i) {
+    std::vector<std::string> row{names[i]};
+    for (int j = 0; j < st.conductor_count(); ++j) {
+      row.push_back(Table::num(units::to_aF(caps.matrix(i, j)), 4));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  const double c_xtalk =
+      -caps.matrix(fig.m1_victim, fig.m1_left) -
+      caps.matrix(fig.m1_victim, fig.m1_right);
+  const double c_total = caps.matrix(fig.m1_victim, fig.m1_victim);
+  std::cout << "\nVictim cross-talk fraction: "
+            << Table::num(100.0 * c_xtalk / c_total, 3) << " % of "
+            << Table::num(units::to_aF(c_total), 4) << " aF total\n";
+
+  std::cout << "\n(b) Resistance of the victim path (M2 end -> via -> M1 "
+               "end):\n";
+  const auto res = tcad::extract_resistance(
+      fig.structure, fig.m1_victim, fig.via_terminal_top,
+      fig.victim_terminal_end);
+  Table r({"quantity", "value"});
+  r.add_row({"R [Ohm]", Table::num(res.resistance_ohm, 4)});
+  r.add_row({"max |J| [MA/cm^2] at 1 V",
+             Table::num(units::to_A_per_cm2(res.max_current_density) / 1e6,
+                        4)});
+  r.add_row({"hot-spot (x,y,z) [nm]",
+             Table::num(units::to_nm(res.hotspot_x), 4) + ", " +
+                 Table::num(units::to_nm(res.hotspot_y), 4) + ", " +
+                 Table::num(units::to_nm(res.hotspot_z), 4)});
+  r.add_row({"CG iterations", std::to_string(res.cg_iterations)});
+  r.print(std::cout);
+
+  std::cout << "\nSPICE-format netlist export (Sec. III.B):\n"
+            << tcad::export_spice_netlist(fig.structure, caps,
+                                          "fig10 extracted parasitics");
+}
+
+void BM_CapacitanceExtraction(benchmark::State& state) {
+  tcad::Fig10Options opt;
+  opt.line_length_nm = 140.0;
+  opt.grid_step_nm = 28.0;
+  auto fig = tcad::build_fig10_structure(opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcad::extract_capacitance(fig.structure));
+  }
+}
+BENCHMARK(BM_CapacitanceExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_LaplaceSolve(benchmark::State& state) {
+  const auto grid = tcad::Grid3D::uniform(1e-6, 1e-6, 1e-6, 21, 21, 21);
+  std::vector<double> coef(grid.cell_count(), 1.0);
+  std::vector<char> mask(grid.node_count(), 0);
+  std::vector<double> value(grid.node_count(), 0.0);
+  // Dirichlet on two opposite faces.
+  for (std::size_t k = 0; k < grid.nz(); ++k) {
+    for (std::size_t j = 0; j < grid.ny(); ++j) {
+      mask[grid.node_index(0, j, k)] = 1;
+      value[grid.node_index(0, j, k)] = 1.0;
+      mask[grid.node_index(grid.nx() - 1, j, k)] = 1;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcad::solve_laplace(grid, coef, mask, value));
+  }
+}
+BENCHMARK(BM_LaplaceSolve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CNTI_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,58 @@
+// Reproduces paper Fig. 2d: electrical characterization of a
+// side-contacted single MWCNT before and after PtCl4 doping — IV sweep and
+// the low-bias resistance drop.
+#include "bench_common.hpp"
+
+#include "atomistic/doping.hpp"
+#include "charz/iv.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+using namespace cnti;
+
+void print_reproduction() {
+  bench::print_header(
+      "Fig. 2d — single MWCNT IV before/after PtCl4 doping",
+      "Side-contacted 7.5 nm CVD MWCNT (4-5 walls), 1 um span.\n"
+      "Expected shape: doping lowers the low-bias resistance ~2-4x and "
+      "raises the saturated current.");
+
+  charz::CntDeviceSpec dev;  // paper's CVD tube defaults
+  const atomistic::ChargeTransferDoping doping(
+      atomistic::DopantSpecies::kPtCl4External, 1.0);
+
+  const double r_before = charz::device_resistance_kohm(dev, nullptr);
+  const double r_after = charz::device_resistance_kohm(dev, &doping);
+  Table t({"state", "R [kOhm]", "I(1 V) [uA]"});
+  const auto iv_before = charz::sweep_iv(dev, nullptr, 1.0, 41);
+  const auto iv_after = charz::sweep_iv(dev, &doping, 1.0, 41);
+  t.add_row({"pristine", Table::num(r_before, 4),
+             Table::num(iv_before.back().current_ua, 4)});
+  t.add_row({"PtCl4 doped", Table::num(r_after, 4),
+             Table::num(iv_after.back().current_ua, 4)});
+  t.print(std::cout);
+  std::cout << "\nR(doped)/R(pristine) = "
+            << Table::num(r_after / r_before, 3)
+            << "  (paper Fig. 2d: clear reduction after doping)\n\n";
+
+  Table iv({"V [V]", "I pristine [uA]", "I doped [uA]"});
+  for (std::size_t i = 0; i < iv_before.size(); i += 5) {
+    iv.add_row({Table::num(iv_before[i].voltage_v, 3),
+                Table::num(iv_before[i].current_ua, 4),
+                Table::num(iv_after[i].current_ua, 4)});
+  }
+  iv.print(std::cout);
+}
+
+void BM_IvSweep(benchmark::State& state) {
+  charz::CntDeviceSpec dev;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(charz::sweep_iv(dev, nullptr, 1.0, 101));
+  }
+}
+BENCHMARK(BM_IvSweep);
+
+}  // namespace
+
+CNTI_BENCH_MAIN(print_reproduction)

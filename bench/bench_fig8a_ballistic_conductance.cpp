@@ -1,0 +1,73 @@
+// Reproduces paper Fig. 8a: ballistic conductance vs. diameter of zigzag
+// and armchair SWCNTs at 300 K (DFT/NEGF in the paper; zone-folding TB +
+// Landauer here). Expected shape: metallic tubes cluster at G ~ 2 G0 =
+// 0.155 mS with small-diameter quantum-confinement variation;
+// semiconducting zigzag tubes sit near zero. N_c = G/G0 ~ 2 (paper Eq. 1).
+#include "bench_common.hpp"
+
+#include "atomistic/bandstructure.hpp"
+#include "atomistic/landauer.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+using namespace cnti;
+
+void print_reproduction() {
+  bench::print_header(
+      "Fig. 8a — ballistic conductance vs. diameter (300 K)",
+      "Armchair (n,n) and zigzag (n,0) SWCNTs; G0 = 77.5 uS.\n"
+      "Paper anchor: (7,7) -> 0.155 mS, N_c ~ 2 regardless of chirality.");
+
+  Table t({"tube", "type", "d [nm]", "G [mS]", "N_c", "metallic"});
+  for (int n = 4; n <= 18; n += 2) {
+    const atomistic::Chirality ch(n, n);
+    const atomistic::BandStructure bands(ch);
+    const double g = atomistic::ballistic_conductance(bands, 0.0, 300.0);
+    t.add_row({ch.label(), "armchair",
+               Table::num(units::to_nm(ch.diameter()), 3),
+               Table::num(units::to_mS(g), 4),
+               Table::num(g / phys::kConductanceQuantum, 4), "yes"});
+  }
+  for (int n = 7; n <= 25; n += 2) {
+    const atomistic::Chirality ch(n, 0);
+    const atomistic::BandStructure bands(ch);
+    const double g = atomistic::ballistic_conductance(bands, 0.0, 300.0);
+    t.add_row({ch.label(), "zigzag",
+               Table::num(units::to_nm(ch.diameter()), 3),
+               Table::num(units::to_mS(g), 4),
+               Table::num(g / phys::kConductanceQuantum, 4),
+               ch.is_metallic() ? "yes" : "no"});
+  }
+  t.print(std::cout);
+
+  const atomistic::BandStructure b77(atomistic::Chirality(7, 7));
+  std::cout << "\nPaper anchor check: G(7,7) = "
+            << Table::num(units::to_mS(atomistic::ballistic_conductance(
+                              b77, 0.0, 300.0)),
+                          4)
+            << " mS (paper: 0.155 mS)\n";
+}
+
+void BM_LandauerConductance(benchmark::State& state) {
+  const atomistic::Chirality ch(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(0)));
+  const atomistic::BandStructure bands(ch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        atomistic::ballistic_conductance(bands, 0.0, 300.0));
+  }
+}
+BENCHMARK(BM_LandauerConductance)->Arg(5)->Arg(10)->Arg(15);
+
+void BM_ModeCounting(benchmark::State& state) {
+  const atomistic::BandStructure bands(atomistic::Chirality(10, 10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bands.count_modes(1.5));
+  }
+}
+BENCHMARK(BM_ModeCounting);
+
+}  // namespace
+
+CNTI_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,101 @@
+// Reproduces paper Fig. 9: conductivity of SWCNT and MWCNT lines with
+// different lengths and diameters, compared to Cu lines. Expected shape:
+// CNT conductivity rises with length (ballistic -> diffusive) and
+// saturates near/above bulk-Cu levels, while scaled Cu wires lose
+// conductivity to surface/grain-boundary scattering — so long CNTs beat
+// narrow Cu, and short CNTs lose to the quantum resistance.
+#include "bench_common.hpp"
+
+#include "common/units.hpp"
+#include "core/mwcnt_line.hpp"
+#include "core/swcnt_line.hpp"
+#include "materials/copper.hpp"
+
+namespace {
+
+using namespace cnti;
+using units::from_nm;
+using units::from_um;
+
+double cu_sigma(double width_nm) {
+  materials::CuLineSpec spec;
+  spec.width_m = from_nm(width_nm);
+  spec.height_m = 2.0 * spec.width_m;
+  return materials::CuLine(spec).effective_conductivity();
+}
+
+void print_reproduction() {
+  bench::print_header(
+      "Fig. 9 — conductivity of SWCNT/MWCNT vs. Cu lines",
+      "sigma referenced to the wire cross-section [MS/m]; bulk Cu = 58.\n"
+      "Cu columns: size-effect (FS+MS+barrier) conductivity of w x 2w "
+      "wires.");
+
+  core::SwcntSpec swcnt;  // 1 nm metallic tube
+  const core::SwcntWire sw(swcnt);
+
+  Table t({"L [um]", "SWCNT d=1nm", "MWCNT D=5nm", "MWCNT D=10nm",
+           "MWCNT D=20nm", "Cu w=10nm", "Cu w=22nm", "Cu w=45nm",
+           "Cu w=100nm"});
+  for (double l_um : {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0,
+                      1000.0}) {
+    const double l = from_um(l_um);
+    const auto ms = [](double s) { return Table::num(s / 1e6, 4); };
+    t.add_row({Table::num(l_um, 4),
+               ms(sw.effective_conductivity(l)),
+               ms(core::make_paper_mwcnt(5, 2, 0).effective_conductivity(l)),
+               ms(core::make_paper_mwcnt(10, 2, 0).effective_conductivity(l)),
+               ms(core::make_paper_mwcnt(20, 2, 0).effective_conductivity(l)),
+               ms(cu_sigma(10)), ms(cu_sigma(22)), ms(cu_sigma(45)),
+               ms(cu_sigma(100))});
+  }
+  t.print(std::cout);
+
+  // Crossover commentary: where does the 10 nm MWCNT beat the 10 nm wire?
+  const double cu10 = cu_sigma(10);
+  double crossover = -1.0;
+  for (double l_um = 0.05; l_um < 1000.0; l_um *= 1.1) {
+    if (core::make_paper_mwcnt(10, 2, 0)
+            .effective_conductivity(from_um(l_um)) > cu10) {
+      crossover = l_um;
+      break;
+    }
+  }
+  std::cout << "\nMWCNT(10 nm) overtakes the 10 nm Cu wire at L ~ "
+            << Table::num(crossover, 3) << " um\n";
+
+  // Doped-MWCNT extension: conductivity with N_c = 10.
+  std::cout << "Doped MWCNT D=10 nm (N_c=10) at L = 100 um: "
+            << Table::num(core::make_paper_mwcnt(10, 10, 0)
+                                  .effective_conductivity(from_um(100)) /
+                              1e6,
+                          4)
+            << " MS/m vs pristine "
+            << Table::num(core::make_paper_mwcnt(10, 2, 0)
+                                  .effective_conductivity(from_um(100)) /
+                              1e6,
+                          4)
+            << " MS/m\n";
+}
+
+void BM_MwcntConductivity(benchmark::State& state) {
+  const core::MwcntLine line = core::make_paper_mwcnt(10, 2, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(line.effective_conductivity(1e-4));
+  }
+}
+BENCHMARK(BM_MwcntConductivity);
+
+void BM_CuSizeEffects(benchmark::State& state) {
+  materials::CuLineSpec spec;
+  spec.width_m = 10e-9;
+  spec.height_m = 20e-9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(materials::cu_effective_resistivity(spec));
+  }
+}
+BENCHMARK(BM_CuSizeEffects);
+
+}  // namespace
+
+CNTI_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,88 @@
+// Reproduces the paper's Sec. II.B process results: CNT growth quality vs.
+// temperature for Fe and the CMOS-compatible Co catalyst (Fig. 4 trend)
+// and 300 mm wafer-scale growth uniformity (Fig. 5).
+#include "bench_common.hpp"
+
+#include "numerics/rng.hpp"
+#include "process/cvd.hpp"
+#include "process/wafer.hpp"
+
+namespace {
+
+using namespace cnti;
+
+void print_reproduction() {
+  bench::print_header(
+      "Sec. II.B — Co-catalyst growth window and 300 mm uniformity",
+      "Arrhenius growth/defect model; Co stays active below the 400 C "
+      "BEOL budget (Fig. 4), Fe does not.");
+
+  std::cout << "Growth quality vs. temperature (10 min growth):\n";
+  Table t({"T [C]", "catalyst", "rate [um/min]", "defect spacing [um]",
+           "tortuosity", "via yield", "CMOS T-budget"});
+  for (double temp : {350.0, 400.0, 450.0, 500.0, 600.0}) {
+    for (const auto cat : {process::Catalyst::kFe, process::Catalyst::kCo}) {
+      process::GrowthRecipe r;
+      r.temperature_c = temp;
+      r.catalyst = cat;
+      const auto q = process::evaluate_recipe(r);
+      t.add_row({Table::num(temp, 4), process::to_string(cat),
+                 Table::num(q.growth_rate_um_per_min, 3),
+                 Table::num(q.defect_spacing_um, 3),
+                 Table::num(q.tortuosity, 3),
+                 Table::num(q.via_fill_yield, 3),
+                 q.cmos_compatible_temperature ? "yes" : "no"});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\n300 mm wafer map (Co catalyst, 400 C, 20 mm die "
+               "pitch):\n";
+  numerics::Rng rng(300);
+  process::WaferSpec wspec;
+  process::GrowthRecipe nominal;
+  nominal.catalyst = process::Catalyst::kCo;
+  nominal.temperature_c = 400.0;
+  const process::WaferMap wafer(wspec, nominal, rng);
+  const auto d = wafer.summarize(
+      [](const process::GrowthQuality& q) { return q.mean_diameter_nm; });
+  const auto rate = wafer.summarize([](const process::GrowthQuality& q) {
+    return q.growth_rate_um_per_min;
+  });
+  Table w({"metric", "mean", "sigma", "min", "max"});
+  w.add_row({"diameter [nm]", Table::num(d.mean, 4),
+             Table::num(d.stddev, 3), Table::num(d.min, 4),
+             Table::num(d.max, 4)});
+  w.add_row({"growth rate [um/min]", Table::num(rate.mean, 3),
+             Table::num(rate.stddev, 3), Table::num(rate.min, 3),
+             Table::num(rate.max, 3)});
+  w.print(std::cout);
+  std::cout << "\nDies: " << wafer.dies().size()
+            << ", diameter uniformity (max-min)/mean: "
+            << Table::num(100.0 * wafer.diameter_uniformity(), 3)
+            << " %, usable-die yield: "
+            << Table::num(100.0 * wafer.yield(), 4) << " %\n";
+}
+
+void BM_RecipeEvaluation(benchmark::State& state) {
+  process::GrowthRecipe r;
+  r.catalyst = process::Catalyst::kCo;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(process::evaluate_recipe(r));
+  }
+}
+BENCHMARK(BM_RecipeEvaluation);
+
+void BM_WaferMap(benchmark::State& state) {
+  process::WaferSpec wspec;
+  process::GrowthRecipe nominal;
+  for (auto _ : state) {
+    numerics::Rng rng(1);
+    benchmark::DoNotOptimize(process::WaferMap(wspec, nominal, rng));
+  }
+}
+BENCHMARK(BM_WaferMap)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CNTI_BENCH_MAIN(print_reproduction)

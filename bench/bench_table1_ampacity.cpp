@@ -1,0 +1,97 @@
+// Reproduces the quantitative claims of the paper's Sec. I as "Table I":
+// current-carrying capacity, EM limits, thermal conductivity advantage and
+// the minimum CNT density requirement — each backed by the corresponding
+// model rather than quoted.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "core/kpis.hpp"
+#include "core/swcnt_line.hpp"
+#include "materials/copper.hpp"
+#include "thermal/heat1d.hpp"
+
+namespace {
+
+using namespace cnti;
+
+void print_reproduction() {
+  bench::print_header(
+      "Table I — Sec. I quantitative claims",
+      "Every row computed from the library's models; paper values quoted "
+      "for comparison.");
+
+  Table t({"quantity", "this work", "paper"});
+  t.add_row({"Cu 100x50 nm max current [uA]",
+             Table::num(units::to_uA(core::cu_max_current(100e-9, 50e-9)),
+                        3),
+             "~50"});
+  t.add_row({"1 nm CNT max current [uA]",
+             Table::num(units::to_uA(core::cnt_max_current(1e-9)), 3),
+             "20-25"});
+  t.add_row({"CNTs to match the Cu line",
+             Table::num(core::cnts_to_match_cu_current(100e-9, 50e-9), 3),
+             "a few"});
+  t.add_row({"CNT/Cu max current density ratio",
+             Table::num(core::ampacity_advantage(), 4), "1e9/1e6 = 1000"});
+  t.add_row({"CNT bundle k_th [W/mK]", "3000-10000 (quality 0..1)",
+             "3000-10000"});
+  t.add_row({"k_th advantage over Cu",
+             Table::num(core::thermal_advantage(0.0), 3) + " - " +
+                 Table::num(core::thermal_advantage(1.0), 3),
+             "7.8 - 26"});
+
+  materials::CuLineSpec cu;
+  cu.width_m = 20e-9;
+  cu.height_m = 40e-9;
+  const double density =
+      core::min_density_to_match_cu(cu, 1e-6, 1e-9, 1.0);
+  t.add_row({"min CNT density, metallic-only [nm^-2]",
+             Table::num(density * 1e-18, 3), "0.096 (ITRS)"});
+  const double density_mixed =
+      core::min_density_to_match_cu(cu, 1e-6, 1e-9, 1.0 / 3.0);
+  t.add_row({"min CNT density, 1/3 metallic [nm^-2]",
+             Table::num(density_mixed * 1e-18, 3), "3x the above"});
+  t.print(std::cout);
+
+  // Thermal back-up: identical 1 um lines at 20 uA, CNT vs Cu k_th.
+  thermal::LineThermalSpec line;
+  line.length_m = 1e-6;
+  line.cross_section_m2 = M_PI * 7.5e-9 * 7.5e-9 / 4.0;
+  line.resistance_per_m = 2e10;
+  line.thermal_conductivity = 3000.0;
+  const auto cnt = thermal::solve_self_heating(line, 20e-6);
+  line.thermal_conductivity = cuconst::kThermalConductivity;
+  const auto cux = thermal::solve_self_heating(line, 20e-6);
+  std::cout << "\nSelf-heating at 20 uA (same geometry/resistance): CNT dT "
+            << Table::num(cnt.peak_rise_k, 3) << " K vs Cu-k dT "
+            << Table::num(cux.peak_rise_k, 3)
+            << " K -> heat removal advantage x"
+            << Table::num(cux.peak_rise_k / cnt.peak_rise_k, 3) << "\n";
+}
+
+void BM_AmpacityModels(benchmark::State& state) {
+  materials::CuLineSpec cu;
+  cu.width_m = 20e-9;
+  cu.height_m = 40e-9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::min_density_to_match_cu(cu, 1e-6, 1e-9, 1.0));
+  }
+}
+BENCHMARK(BM_AmpacityModels);
+
+void BM_SelfHeatSolve(benchmark::State& state) {
+  thermal::LineThermalSpec line;
+  line.cross_section_m2 = 4.4e-17;
+  line.resistance_per_m = 2e10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(thermal::solve_self_heating(line, 10e-6, 101));
+  }
+}
+BENCHMARK(BM_SelfHeatSolve);
+
+}  // namespace
+
+CNTI_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,104 @@
+// Reproduces the paper's Sec. IV.B thermal studies: self-heating of MWCNT
+// vs. Cu interconnects, the SThM virtual measurement and the thermal-
+// conductivity re-extraction, plus ampacity from the thermal limit.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "numerics/rng.hpp"
+#include "thermal/heat1d.hpp"
+#include "thermal/sthm.hpp"
+
+namespace {
+
+using namespace cnti;
+
+thermal::LineThermalSpec base_line(double k) {
+  thermal::LineThermalSpec s;
+  s.length_m = 1e-6;
+  s.cross_section_m2 = M_PI * 7.5e-9 * 7.5e-9 / 4.0;
+  s.thermal_conductivity = k;
+  s.resistance_per_m = 2e10;  // 20 kOhm / um
+  s.substrate_coupling = 0.05;
+  return s;
+}
+
+void print_reproduction() {
+  bench::print_header(
+      "Sec. IV.B — self-heating and SThM thermal metrology",
+      "1 um line, 7.5 nm cross-section, 20 kOhm/um, contacts as heat "
+      "sinks.");
+
+  std::cout << "Peak temperature rise vs. current (CNT k = 3000 W/mK vs "
+               "Cu-class k = 385 W/mK):\n";
+  Table t({"I [uA]", "dT CNT [K]", "dT Cu-k [K]", "advantage"});
+  for (double i_ua : {5.0, 10.0, 20.0, 30.0, 50.0}) {
+    const auto cnt = thermal::solve_self_heating(base_line(3000.0),
+                                                 i_ua * 1e-6);
+    const auto cu = thermal::solve_self_heating(base_line(385.0),
+                                                i_ua * 1e-6);
+    t.add_row({Table::num(i_ua, 3), Table::num(cnt.peak_rise_k, 4),
+               Table::num(cu.peak_rise_k, 4),
+               Table::num(cu.peak_rise_k / cnt.peak_rise_k, 3)});
+  }
+  t.print(std::cout);
+
+  // Thermal ampacity at a 100 K budget.
+  const double i_cnt =
+      thermal::thermal_ampacity(base_line(3000.0), 400.0);
+  const double i_cu = thermal::thermal_ampacity(base_line(385.0), 400.0);
+  std::cout << "\nThermal ampacity (dT = 100 K): CNT "
+            << Table::num(units::to_uA(i_cnt), 4) << " uA vs Cu-k "
+            << Table::num(units::to_uA(i_cu), 4) << " uA\n";
+
+  // SThM chain: scan the self-heated line, re-extract k.
+  std::cout << "\nSThM virtual metrology (20 nm probe, 50 mK noise):\n";
+  numerics::Rng rng(99);
+  const auto spec = base_line(3000.0);
+  const auto truth = thermal::solve_self_heating(spec, 20e-6, 401);
+  thermal::SthmProbe probe;
+  const auto scan = thermal::simulate_sthm_scan(truth, probe, rng);
+  Table s({"x [nm]", "T true [K]", "T scanned [K]"});
+  for (std::size_t i = 0; i < scan.x_m.size(); i += 20) {
+    // Nearest truth sample.
+    const std::size_t ti =
+        std::min(truth.x_m.size() - 1,
+                 static_cast<std::size_t>(scan.x_m[i] / spec.length_m *
+                                          (truth.x_m.size() - 1)));
+    s.add_row({Table::num(units::to_nm(scan.x_m[i]), 4),
+               Table::num(truth.temperature_k[ti], 5),
+               Table::num(scan.temperature_k[i], 5)});
+  }
+  s.print(std::cout);
+  // Note: substrate coupling flattens the profile slightly vs. the pure
+  // parabolic inversion, so the extraction is biased low by design here.
+  const double k_est =
+      thermal::extract_thermal_conductivity(scan, spec, 20e-6);
+  std::cout << "\nExtracted k_th = " << Table::num(k_est, 4)
+            << " W/mK (truth 3000, paper range 3000-10000)\n";
+}
+
+void BM_SelfHeating(benchmark::State& state) {
+  const auto spec = base_line(3000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(thermal::solve_self_heating(spec, 20e-6, 201));
+  }
+}
+BENCHMARK(BM_SelfHeating);
+
+void BM_SthmScan(benchmark::State& state) {
+  const auto spec = base_line(3000.0);
+  const auto truth = thermal::solve_self_heating(spec, 20e-6, 201);
+  numerics::Rng rng(1);
+  thermal::SthmProbe probe;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        thermal::simulate_sthm_scan(truth, probe, rng));
+  }
+}
+BENCHMARK(BM_SthmScan);
+
+}  // namespace
+
+CNTI_BENCH_MAIN(print_reproduction)

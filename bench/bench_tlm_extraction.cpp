@@ -1,0 +1,61 @@
+// Reproduces the paper's Sec. IV.B transmission-line-measurement analysis:
+// MWCNT segments of several lengths are "measured" (virtual tester with
+// noise) and the contact resistance / per-length resistance are regressed
+// out, with error bars — the same chain the paper applies per ref [23].
+#include "bench_common.hpp"
+
+#include "charz/tlm.hpp"
+#include "numerics/rng.hpp"
+
+namespace {
+
+using namespace cnti;
+
+void print_reproduction() {
+  bench::print_header(
+      "Sec. IV.B — TLM contact-resistance extraction",
+      "R_total(L) = 2 R_c + r L, weighted regression on noisy virtual "
+      "measurements.");
+
+  charz::TlmGroundTruth truth;
+  truth.contact_resistance_kohm = 20.0;
+  truth.resistance_per_um_kohm = 6.0;
+  truth.measurement_noise_fraction = 0.02;
+  numerics::Rng rng(2024);
+  const std::vector<double> lengths = {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0};
+  const auto data = charz::generate_tlm_data(truth, lengths, rng);
+
+  Table t({"L [um]", "R measured [kOhm]"});
+  for (const auto& s : data) {
+    t.add_row({Table::num(s.length_um, 3),
+               Table::num(s.resistance_kohm, 4)});
+  }
+  t.print(std::cout);
+
+  const auto fit = charz::extract_tlm(data);
+  std::cout << "\nExtraction (truth in parentheses):\n";
+  Table r({"parameter", "extracted", "stderr", "truth"});
+  r.add_row({"R_contact [kOhm]", Table::num(fit.contact_resistance_kohm, 4),
+             Table::num(fit.contact_stderr_kohm, 3),
+             Table::num(truth.contact_resistance_kohm, 4)});
+  r.add_row({"r [kOhm/um]", Table::num(fit.resistance_per_um_kohm, 4),
+             Table::num(fit.slope_stderr_kohm, 3),
+             Table::num(truth.resistance_per_um_kohm, 4)});
+  r.add_row({"R^2", Table::num(fit.r_squared, 5), "-", "1"});
+  r.print(std::cout);
+}
+
+void BM_TlmPipeline(benchmark::State& state) {
+  charz::TlmGroundTruth truth;
+  numerics::Rng rng(7);
+  const std::vector<double> lengths = {0.5, 1.0, 2.0, 3.0, 5.0};
+  for (auto _ : state) {
+    const auto data = charz::generate_tlm_data(truth, lengths, rng);
+    benchmark::DoNotOptimize(charz::extract_tlm(data));
+  }
+}
+BENCHMARK(BM_TlmPipeline);
+
+}  // namespace
+
+CNTI_BENCH_MAIN(print_reproduction)

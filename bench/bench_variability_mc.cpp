@@ -1,0 +1,68 @@
+// Reproduces the paper's variability claim (Sec. II.A / III.C): CVD CNTs
+// suffer chirality and defect variability; doping makes every shell
+// conduct and collapses the resistance spread. Monte Carlo over growth,
+// chirality and contact distributions.
+#include "bench_common.hpp"
+
+#include "process/variability.hpp"
+
+namespace {
+
+using namespace cnti;
+
+void print_reproduction() {
+  bench::print_header(
+      "Sec. II.A / III.C — resistance variability, pristine vs. doped",
+      "3000-sample MC per row: growth sampling (diameter/walls/defects), "
+      "per-shell chirality lottery (1/3 metallic), lognormal contacts.");
+
+  Table t({"L [um]", "doping", "median R [kOhm]", "CV = sigma/mu",
+           "P95/P05", "open frac.", "tail > 3x median"});
+  for (double l : {0.5, 1.0, 5.0}) {
+    // 0.01 is sub-saturation doping (dE_F ~ -0.2 eV); 1.0 is saturated.
+    for (double conc : {0.0, 0.01, 1.0}) {
+      process::VariabilityConfig cfg;
+      cfg.samples = 3000;
+      cfg.length_um = l;
+      cfg.dopant_concentration = conc;
+      const auto r = process::run_resistance_mc(cfg);
+      t.add_row({Table::num(l, 3),
+                 conc == 0.0 ? "pristine"
+                             : "iodine c=" + Table::num(conc, 2),
+                 Table::num(r.resistance_kohm.median, 4),
+                 Table::num(r.resistance_kohm.cv(), 3),
+                 Table::num(r.resistance_kohm.p95 / r.resistance_kohm.p05,
+                            3),
+                 Table::num(r.open_fraction, 3),
+                 Table::num(r.tail_fraction, 3)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nGrowth-temperature ablation (pristine, L = 1 um):\n";
+  Table g({"T growth [C]", "median R [kOhm]", "CV"});
+  for (double temp : {400.0, 450.0, 550.0, 650.0}) {
+    process::VariabilityConfig cfg;
+    cfg.samples = 3000;
+    cfg.recipe.temperature_c = temp;
+    const auto r = process::run_resistance_mc(cfg);
+    g.add_row({Table::num(temp, 4),
+               Table::num(r.resistance_kohm.median, 4),
+               Table::num(r.resistance_kohm.cv(), 3)});
+  }
+  g.print(std::cout);
+}
+
+void BM_VariabilityMc(benchmark::State& state) {
+  process::VariabilityConfig cfg;
+  cfg.samples = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(process::run_resistance_mc(cfg));
+  }
+}
+BENCHMARK(BM_VariabilityMc)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CNTI_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,96 @@
+// Global-interconnect study (paper Fig. 1, right): Cu-CNT composite for
+// global wiring. Sweeps the CNT fraction, picks a fill process, and
+// reports the resistivity/ampacity/EM trade-off for a 1 mm global line,
+// including the full circuit-level delay of the chosen composite.
+//
+//   $ ./examples/global_composite_study
+#include <iostream>
+
+#include "charz/em_test.hpp"
+#include "circuit/builders.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "materials/composite.hpp"
+#include "materials/copper.hpp"
+#include "process/composite_process.hpp"
+
+int main() {
+  using namespace cnti;
+
+  std::cout << "Global interconnects: Cu-CNT composite for a 1 mm line\n\n";
+
+  // Scaled-Cu matrix resistivity at a 45 nm global wire.
+  materials::CuLineSpec cu;
+  cu.width_m = 45e-9;
+  cu.height_m = 90e-9;
+  const double rho_matrix = materials::cu_effective_resistivity(cu);
+
+  // --- Step 1: choose the fill process. ---------------------------------
+  std::cout << "Fill process selection (30% VA-CNT carpet):\n";
+  Table p({"method", "fill frac.", "void frac.", "CMOS chem."});
+  process::FillRecipe eld;
+  eld.method = process::FillMethod::kEld;
+  eld.plating_time_min = 90.0;
+  process::FillRecipe ecd = eld;
+  ecd.method = process::FillMethod::kEcd;
+  const auto out_eld = process::simulate_fill(eld, 0.3);
+  const auto out_ecd = process::simulate_fill(ecd, 0.3);
+  p.add_row({"ELD", Table::num(out_eld.fill_fraction, 3),
+             Table::num(out_eld.void_fraction, 3),
+             out_eld.cmos_compatible_chemistry ? "yes" : "no"});
+  p.add_row({"ECD", Table::num(out_ecd.fill_fraction, 3),
+             Table::num(out_ecd.void_fraction, 3),
+             out_ecd.cmos_compatible_chemistry ? "yes" : "no"});
+  p.print(std::cout);
+  std::cout << "-> ECD selected (void-free trend + CMOS chemistry, paper "
+               "Fig. 7)\n\n";
+
+  // --- Step 2: composition sweep. ---------------------------------------
+  std::cout << "Composite design space (ECD fill, matrix rho = "
+            << Table::num(rho_matrix * 1e8, 3) << " uOhm cm):\n";
+  Table t({"CNT frac.", "sigma/sigma_Cu", "j_max [MA/cm^2]",
+           "EM life xCu", "k_th [W/mK]"});
+  const double sigma_cu = 1.0 / rho_matrix;
+  for (double vf : {0.0, 0.2, 0.4, 0.6}) {
+    auto spec = process::to_composite_spec(out_ecd, vf, rho_matrix);
+    t.add_row(
+        {Table::num(vf, 3),
+         Table::num(materials::composite_conductivity(spec) / sigma_cu, 3),
+         Table::num(units::to_A_per_cm2(
+                        materials::composite_max_current_density(spec)) /
+                        1e6,
+                    3),
+         Table::num(materials::composite_em_lifetime_factor(spec), 3),
+         Table::num(materials::composite_thermal_conductivity(spec), 4)});
+  }
+  t.print(std::cout);
+
+  // --- Step 3: accelerated EM qualification. ----------------------------
+  std::cout << "\nEM qualification at 2.5 MA/cm^2, 300 C:\n";
+  charz::EmStressConditions cond;
+  auto comp = process::to_composite_spec(out_ecd, 0.4, rho_matrix);
+  const auto em_cu = charz::run_em_stress(charz::LineTechnology::kCu, cond);
+  const auto em_cc = charz::run_em_stress(
+      charz::LineTechnology::kCuCntComposite, cond, comp);
+  std::cout << "  Cu:        median TTF " << Table::num(em_cu.ttf_hours.median, 3)
+            << " h -> " << Table::num(em_cu.use_median_years, 3)
+            << " years at use conditions\n";
+  std::cout << "  composite: median TTF " << Table::num(em_cc.ttf_hours.median, 3)
+            << " h -> " << Table::num(em_cc.use_median_years, 3)
+            << " years at use conditions\n";
+
+  // --- Step 4: circuit-level delay of the chosen line. ------------------
+  const double sigma = materials::composite_conductivity(comp);
+  core::LineRlc line;
+  line.resistance_per_m = 1.0 / (sigma * cu.width_m * cu.height_m);
+  line.capacitance_per_m = 180e-12;  // global-level environment
+  circuit::Fig11Options opt;
+  opt.line = line;
+  opt.length_m = 1e-3;
+  opt.segments = 24;
+  opt.driver_size = 32.0;
+  const double tp = circuit::measure_fig11_delay(opt, 1500);
+  std::cout << "\n1 mm composite global line, 32x driver: t_pd = "
+            << Table::num(units::to_ns(tp), 3) << " ns\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Signal-integrity study of doped CNT interconnects using the extension
+// toolkit: AC bandwidth (where the kinetic inductance lives), coupled-line
+// crosstalk, and repeater planning for a multi-millimetre link.
+//
+//   $ ./examples/signal_integrity_study
+#include <iostream>
+
+#include "circuit/ac.hpp"
+#include "circuit/builders.hpp"
+#include "circuit/crosstalk.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/mwcnt_line.hpp"
+#include "core/repeater.hpp"
+
+int main() {
+  using namespace cnti;
+
+  std::cout << "Signal integrity of a 10 nm MWCNT interconnect\n\n";
+
+  // --- Bandwidth vs. doping (AC analysis). -------------------------------
+  std::cout << "1) 3 dB bandwidth of a source-driven 200 um line:\n";
+  Table bw({"N_c per shell", "R line [kOhm]", "f_3dB [GHz]"});
+  for (double nc : {2.0, 4.0, 10.0}) {
+    const core::MwcntLine line = core::make_paper_mwcnt(10, nc, 100e3);
+    circuit::Circuit ckt;
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    ckt.add_vsource("vin", in, 0, circuit::DcWave{0.0});
+    circuit::add_distributed_line(ckt, "ln", in, out, line.rlc(), 200e-6,
+                                  12);
+    ckt.add_capacitor("cl", out, 0, 1e-15);
+    const auto freqs = circuit::log_frequency_grid(1e6, 1e12, 20);
+    const auto res = circuit::ac_analysis(ckt, "vin", out, freqs);
+    bw.add_row({Table::num(nc, 3),
+                Table::num(units::to_kOhm(line.resistance(200e-6)), 4),
+                Table::num(circuit::bandwidth_3db(res) / 1e9, 3)});
+  }
+  bw.print(std::cout);
+
+  // --- Crosstalk noise budget. -------------------------------------------
+  std::cout << "\n2) Victim noise vs. spacing-equivalent coupling "
+               "(50 um neighbours):\n";
+  Table xt({"coupling [aF/um]", "noise pristine [mV]", "noise doped [mV]"});
+  for (double cc_af : {10.0, 30.0, 60.0}) {
+    const auto noise = [&](double nc) {
+      circuit::CrosstalkConfig cfg;
+      cfg.victim = core::make_paper_mwcnt(10, nc, 20e3).rlc();
+      cfg.aggressor = cfg.victim;
+      cfg.coupling_cap_per_m = cc_af * 1e-12;
+      cfg.length_m = 50e-6;
+      cfg.segments = 12;
+      return circuit::analyze_crosstalk(cfg, 1200).peak_noise_v * 1e3;
+    };
+    xt.add_row({Table::num(cc_af, 3), Table::num(noise(2), 4),
+                Table::num(noise(10), 4)});
+  }
+  xt.print(std::cout);
+
+  // --- Repeater plan for a 5 mm link. -------------------------------------
+  std::cout << "\n3) Repeater plan, 5 mm link (contacts re-paid per "
+               "repeater):\n";
+  Table rp({"line", "k_opt", "size", "delay [ns]", "energy [fJ]"});
+  for (double nc : {2.0, 10.0}) {
+    const auto plan = core::optimize_repeaters(
+        core::make_paper_mwcnt(10, nc, 50e3).rlc(), 5e-3);
+    rp.add_row({nc == 2 ? "pristine" : "doped Nc=10",
+                std::to_string(plan.count), Table::num(plan.size, 3),
+                Table::num(units::to_ns(plan.total_delay_s), 4),
+                Table::num(plan.energy_per_transition_j * 1e15, 3)});
+  }
+  rp.print(std::cout);
+
+  std::cout << "\nDoping buys bandwidth, noise margin and repeater count "
+               "simultaneously — the circuit-level case for the paper's "
+               "doping program.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Thermal study (paper Sec. IV.B): self-heating of a CNT via/line vs. Cu,
+// SThM temperature mapping, thermal-conductivity extraction, and TLM
+// separation of contact vs. intrinsic resistance — the full virtual
+// characterization chain.
+//
+//   $ ./examples/thermal_via_study
+#include <cmath>
+#include <iostream>
+
+#include "charz/tlm.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "numerics/rng.hpp"
+#include "thermal/heat1d.hpp"
+#include "thermal/sthm.hpp"
+
+int main() {
+  using namespace cnti;
+
+  std::cout << "Thermal & electrical characterization of a MWCNT "
+               "interconnect\n\n";
+
+  // --- TLM first: split contacts from the intrinsic tube. ----------------
+  charz::TlmGroundTruth truth;
+  truth.contact_resistance_kohm = 15.0;
+  truth.resistance_per_um_kohm = 8.0;
+  numerics::Rng rng(77);
+  const auto data = charz::generate_tlm_data(
+      truth, {0.5, 1.0, 1.5, 2.0, 3.0, 4.0}, rng);
+  const auto tlm = charz::extract_tlm(data);
+  std::cout << "TLM extraction: R_c = "
+            << Table::num(tlm.contact_resistance_kohm, 3) << " +- "
+            << Table::num(tlm.contact_stderr_kohm, 2) << " kOhm, r = "
+            << Table::num(tlm.resistance_per_um_kohm, 3) << " +- "
+            << Table::num(tlm.slope_stderr_kohm, 2)
+            << " kOhm/um (R^2 = " << Table::num(tlm.r_squared, 4) << ")\n\n";
+
+  // --- Self-heating with the extracted resistance. -----------------------
+  thermal::LineThermalSpec line;
+  line.length_m = 2e-6;
+  line.cross_section_m2 = M_PI * 7.5e-9 * 7.5e-9 / 4.0;
+  line.resistance_per_m = tlm.resistance_per_um_kohm * 1e3 / 1e-6;
+  line.substrate_coupling = 0.05;
+
+  std::cout << "Self-heating of the 2 um line (k swept over the paper's "
+               "3000-10000 W/mK):\n";
+  Table t({"k_th [W/mK]", "dT at 20 uA [K]", "ampacity @ dT=100 K [uA]"});
+  for (double k : {3000.0, 6500.0, 10000.0, 385.0}) {
+    line.thermal_conductivity = k;
+    const auto sol = thermal::solve_self_heating(line, 20e-6);
+    const double amp = thermal::thermal_ampacity(line, 400.0);
+    t.add_row({Table::num(k, 5) + (k == 385.0 ? " (Cu ref)" : ""),
+               Table::num(sol.peak_rise_k, 3),
+               Table::num(units::to_uA(amp), 4)});
+  }
+  t.print(std::cout);
+
+  // --- SThM scan and k re-extraction. ------------------------------------
+  line.thermal_conductivity = 5000.0;  // "unknown" ground truth
+  line.substrate_coupling = 0.0;       // suspended line for metrology
+  const auto sol = thermal::solve_self_heating(line, 20e-6, 401);
+  thermal::SthmProbe probe;
+  probe.spatial_resolution_m = 15e-9;
+  probe.temperature_noise_k = 0.03;
+  const auto scan = thermal::simulate_sthm_scan(sol, probe, rng);
+  const double k_est =
+      thermal::extract_thermal_conductivity(scan, line, 20e-6);
+  std::cout << "\nSThM metrology: peak dT = "
+            << Table::num(sol.peak_rise_k, 3) << " K, " << scan.x_m.size()
+            << " scan pixels -> extracted k_th = " << Table::num(k_est, 4)
+            << " W/mK (truth 5000)\n";
+  return 0;
+}

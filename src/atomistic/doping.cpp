@@ -1,0 +1,77 @@
+#include "atomistic/doping.hpp"
+
+#include <cmath>
+
+#include "atomistic/landauer.hpp"
+
+namespace cnti::atomistic {
+
+std::string to_string(DopantSpecies s) {
+  switch (s) {
+    case DopantSpecies::kIodineInternal:
+      return "iodine (internal)";
+    case DopantSpecies::kIodineExternal:
+      return "iodine (external)";
+    case DopantSpecies::kPtCl4External:
+      return "PtCl4 (external)";
+    case DopantSpecies::kPtClInternal:
+      return "Pt/Cl network (internal)";
+  }
+  return "unknown";
+}
+
+DopantProperties dopant_properties(DopantSpecies s) {
+  // Internal doping is more stable than external (paper Sec. II.A: "internal
+  // doping of CNT is more stable than external doping"); the external
+  // variants lose part of the shift on thermal cycling.
+  switch (s) {
+    case DopantSpecies::kIodineInternal:
+      return {.max_fermi_shift_ev = 0.6,
+              .channels_per_ev = 5.0,
+              .stability_factor = 0.95,
+              .saturation_concentration = 0.02};
+    case DopantSpecies::kIodineExternal:
+      return {.max_fermi_shift_ev = 0.6,
+              .channels_per_ev = 5.0,
+              .stability_factor = 0.70,
+              .saturation_concentration = 0.03};
+    case DopantSpecies::kPtCl4External:
+      // Fig. 2d: PtCl4 drops the measured MWCNT resistance by roughly 2x.
+      return {.max_fermi_shift_ev = 0.45,
+              .channels_per_ev = 4.0,
+              .stability_factor = 0.65,
+              .saturation_concentration = 0.03};
+    case DopantSpecies::kPtClInternal:
+      return {.max_fermi_shift_ev = 0.5,
+              .channels_per_ev = 4.5,
+              .stability_factor = 0.92,
+              .saturation_concentration = 0.02};
+  }
+  return {};
+}
+
+double ChargeTransferDoping::fermi_shift_ev() const {
+  const double c = concentration_;
+  const double c0 = props_.saturation_concentration;
+  // p-type: Fermi level moves down.
+  return -props_.max_fermi_shift_ev * c / (c + c0);
+}
+
+double ChargeTransferDoping::effective_channels(
+    const BandStructure& bands, double temperature_k) const {
+  const double shift = stable_fermi_shift_ev();
+  // Rigid-band TB contribution at the shifted Fermi level...
+  const double tb_channels =
+      conducting_channels(bands, shift, temperature_k);
+  // ...plus dopant-state channels calibrated to the DFT anchor.
+  const double dopant_channels = props_.channels_per_ev * std::abs(shift);
+  return tb_channels + dopant_channels;
+}
+
+double ChargeTransferDoping::channels_per_shell_simple() const {
+  const double shift = std::abs(stable_fermi_shift_ev());
+  return cntconst::kChannelsPerMetallicShell +
+         props_.channels_per_ev * shift;
+}
+
+}  // namespace cnti::atomistic

@@ -1,0 +1,72 @@
+#include "atomistic/dos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cnti::atomistic {
+
+double DensityOfStates::at(double e) const {
+  CNTI_EXPECTS(!energy_ev.empty(), "empty DOS");
+  const auto it =
+      std::lower_bound(energy_ev.begin(), energy_ev.end(), e);
+  std::size_t i = static_cast<std::size_t>(it - energy_ev.begin());
+  if (i >= energy_ev.size()) i = energy_ev.size() - 1;
+  return dos[i];
+}
+
+DensityOfStates compute_dos(const BandStructure& bands, double e_max_ev,
+                            int energy_bins, int k_samples) {
+  CNTI_EXPECTS(e_max_ev > 0, "energy window must be positive");
+  CNTI_EXPECTS(energy_bins >= 10 && k_samples >= 100,
+               "resolution too low");
+  DensityOfStates out;
+  out.energy_ev.resize(static_cast<std::size_t>(energy_bins));
+  out.dos.assign(static_cast<std::size_t>(energy_bins), 0.0);
+  const double de = 2.0 * e_max_ev / energy_bins;
+  for (int b = 0; b < energy_bins; ++b) {
+    out.energy_ev[static_cast<std::size_t>(b)] =
+        -e_max_ev + (b + 0.5) * de;
+  }
+
+  // Uniform k sampling over the full zone; each (q, k) state contributes
+  // spin-degenerate weight 2/k_samples per subband pair (+E, -E).
+  const double kmax = bands.k_max();
+  const double weight = 2.0 / k_samples;  // spin factor
+  for (int q = 0; q < bands.subband_count(); ++q) {
+    for (int i = 0; i < k_samples; ++i) {
+      const double kappa = -kmax + 2.0 * kmax * i / (k_samples - 1);
+      const double e = bands.subband_energy(q, kappa);
+      for (const double sign : {1.0, -1.0}) {
+        const double es = sign * e;
+        const int bin =
+            static_cast<int>(std::floor((es + e_max_ev) / de));
+        if (bin >= 0 && bin < energy_bins) {
+          out.dos[static_cast<std::size_t>(bin)] += weight / de;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double transferred_charge_per_cell(const DensityOfStates& dos,
+                                   double shift_ev) {
+  CNTI_EXPECTS(!dos.energy_ev.empty(), "empty DOS");
+  const double lo = std::min(0.0, shift_ev);
+  const double hi = std::max(0.0, shift_ev);
+  double q = 0.0;
+  for (std::size_t i = 0; i < dos.energy_ev.size(); ++i) {
+    const double e = dos.energy_ev[i];
+    if (e >= lo && e < hi) {
+      const double de = (i + 1 < dos.energy_ev.size())
+                            ? dos.energy_ev[i + 1] - dos.energy_ev[i]
+                            : dos.energy_ev[i] - dos.energy_ev[i - 1];
+      q += dos.dos[i] * de;
+    }
+  }
+  return q;
+}
+
+}  // namespace cnti::atomistic

@@ -1,0 +1,32 @@
+// Density of states of an (n, m) SWCNT from the zone-folded bands —
+// the quantity the paper's Fig. 8 discussion moves through ("doping can
+// shift the Fermi-level and increase the DOS"). Exhibits the 1/sqrt(E)
+// van Hove singularities characteristic of quasi-1-D systems.
+#pragma once
+
+#include <vector>
+
+#include "atomistic/bandstructure.hpp"
+
+namespace cnti::atomistic {
+
+/// Histogram-sampled DOS per unit cell [states/eV], spin included,
+/// over the symmetric window [-e_max, e_max].
+struct DensityOfStates {
+  std::vector<double> energy_ev;
+  std::vector<double> dos;  ///< states / (eV * unit cell)
+
+  /// DOS at the energy closest to e [states/eV/cell].
+  double at(double e) const;
+};
+
+DensityOfStates compute_dos(const BandStructure& bands, double e_max_ev = 3.0,
+                            int energy_bins = 600, int k_samples = 20001);
+
+/// Carrier density added by shifting the Fermi level from 0 to `shift_ev`
+/// at T = 0 (integrated DOS) [electrons/unit cell]; negative shift gives
+/// holes (positive return value, p-type).
+double transferred_charge_per_cell(const DensityOfStates& dos,
+                                   double shift_ev);
+
+}  // namespace cnti::atomistic

@@ -1,0 +1,38 @@
+// Finite-temperature Landauer conductance from zone-folded mode counting.
+// Reproduces the paper's Fig. 8a: ballistic conductance vs. diameter of
+// zigzag and armchair SWCNTs at 300 K, with N_c = G_bal / G0 (paper Eq. 1).
+#pragma once
+
+#include "atomistic/bandstructure.hpp"
+#include "common/constants.hpp"
+
+namespace cnti::atomistic {
+
+/// -df/dE of the Fermi function at temperature T [1/eV].
+double fermi_derivative(double energy_ev, double mu_ev, double temperature_k);
+
+/// Thermally broadened ballistic Landauer conductance [S]:
+///   G = G0 * integral M(E) (-df/dE) dE
+/// evaluated around chemical potential mu (eV, 0 = charge-neutral E_F).
+double ballistic_conductance(const BandStructure& bands, double mu_ev,
+                             double temperature_k);
+
+/// Zero-temperature ballistic conductance: G0 * M(mu) [S].
+double ballistic_conductance_t0(const BandStructure& bands, double mu_ev);
+
+/// Number of conducting channels N_c = G_bal / G0 (paper Eq. 1).
+double conducting_channels(const BandStructure& bands, double mu_ev,
+                           double temperature_k);
+
+/// Diameter-dependent average channel count for metallic shells at finite
+/// temperature, used by the MWCNT compact model for large-diameter shells
+/// where thermal activation across small subband spacings adds channels
+/// (asymptotically N_c(d) ~ a*d + b for d >~ 3 nm; at d <= 2 nm returns ~2).
+double average_metallic_channels(double diameter_m, double temperature_k);
+
+/// Average channel count of a shell of given diameter when metallic and
+/// semiconducting walls are mixed with the CVD statistics (1/3 metallic),
+/// as used for undoped MWCNT shells in statistical models.
+double average_mixed_channels(double diameter_m, double temperature_k);
+
+}  // namespace cnti::atomistic

@@ -1,0 +1,303 @@
+#include "atomistic/negf.hpp"
+
+#include <cmath>
+
+#include "atomistic/landauer.hpp"
+#include "numerics/rng.hpp"
+
+namespace cnti::atomistic {
+
+namespace {
+
+using std::complex;
+
+/// Builds the unrolled-sheet lattice of one translational cell and the
+/// nearest-neighbour connectivity within the cell / into the next cell.
+struct Lattice {
+  std::vector<std::pair<double, double>> pos;  // (u, v) in metres.
+  std::vector<std::pair<int, int>> bonds00;    // intra-cell bonds.
+  std::vector<std::pair<int, int>> bonds01;    // cell i -> cell i+1 bonds.
+};
+
+Lattice build_lattice(const Chirality& ch) {
+  const double a = cntconst::kGrapheneLattice;
+  // Graphene basis vectors and sublattice offset in the sheet frame.
+  const double a1x = a * std::sqrt(3.0) / 2.0, a1y = a * 0.5;
+  const double a2x = a1x, a2y = -a1y;
+  const double bx = a / std::sqrt(3.0), by = 0.0;  // B-atom offset.
+
+  // Chiral and translation vectors in sheet coordinates.
+  const double chx = ch.n() * a1x + ch.m() * a2x;
+  const double chy = ch.n() * a1y + ch.m() * a2y;
+  const double ch_len = ch.circumference();
+  const double tx = ch.t1() * a1x + ch.t2() * a2x;
+  const double ty = ch.t1() * a1y + ch.t2() * a2y;
+  const double t_len = ch.translation_length();
+
+  // Unit vectors: u along C_h (circumference), v along T (axis).
+  const double ux = chx / ch_len, uy = chy / ch_len;
+  const double vx = tx / t_len, vy = ty / t_len;
+
+  // Small symmetry-breaking shift avoids atoms landing exactly on the cell
+  // boundary (which would double-count under the half-open window).
+  const double eps_u = 1e-4 * a, eps_v = 1.37e-4 * a;
+
+  Lattice lat;
+  const int range = std::abs(ch.n()) + std::abs(ch.m()) +
+                    std::abs(ch.t1()) + std::abs(ch.t2()) + 2;
+  for (int i = -range; i <= range; ++i) {
+    for (int j = -range; j <= range; ++j) {
+      for (int s = 0; s < 2; ++s) {
+        const double x = i * a1x + j * a2x + (s ? bx : 0.0);
+        const double y = i * a1y + j * a2y + (s ? by : 0.0);
+        const double u = x * ux + y * uy + eps_u;
+        const double v = x * vx + y * vy + eps_v;
+        if (u >= 0.0 && u < ch_len && v >= 0.0 && v < t_len) {
+          lat.pos.emplace_back(u, v);
+        }
+      }
+    }
+  }
+  CNTI_EXPECTS(static_cast<int>(lat.pos.size()) == ch.atoms_per_cell(),
+               "lattice generation found wrong atom count");
+
+  // Connectivity: two atoms bond when their distance is ~a_cc, with the
+  // circumferential coordinate periodic and the axial coordinate reaching
+  // into the neighbouring cell.
+  const double acc = cntconst::kCcBond;
+  const double tol = 0.05 * acc;
+  const auto wrapped_du = [&](double du) {
+    du = std::abs(du);
+    return std::min(du, ch_len - du);
+  };
+  const int n_atoms = static_cast<int>(lat.pos.size());
+  for (int p = 0; p < n_atoms; ++p) {
+    for (int q = 0; q < n_atoms; ++q) {
+      const double du = wrapped_du(lat.pos[p].first - lat.pos[q].first);
+      // Intra-cell bond (count each once).
+      if (q > p) {
+        const double dv = lat.pos[p].second - lat.pos[q].second;
+        if (std::abs(std::hypot(du, dv) - acc) < tol) {
+          lat.bonds00.emplace_back(p, q);
+        }
+      }
+      // Bond from atom p in cell 0 to atom q in cell +1.
+      const double dv1 = (lat.pos[q].second + t_len) - lat.pos[p].second;
+      if (std::abs(std::hypot(du, dv1) - acc) < tol) {
+        lat.bonds01.emplace_back(p, q);
+      }
+    }
+  }
+  return lat;
+}
+
+}  // namespace
+
+TubeHamiltonian::TubeHamiltonian(Chirality ch, TightBindingParams tb)
+    : ch_(ch) {
+  const Lattice lat = build_lattice(ch_);
+  const int n = static_cast<int>(lat.pos.size());
+  h00_ = MatrixC(n, n);
+  h01_ = MatrixC(n, n);
+  const complex<double> t(-tb.gamma0_ev, 0.0);
+  for (const auto& [p, q] : lat.bonds00) {
+    h00_(p, q) = t;
+    h00_(q, p) = t;
+  }
+  for (const auto& [p, q] : lat.bonds01) {
+    h01_(p, q) = t;
+  }
+  sites_ = lat.pos;
+  // Each carbon atom has exactly three neighbours; verify the bond count:
+  // 2*|bonds00| + 2*|bonds01| == 3*n.
+  const std::size_t coordination =
+      2 * lat.bonds00.size() + 2 * lat.bonds01.size();
+  CNTI_EXPECTS(coordination == static_cast<std::size_t>(3 * n),
+               "tube lattice is not 3-coordinated");
+}
+
+MatrixC surface_green_function(std::complex<double> z, const MatrixC& h00,
+                               const MatrixC& hop, int max_iterations,
+                               double tolerance) {
+  const std::size_t n = h00.rows();
+  MatrixC eps_s = h00;
+  MatrixC eps = h00;
+  MatrixC alpha = hop;
+  MatrixC beta = hop.adjoint();
+
+  const MatrixC zi = MatrixC::identity(n) * z;
+  for (int it = 0; it < max_iterations; ++it) {
+    const MatrixC g = numerics::inverse(zi - eps);
+    const MatrixC agb = alpha * g * beta;
+    const MatrixC bga = beta * g * alpha;
+    eps_s += agb;
+    eps += agb + bga;
+    alpha = alpha * g * alpha;
+    beta = beta * g * beta;
+    if (alpha.norm() < tolerance && beta.norm() < tolerance) {
+      return numerics::inverse(zi - eps_s);
+    }
+  }
+  throw NumericalError("Sancho-Rubio decimation did not converge");
+}
+
+NegfSolver::NegfSolver(const TubeHamiltonian& h, int num_cells) : h_(h) {
+  CNTI_EXPECTS(num_cells >= 1, "device needs at least one cell");
+  perturbations_.resize(static_cast<std::size_t>(num_cells));
+}
+
+void NegfSolver::set_perturbation(int cell, CellPerturbation p) {
+  CNTI_EXPECTS(cell >= 0 && cell < num_cells(), "cell index out of range");
+  if (!p.onsite_shift_ev.empty()) {
+    CNTI_EXPECTS(static_cast<int>(p.onsite_shift_ev.size()) ==
+                     h_.atoms_per_cell(),
+                 "perturbation size must match atoms per cell");
+  }
+  perturbations_[static_cast<std::size_t>(cell)] = std::move(p);
+}
+
+double NegfSolver::transmission(double energy_ev, double eta_ev) const {
+  using std::complex;
+  const int n = h_.atoms_per_cell();
+  // Below ~1e-5 eV the Sancho-Rubio decimation loses numerical contraction
+  // at band crossings (the first resolvent reaches condition ~1/eta and the
+  // squared-hopping recursion overflows), so floor the broadening there.
+  const complex<double> z(energy_ev, std::max(eta_ev, 1e-5));
+  const MatrixC& h00 = h_.h00();
+  const MatrixC& h01 = h_.h01();
+  const MatrixC h10 = h01.adjoint();
+
+  // Left lead extends toward -infinity: the hop away from the device is h10.
+  // Device cell 0 couples to the lead surface via H_{0,-1} = h10 and back
+  // via H_{-1,0} = h01, so Sigma_L = h10 * g_surf * h01.
+  const MatrixC gs_l = surface_green_function(z, h00, h10);
+  const MatrixC sigma_left = h10 * gs_l * h01;
+
+  // Right lead extends toward +infinity: hopping away from device is h01.
+  const MatrixC gs_r = surface_green_function(z, h00, h01);
+  const MatrixC sigma_right = h01 * gs_r * h10;
+
+  const auto gamma = [](const MatrixC& sigma) {
+    MatrixC g = sigma - sigma.adjoint();
+    // Gamma = i (Sigma - Sigma^dagger).
+    for (std::size_t i = 0; i < g.rows(); ++i)
+      for (std::size_t j = 0; j < g.cols(); ++j)
+        g(i, j) *= complex<double>(0.0, 1.0);
+    return g;
+  };
+  const MatrixC gamma_l = gamma(sigma_left);
+  const MatrixC gamma_r = gamma(sigma_right);
+
+  // Device on-site blocks with perturbations.
+  const int nc = num_cells();
+  const auto device_block = [&](int cell) {
+    MatrixC hb = h00;
+    const auto& pert = perturbations_[static_cast<std::size_t>(cell)];
+    for (int i = 0; i < n; ++i) {
+      double shift = device_potential_ev_;
+      if (!pert.onsite_shift_ev.empty()) {
+        shift += pert.onsite_shift_ev[static_cast<std::size_t>(i)];
+      }
+      hb(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) +=
+          complex<double>(shift, 0.0);
+    }
+    return hb;
+  };
+
+  const MatrixC zi = MatrixC::identity(static_cast<std::size_t>(n)) * z;
+
+  // Recursive Green's function sweep accumulating G_{0, last}.
+  MatrixC h_eff = device_block(0) + sigma_left;
+  if (nc == 1) h_eff += sigma_right;
+  MatrixC g_ii = numerics::inverse(zi - h_eff);
+  MatrixC g_0i = g_ii;
+  for (int cell = 1; cell < nc; ++cell) {
+    MatrixC hb = device_block(cell);
+    if (cell == nc - 1) hb += sigma_right;
+    const MatrixC coupling = h10 * g_ii * h01;
+    g_ii = numerics::inverse(zi - hb - coupling);
+    g_0i = g_0i * h01 * g_ii;
+  }
+
+  // Caroli: T = Tr[Gamma_L G_{0,N} Gamma_R G_{0,N}^dagger].
+  const MatrixC m = gamma_l * g_0i * gamma_r * g_0i.adjoint();
+  complex<double> trace(0.0, 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) trace += m(i, i);
+  return std::max(0.0, trace.real());
+}
+
+double NegfSolver::conductance(double mu_ev, double temperature_k,
+                               double eta_ev) const {
+  const double kt = phys::kBoltzmann * temperature_k / phys::kElectronVolt;
+  const int n = 41;
+  const double lo = mu_ev - 8.0 * kt, hi = mu_ev + 8.0 * kt;
+  const double de = (hi - lo) / (n - 1);
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double e = lo + i * de;
+    const double w = (i == 0 || i == n - 1) ? 0.5 : 1.0;
+    acc += w * transmission(e, eta_ev) *
+           fermi_derivative(e, mu_ev, temperature_k);
+  }
+  return phys::kConductanceQuantum * acc * de;
+}
+
+DefectMfpResult estimate_defect_mfp(const Chirality& ch,
+                                    double defect_probability,
+                                    double energy_ev, unsigned seed,
+                                    int max_cells, int samples) {
+  CNTI_EXPECTS(defect_probability >= 0.0 && defect_probability < 1.0,
+               "defect probability in [0, 1)");
+  const TubeHamiltonian h(ch);
+  const int n = h.atoms_per_cell();
+  numerics::Rng rng(seed);
+
+  // Pristine mode count at this energy.
+  NegfSolver pristine(h, 1);
+  const double t0 = pristine.transmission(energy_ev);
+
+  DefectMfpResult out;
+  out.ballistic_modes = t0;
+  if (t0 < 1e-9) return out;
+
+  // Average transmission vs. length; fit 1/T = (1 + L/lambda)/M, i.e.
+  // M/T - 1 = L / lambda -> linear through origin in L.
+  std::vector<double> lengths, inv_excess;
+  for (int cells = 4; cells <= max_cells; cells += 4) {
+    double t_sum = 0.0;
+    for (int s = 0; s < samples; ++s) {
+      NegfSolver dev(h, cells);
+      for (int c = 0; c < cells; ++c) {
+        CellPerturbation p;
+        bool any = false;
+        p.onsite_shift_ev.assign(static_cast<std::size_t>(n), 0.0);
+        for (int i = 0; i < n; ++i) {
+          if (rng.bernoulli(defect_probability)) {
+            p.onsite_shift_ev[static_cast<std::size_t>(i)] = 1e3;
+            any = true;
+          }
+        }
+        if (any) dev.set_perturbation(c, std::move(p));
+      }
+      t_sum += dev.transmission(energy_ev);
+    }
+    const double t_avg = t_sum / samples;
+    if (t_avg < 1e-6) continue;
+    lengths.push_back(cells * ch.translation_length());
+    inv_excess.push_back(t0 / t_avg - 1.0);
+  }
+  if (lengths.size() < 2) {
+    out.mfp_m = 0.0;
+    return out;
+  }
+  // Least squares through the origin: slope = sum(xy)/sum(xx) = 1/lambda.
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    sxy += lengths[i] * inv_excess[i];
+    sxx += lengths[i] * lengths[i];
+  }
+  out.mfp_m = (sxy > 0.0) ? sxx / sxy : 0.0;
+  return out;
+}
+
+}  // namespace cnti::atomistic

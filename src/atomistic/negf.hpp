@@ -1,0 +1,105 @@
+// Non-equilibrium Green's function (NEGF) ballistic/coherent transport on
+// the real-space tight-binding Hamiltonian of an (n, m) SWCNT.
+//
+// This substitutes for the paper's ATK NEGF runs (Sec. III.A): semi-infinite
+// leads are folded in via Sancho-Rubio decimation, the device region is a
+// chain of translational unit cells with optional per-site perturbations
+// (charge-transfer potentials, adsorbate/dopant shifts, vacancies), and the
+// Caroli formula yields the transmission T(E).
+#pragma once
+
+#include <complex>
+#include <utility>
+#include <vector>
+
+#include "atomistic/bandstructure.hpp"
+#include "atomistic/swcnt_geometry.hpp"
+#include "numerics/matrix.hpp"
+
+namespace cnti::atomistic {
+
+using numerics::MatrixC;
+
+/// Real-space TB Hamiltonian of one translational unit cell of the rolled
+/// tube: on-site block H00 and inter-cell hopping H01 (cell i -> i+1).
+class TubeHamiltonian {
+ public:
+  explicit TubeHamiltonian(Chirality ch, TightBindingParams tb = {});
+
+  const Chirality& chirality() const { return ch_; }
+  int atoms_per_cell() const { return static_cast<int>(h00_.rows()); }
+  const MatrixC& h00() const { return h00_; }
+  const MatrixC& h01() const { return h01_; }
+
+  /// Atom positions in unrolled sheet coordinates (u along circumference,
+  /// v along axis) [m], for locating dopant sites.
+  const std::vector<std::pair<double, double>>& sites() const {
+    return sites_;
+  }
+
+ private:
+  Chirality ch_;
+  MatrixC h00_;
+  MatrixC h01_;
+  std::vector<std::pair<double, double>> sites_;
+};
+
+/// Surface Green's function of a semi-infinite lead with on-site block h00
+/// and hopping `hop` from each cell to the next cell *away* from the device,
+/// evaluated at complex energy z = E + i eta [eV]. Sancho-Rubio decimation.
+MatrixC surface_green_function(std::complex<double> z, const MatrixC& h00,
+                               const MatrixC& hop, int max_iterations = 200,
+                               double tolerance = 1e-12);
+
+/// Per-cell perturbation of the device region: on-site energy shifts [eV]
+/// indexed by atom within the cell. Vacancies are modeled as +1e3 eV shifts
+/// (site pushed out of the transport window).
+struct CellPerturbation {
+  std::vector<double> onsite_shift_ev;  ///< Empty = pristine cell.
+};
+
+/// NEGF transport solver for a device of `num_cells` unit cells between two
+/// semi-infinite pristine leads of the same tube.
+class NegfSolver {
+ public:
+  explicit NegfSolver(const TubeHamiltonian& h, int num_cells = 1);
+
+  /// Set the perturbation of device cell `cell` (0-based).
+  void set_perturbation(int cell, CellPerturbation p);
+
+  /// Uniform electrostatic potential shift of the whole device [eV]
+  /// (rigid charge-transfer doping of the channel region).
+  void set_device_potential(double potential_ev) {
+    device_potential_ev_ = potential_ev;
+  }
+
+  int num_cells() const { return static_cast<int>(perturbations_.size()); }
+
+  /// Coherent transmission T(E) (dimensionless; equals the mode count for a
+  /// pristine device). eta is the lead broadening [eV].
+  double transmission(double energy_ev, double eta_ev = 1e-5) const;
+
+  /// Landauer conductance at temperature T and chemical potential mu [S].
+  double conductance(double mu_ev, double temperature_k,
+                     double eta_ev = 1e-5) const;
+
+ private:
+  const TubeHamiltonian& h_;
+  std::vector<CellPerturbation> perturbations_;
+  double device_potential_ev_ = 0.0;
+};
+
+/// Fits the ensemble-averaged NEGF transmission of defective tubes of
+/// increasing length to T(L) = M / (1 + L / lambda), returning the
+/// defect-limited mean free path lambda [m]. `defect_probability` is the
+/// per-atom vacancy probability.
+struct DefectMfpResult {
+  double mfp_m = 0.0;
+  double ballistic_modes = 0.0;
+};
+DefectMfpResult estimate_defect_mfp(const Chirality& ch,
+                                    double defect_probability,
+                                    double energy_ev, unsigned seed,
+                                    int max_cells = 24, int samples = 4);
+
+}  // namespace cnti::atomistic

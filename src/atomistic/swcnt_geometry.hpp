@@ -1,0 +1,80 @@
+// Geometry of a single-walled carbon nanotube identified by its chiral
+// indices (n, m): diameter, chiral angle, metallicity, translational unit
+// cell. Conventions follow Saito/Dresselhaus ("Physical Properties of
+// Carbon Nanotubes").
+#pragma once
+
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace cnti::atomistic {
+
+/// Chiral indices and derived geometric invariants of an (n, m) SWCNT.
+class Chirality {
+ public:
+  Chirality(int n, int m) : n_(n), m_(m) {
+    CNTI_EXPECTS(n >= 1, "chiral index n must be >= 1");
+    CNTI_EXPECTS(m >= 0 && m <= n, "require 0 <= m <= n (canonical order)");
+  }
+
+  int n() const { return n_; }
+  int m() const { return m_; }
+
+  /// d_R = gcd(2n + m, 2m + n).
+  int d_r() const { return std::gcd(2 * n_ + m_, 2 * m_ + n_); }
+
+  /// Number of hexagons in the translational unit cell: N = 2(n^2+nm+m^2)/d_R.
+  int hexagons_per_cell() const {
+    return 2 * (n_ * n_ + n_ * m_ + m_ * m_) / d_r();
+  }
+
+  /// Number of carbon atoms per translational unit cell (2 per hexagon).
+  int atoms_per_cell() const { return 2 * hexagons_per_cell(); }
+
+  /// |C_h| = a sqrt(n^2 + nm + m^2) [m].
+  double circumference() const {
+    return cntconst::kGrapheneLattice *
+           std::sqrt(static_cast<double>(n_ * n_ + n_ * m_ + m_ * m_));
+  }
+
+  /// Tube diameter d = |C_h| / pi [m].
+  double diameter() const { return circumference() / M_PI; }
+
+  /// Translation vector length |T| = sqrt(3) |C_h| / d_R [m].
+  double translation_length() const {
+    return std::sqrt(3.0) * circumference() / d_r();
+  }
+
+  /// Translation vector components T = t1 a1 + t2 a2.
+  int t1() const { return (2 * m_ + n_) / d_r(); }
+  int t2() const { return -(2 * n_ + m_) / d_r(); }
+
+  /// Chiral angle in radians (0 = zigzag, pi/6 = armchair).
+  double chiral_angle() const {
+    return std::atan2(std::sqrt(3.0) * m_, 2.0 * n_ + m_);
+  }
+
+  /// Metallic iff (n - m) mod 3 == 0 (armchair tubes always metallic).
+  bool is_metallic() const { return (n_ - m_) % 3 == 0; }
+
+  bool is_armchair() const { return n_ == m_; }
+  bool is_zigzag() const { return m_ == 0; }
+
+  std::string label() const {
+    return "(" + std::to_string(n_) + "," + std::to_string(m_) + ")";
+  }
+
+  friend bool operator==(const Chirality& a, const Chirality& b) {
+    return a.n_ == b.n_ && a.m_ == b.m_;
+  }
+
+ private:
+  int n_;
+  int m_;
+};
+
+}  // namespace cnti::atomistic

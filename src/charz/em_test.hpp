@@ -1,0 +1,41 @@
+// Electromigration stress testing on the virtual test layout (paper
+// Sec. IV.A / Fig. 13): populations of Cu, Cu-CNT composite and pure-CNT
+// lines stressed at accelerated conditions; TTF statistics are collected
+// and extrapolated to use conditions.
+#pragma once
+
+#include <vector>
+
+#include "materials/composite.hpp"
+#include "numerics/rng.hpp"
+#include "numerics/stats.hpp"
+#include "thermal/em.hpp"
+
+namespace cnti::charz {
+
+enum class LineTechnology { kCu, kCuCntComposite, kPureCnt };
+
+struct EmStressConditions {
+  double current_density_a_m2 = 2.5e10;  ///< Accelerated stress.
+  double temperature_k = 573.0;          ///< 300 C oven.
+  int population = 200;
+  unsigned seed = 42;
+};
+
+struct EmStressResult {
+  /// TTF summary [hours]. Pure-CNT lines below their breakdown density do
+  /// not fail; `immortal` is set instead and the summary left empty.
+  numerics::Summary ttf_hours{};
+  bool immortal = false;
+  /// Median lifetime extrapolated to use conditions (1e10 A/m^2, 378 K)
+  /// [years]; infinite for immortal populations (returned as 1e9).
+  double use_median_years = 0.0;
+};
+
+/// Stresses a population of lines of the given technology. For the
+/// composite, the Cu matrix carries a reduced current share (EM relief).
+EmStressResult run_em_stress(LineTechnology tech,
+                             const EmStressConditions& cond,
+                             const materials::CompositeSpec& composite = {});
+
+}  // namespace cnti::charz

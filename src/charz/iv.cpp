@@ -1,0 +1,78 @@
+#include "charz/iv.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace cnti::charz {
+
+namespace {
+
+/// Conducting channels of the whole MWCNT (expected value over shells).
+double total_channels(const CntDeviceSpec& spec,
+                      const atomistic::ChargeTransferDoping* doping) {
+  const double per_shell =
+      doping ? doping->channels_per_shell_simple()
+             // Pristine statistical average: 1/3 of shells metallic with
+             // 2 channels each.
+             : cntconst::kChannelsPerMetallicShell / 3.0;
+  return per_shell * spec.walls;
+}
+
+}  // namespace
+
+double device_resistance_kohm(const CntDeviceSpec& spec,
+                              const atomistic::ChargeTransferDoping* doping) {
+  CNTI_EXPECTS(spec.walls >= 1, "device needs at least one wall");
+  CNTI_EXPECTS(spec.length_um > 0, "length must be positive");
+  const double channels = total_channels(spec, doping);
+  const double d_m = units::from_nm(spec.diameter_nm);
+  const double l_ac = cntconst::kMfpOverDiameter * d_m;
+  const double l_def = units::from_um(spec.defect_spacing_um);
+  const double mfp = 1.0 / (1.0 / l_ac + 1.0 / l_def);
+  const double r_tube = phys::kResistanceQuantum / channels *
+                        (1.0 + units::from_um(spec.length_um) / mfp);
+  double r_contact = spec.contact_resistance_kohm;
+  if (doping) {
+    r_contact /= 1.0 + spec.contact_doping_sensitivity_per_ev *
+                           std::abs(doping->stable_fermi_shift_ev());
+  }
+  return units::to_kOhm(r_tube) + r_contact;
+}
+
+std::vector<IvPoint> sweep_iv(const CntDeviceSpec& spec,
+                              const atomistic::ChargeTransferDoping* doping,
+                              double v_max, int points) {
+  CNTI_EXPECTS(points >= 2, "need at least two sweep points");
+  CNTI_EXPECTS(v_max > 0, "sweep range must be positive");
+  const double r_kohm = device_resistance_kohm(spec, doping);
+  const double i_sat_ua = spec.saturation_current_per_channel_ua *
+                          total_channels(spec, doping);
+
+  std::vector<IvPoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  bool destroyed = false;
+  for (int i = 0; i < points; ++i) {
+    IvPoint p;
+    p.voltage_v = -v_max + 2.0 * v_max * i / (points - 1);
+    if (destroyed || std::abs(p.voltage_v) > spec.breakdown_v) {
+      destroyed = destroyed || p.voltage_v > spec.breakdown_v;
+      p.current_ua = 0.0;
+    } else {
+      const double i_lin_ua = p.voltage_v / r_kohm * 1e3;  // kOhm -> uA
+      p.current_ua =
+          i_lin_ua / (1.0 + std::abs(i_lin_ua) / i_sat_ua);
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+double doping_resistance_ratio(const CntDeviceSpec& spec,
+                               const atomistic::ChargeTransferDoping& doping) {
+  return device_resistance_kohm(spec, &doping) /
+         device_resistance_kohm(spec, nullptr);
+}
+
+}  // namespace cnti::charz

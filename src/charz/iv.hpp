@@ -1,0 +1,53 @@
+// IV characterization of CNT devices: low-bias ohmic regime, high-bias
+// current saturation (optical-phonon emission) and breakdown. Reproduces
+// the paper's Fig. 2d measurement — a side-contacted MWCNT before and
+// after PtCl4 doping.
+#pragma once
+
+#include <vector>
+
+#include "atomistic/doping.hpp"
+#include "common/error.hpp"
+
+namespace cnti::charz {
+
+/// Device under test: a contacted MWCNT segment.
+struct CntDeviceSpec {
+  double diameter_nm = 7.5;        ///< Paper's CVD MWCNT.
+  int walls = 5;
+  double length_um = 1.0;
+  double contact_resistance_kohm = 25.0;  ///< Both ends combined.
+  double defect_spacing_um = 0.5;  ///< Low-temperature CVD quality.
+  /// Saturation current per conducting channel [uA].
+  double saturation_current_per_channel_ua = 12.5;
+  /// Breakdown voltage across the tube (shell burn-out) [V].
+  double breakdown_v = 15.0;
+  /// Contact-barrier thinning by charge-transfer doping [1/eV]:
+  /// R_c,doped = R_c / (1 + s |dE_F|). The paper motivates doping as a
+  /// counter-measure to "resistive metal-CNT contacts" (Sec. III.C); set
+  /// to 0 for doping-insensitive contacts.
+  double contact_doping_sensitivity_per_ev = 3.0;
+};
+
+struct IvPoint {
+  double voltage_v = 0.0;
+  double current_ua = 0.0;
+};
+
+/// Low-bias resistance of the device [kOhm]; `doping` may be nullptr for
+/// the pristine device.
+double device_resistance_kohm(const CntDeviceSpec& spec,
+                              const atomistic::ChargeTransferDoping* doping);
+
+/// IV sweep with saturation: I = V / R * 1 / (1 + |V| / (R I_sat)), which
+/// is ohmic at low bias and saturates at I_sat; points past breakdown
+/// report zero current (device destroyed).
+std::vector<IvPoint> sweep_iv(const CntDeviceSpec& spec,
+                              const atomistic::ChargeTransferDoping* doping,
+                              double v_max, int points);
+
+/// The Fig. 2d headline number: resistance ratio after/before doping.
+double doping_resistance_ratio(const CntDeviceSpec& spec,
+                               const atomistic::ChargeTransferDoping& doping);
+
+}  // namespace cnti::charz

@@ -1,0 +1,32 @@
+#include "charz/raman.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cnti::charz {
+
+namespace {
+/// D/G = C / L_defect with C ~ 0.08 um (graphitic systems, 532 nm).
+constexpr double kTuinstraKoenigUm = 0.08;
+}  // namespace
+
+RamanSignature predict_raman(const process::GrowthQuality& quality) {
+  CNTI_EXPECTS(quality.defect_spacing_um > 0,
+               "defect spacing must be positive");
+  RamanSignature out;
+  out.d_over_g = kTuinstraKoenigUm / quality.defect_spacing_um;
+  // Outer-wall RBM; MWCNT modes are weak, so report the innermost-shell
+  // estimate (d_min ~ d/2) which dominates the signal.
+  const double d_inner_nm = std::max(0.8, quality.mean_diameter_nm / 2.0);
+  out.rbm_cm1 = 248.0 / d_inner_nm;
+  // Disorder broadens G: base 12 1/cm plus a defect term.
+  out.g_width_cm1 = 12.0 + 25.0 * out.d_over_g;
+  return out;
+}
+
+double defect_spacing_from_raman(double d_over_g) {
+  CNTI_EXPECTS(d_over_g > 0, "D/G ratio must be positive");
+  return kTuinstraKoenigUm / d_over_g;
+}
+
+}  // namespace cnti::charz

@@ -1,0 +1,26 @@
+// Raman-spectroscopy quality metric for grown CNT layers (paper Sec. II.B:
+// "the resulting CNT layers were characterized by SEM and Raman
+// spectroscopy"). The D/G intensity ratio tracks the defect density; the
+// radial-breathing-mode (RBM) frequency tracks the tube diameter
+// (w_RBM ~ 248/d cm^-1 for isolated SWCNTs, softened for MWCNT walls).
+#pragma once
+
+#include "common/error.hpp"
+#include "process/cvd.hpp"
+
+namespace cnti::charz {
+
+struct RamanSignature {
+  double d_over_g = 0.1;       ///< Defect band / graphitic band ratio.
+  double rbm_cm1 = 30.0;       ///< Radial breathing mode [1/cm].
+  double g_width_cm1 = 15.0;   ///< G-band FWHM (disorder broadening).
+};
+
+/// Predicted Raman signature for a grown layer.
+RamanSignature predict_raman(const process::GrowthQuality& quality);
+
+/// Inverse metrology: estimates the defect spacing from a measured D/G
+/// ratio (Tuinstra-Koenig-like inverse proportionality) [um].
+double defect_spacing_from_raman(double d_over_g);
+
+}  // namespace cnti::charz

@@ -1,0 +1,146 @@
+#include "charz/testchip.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace cnti::charz {
+
+std::vector<TestStructure> standard_test_layout() {
+  std::vector<TestStructure> layout;
+  // Single lines: width series (E-beam down to 50 nm), length series and
+  // two angles.
+  for (double w : {50.0, 100.0, 200.0, 500.0}) {
+    for (double l : {10.0, 100.0, 1000.0}) {
+      TestStructure s;
+      s.kind = StructureKind::kSingleLine;
+      s.width_nm = w;
+      s.length_um = l;
+      s.name = "line_w" + std::to_string(static_cast<int>(w)) + "_l" +
+               std::to_string(static_cast<int>(l));
+      layout.push_back(s);
+    }
+  }
+  for (double a : {45.0}) {
+    TestStructure s;
+    s.kind = StructureKind::kSingleLine;
+    s.width_nm = 100.0;
+    s.length_um = 100.0;
+    s.angle_deg = a;
+    s.name = "line_angle45";
+    layout.push_back(s);
+  }
+  // Comb structures (extrusion monitors).
+  for (double w : {50.0, 100.0}) {
+    TestStructure s;
+    s.kind = StructureKind::kCombFingers;
+    s.width_nm = w;
+    s.length_um = 500.0;
+    s.name = "comb_w" + std::to_string(static_cast<int>(w));
+    layout.push_back(s);
+  }
+  // Via chains.
+  for (int n : {100, 1000}) {
+    TestStructure s;
+    s.kind = StructureKind::kViaChain;
+    s.via_count = n;
+    s.width_nm = 60.0;
+    s.name = "viachain_" + std::to_string(n);
+    layout.push_back(s);
+  }
+  return layout;
+}
+
+namespace {
+
+double nominal_value(const TestStructure& s, double linewidth_bias_nm) {
+  switch (s.kind) {
+    case StructureKind::kSingleLine: {
+      materials::CuLineSpec cu;
+      cu.width_m = units::from_nm(
+          std::max(10.0, s.width_nm + linewidth_bias_nm));
+      cu.height_m = 2.0 * cu.width_m;
+      // Angled lines print slightly narrower (lithography bias).
+      if (s.angle_deg != 0.0) cu.width_m *= 0.95;
+      const materials::CuLine line(cu);
+      return line.resistance(units::from_um(s.length_um));
+    }
+    case StructureKind::kCombFingers:
+      // Leakage between fingers [pA]: grows when lines print wide.
+      return 5.0 * std::exp(linewidth_bias_nm / 10.0);
+    case StructureKind::kViaChain: {
+      // Per-via resistance grows as the via prints small.
+      const double r_via =
+          8.0 * std::exp(-linewidth_bias_nm / 30.0);
+      return r_via * s.via_count;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<Measurement> measure_die(const std::vector<TestStructure>& layout,
+                                     double linewidth_bias_nm,
+                                     const TesterSpec& tester,
+                                     numerics::Rng& rng) {
+  CNTI_EXPECTS(!layout.empty(), "empty layout");
+  std::vector<Measurement> out;
+  out.reserve(layout.size());
+  for (const auto& s : layout) {
+    const double nominal = nominal_value(s, 0.0);
+    const double local = nominal_value(s, linewidth_bias_nm);
+    Measurement m;
+    m.structure = s.name;
+    m.value = local * (1.0 + rng.normal(0.0,
+                                        tester.resistance_noise_fraction));
+    switch (s.kind) {
+      case StructureKind::kSingleLine:
+      case StructureKind::kViaChain:
+        m.unit = "Ohm";
+        m.pass = m.value < tester.line_open_limit_factor * nominal;
+        break;
+      case StructureKind::kCombFingers:
+        m.unit = "pA";
+        m.pass = m.value < tester.comb_leakage_limit_pa;
+        break;
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+WaferCharacterization characterize_wafer(
+    const process::WaferMap& wafer,
+    const std::vector<TestStructure>& layout, const TesterSpec& tester) {
+  CNTI_EXPECTS(!layout.empty(), "empty layout");
+  numerics::Rng rng(tester.seed);
+
+  std::vector<std::vector<double>> values(layout.size());
+  int good_dies = 0;
+  for (const auto& die : wafer.dies()) {
+    // Linewidth bias tracks the local process window: hotter dies etch
+    // slightly wider (simple monotone map from the die temperature).
+    const double bias_nm =
+        (die.recipe.temperature_c - 450.0) * 0.1;
+    const auto meas = measure_die(layout, bias_nm, tester, rng);
+    bool die_pass = true;
+    for (std::size_t i = 0; i < meas.size(); ++i) {
+      values[i].push_back(meas[i].value);
+      die_pass = die_pass && meas[i].pass;
+    }
+    if (die_pass) ++good_dies;
+  }
+
+  WaferCharacterization out;
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    out.structure_names.push_back(layout[i].name);
+    out.value_summary.push_back(numerics::summarize(values[i]));
+  }
+  out.die_yield = static_cast<double>(good_dies) /
+                  static_cast<double>(wafer.dies().size());
+  return out;
+}
+
+}  // namespace cnti::charz

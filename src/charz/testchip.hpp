@@ -1,0 +1,70 @@
+// Virtual test chip mirroring the paper's Fig. 13 electrical/EM test
+// layout: single-line structures of varying width/length/angle, multi-line
+// combs (leakage/extrusion monitors) and via chains — measured with a
+// virtual parametric tester across a 300 mm wafer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "materials/copper.hpp"
+#include "numerics/rng.hpp"
+#include "numerics/stats.hpp"
+#include "process/wafer.hpp"
+
+namespace cnti::charz {
+
+enum class StructureKind {
+  kSingleLine,   ///< Width/length/angle variants.
+  kCombFingers,  ///< Leakage / extrusion monitor.
+  kViaChain,     ///< N vias in series.
+};
+
+struct TestStructure {
+  StructureKind kind = StructureKind::kSingleLine;
+  std::string name;
+  double width_nm = 50.0;   ///< E-beam structures go down to 50 nm.
+  double length_um = 100.0;
+  double angle_deg = 0.0;   ///< Line angle (process-sensitivity monitor).
+  int via_count = 0;        ///< Via chains.
+};
+
+/// The Fig. 13a layout: a standard population of structures.
+std::vector<TestStructure> standard_test_layout();
+
+/// One parametric measurement of a structure on a die.
+struct Measurement {
+  std::string structure;
+  double value = 0.0;   ///< Ohms for lines/chains, pA for combs.
+  std::string unit;
+  bool pass = true;
+};
+
+/// Tester noise and pass limits.
+struct TesterSpec {
+  double resistance_noise_fraction = 0.01;
+  double comb_leakage_limit_pa = 100.0;
+  double line_open_limit_factor = 3.0;  ///< Fail if R > 3x nominal.
+  unsigned seed = 7;
+};
+
+/// Measures the full layout on a Cu reference die (paper: first 300 mm
+/// wafer was patterned with the Cu reference) whose local linewidth bias
+/// comes from the die's growth/process variation.
+std::vector<Measurement> measure_die(const std::vector<TestStructure>& layout,
+                                     double linewidth_bias_nm,
+                                     const TesterSpec& tester,
+                                     numerics::Rng& rng);
+
+/// Full-wafer characterization: per-structure summary + die yield.
+struct WaferCharacterization {
+  std::vector<std::string> structure_names;
+  std::vector<numerics::Summary> value_summary;
+  double die_yield = 1.0;
+};
+
+WaferCharacterization characterize_wafer(
+    const process::WaferMap& wafer,
+    const std::vector<TestStructure>& layout, const TesterSpec& tester);
+
+}  // namespace cnti::charz

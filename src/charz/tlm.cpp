@@ -1,0 +1,47 @@
+#include "charz/tlm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cnti::charz {
+
+std::vector<TlmSample> generate_tlm_data(const TlmGroundTruth& truth,
+                                         const std::vector<double>& lengths_um,
+                                         numerics::Rng& rng) {
+  CNTI_EXPECTS(!lengths_um.empty(), "need at least one length");
+  std::vector<TlmSample> out;
+  out.reserve(lengths_um.size());
+  for (double l : lengths_um) {
+    CNTI_EXPECTS(l > 0, "length must be positive");
+    const double ideal = 2.0 * truth.contact_resistance_kohm +
+                         truth.resistance_per_um_kohm * l;
+    const double noisy =
+        ideal * (1.0 + rng.normal(0.0, truth.measurement_noise_fraction));
+    out.push_back({l, noisy});
+  }
+  return out;
+}
+
+TlmExtraction extract_tlm(const std::vector<TlmSample>& samples) {
+  CNTI_EXPECTS(samples.size() >= 3, "TLM needs >= 3 structures");
+  std::vector<double> x, y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    x.push_back(s.length_um);
+    y.push_back(s.resistance_kohm);
+  }
+  const auto fit = numerics::fit_line(x, y);
+  CNTI_EXPECTS(fit.slope > 0, "TLM fit produced non-physical slope");
+
+  TlmExtraction out;
+  out.contact_resistance_kohm = fit.intercept / 2.0;
+  out.contact_stderr_kohm = fit.intercept_stderr / 2.0;
+  out.resistance_per_um_kohm = fit.slope;
+  out.slope_stderr_kohm = fit.slope_stderr;
+  out.r_squared = fit.r_squared;
+  return out;
+}
+
+}  // namespace cnti::charz

@@ -1,0 +1,44 @@
+// Transmission-line-measurement (TLM) extraction (paper Sec. IV.B, ref
+// [23]): contact MWCNTs of several lengths, measure total resistance,
+// regress R(L) = 2 R_c + r L to split contact resistance from the CNT
+// resistance per unit length.
+#pragma once
+
+#include <vector>
+
+#include "numerics/leastsq.hpp"
+#include "numerics/rng.hpp"
+
+namespace cnti::charz {
+
+/// One TLM structure: a tube segment of known length with two contacts.
+struct TlmSample {
+  double length_um = 1.0;
+  double resistance_kohm = 0.0;
+};
+
+/// Ground truth used to synthesize virtual measurements.
+struct TlmGroundTruth {
+  double contact_resistance_kohm = 20.0;  ///< Per contact.
+  double resistance_per_um_kohm = 6.0;
+  double measurement_noise_fraction = 0.02;  ///< Relative rms noise.
+};
+
+/// Generates a virtual TLM data set at the given segment lengths.
+std::vector<TlmSample> generate_tlm_data(const TlmGroundTruth& truth,
+                                         const std::vector<double>& lengths_um,
+                                         numerics::Rng& rng);
+
+/// Extraction result with standard errors from the fit.
+struct TlmExtraction {
+  double contact_resistance_kohm = 0.0;  ///< Per contact (intercept / 2).
+  double contact_stderr_kohm = 0.0;
+  double resistance_per_um_kohm = 0.0;
+  double slope_stderr_kohm = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Least-squares TLM extraction; requires >= 3 distinct lengths.
+TlmExtraction extract_tlm(const std::vector<TlmSample>& samples);
+
+}  // namespace cnti::charz

@@ -1,0 +1,151 @@
+#include "circuit/ac.hpp"
+
+#include <cmath>
+
+#include "numerics/matrix.hpp"
+
+namespace cnti::circuit {
+
+namespace {
+
+using numerics::MatrixC;
+using std::complex;
+
+/// Complex MNA solve at one angular frequency; returns the full unknown
+/// vector (node voltages then vsource branch currents).
+std::vector<complex<double>> solve_at(const Circuit& ckt, double omega,
+                                      std::size_t driven_source) {
+  const int n_nodes = ckt.node_count();
+  const std::size_t nv = ckt.vsources().size();
+  const std::size_t size = static_cast<std::size_t>(n_nodes) + nv;
+  MatrixC a(size, size);
+  std::vector<complex<double>> b(size, complex<double>(0.0, 0.0));
+
+  const auto idx = [](NodeId n) { return static_cast<std::size_t>(n - 1); };
+  const auto stamp_admittance = [&](NodeId p, NodeId q,
+                                    complex<double> y) {
+    if (p != 0) a(idx(p), idx(p)) += y;
+    if (q != 0) a(idx(q), idx(q)) += y;
+    if (p != 0 && q != 0) {
+      a(idx(p), idx(q)) -= y;
+      a(idx(q), idx(p)) -= y;
+    }
+  };
+
+  // g_min keeps floating nodes solvable, matching the transient engine.
+  for (int n = 1; n <= n_nodes; ++n) {
+    a(idx(n), idx(n)) += complex<double>(1e-12, 0.0);
+  }
+  for (const auto& r : ckt.resistors()) {
+    stamp_admittance(r.a, r.b, complex<double>(1.0 / r.ohms, 0.0));
+  }
+  for (const auto& c : ckt.capacitors()) {
+    stamp_admittance(c.a, c.b, complex<double>(0.0, omega * c.farads));
+  }
+  for (const auto& l : ckt.inductors()) {
+    // Series admittance 1/(jwL); at w = 0 treat as a large conductance.
+    const complex<double> y =
+        (omega > 0) ? complex<double>(0.0, -1.0 / (omega * l.henries))
+                    : complex<double>(1e9, 0.0);
+    stamp_admittance(l.a, l.b, y);
+  }
+  for (std::size_t k = 0; k < nv; ++k) {
+    const auto& v = ckt.vsources()[k];
+    const std::size_t br = static_cast<std::size_t>(n_nodes) + k;
+    if (v.plus != 0) {
+      a(idx(v.plus), br) += 1.0;
+      a(br, idx(v.plus)) += 1.0;
+    }
+    if (v.minus != 0) {
+      a(idx(v.minus), br) -= 1.0;
+      a(br, idx(v.minus)) -= 1.0;
+    }
+    b[br] = (k == driven_source) ? complex<double>(1.0, 0.0)
+                                 : complex<double>(0.0, 0.0);
+  }
+  for (const auto& i : ckt.isources()) {
+    (void)i;  // AC: independent current sources zeroed.
+  }
+  return numerics::LuFactorization<complex<double>>(a).solve(b);
+}
+
+std::size_t find_source(const Circuit& ckt, const std::string& name) {
+  for (std::size_t k = 0; k < ckt.vsources().size(); ++k) {
+    if (ckt.vsources()[k].name == name) return k;
+  }
+  throw PreconditionError("AC: unknown voltage source: " + name);
+}
+
+}  // namespace
+
+AcResult ac_analysis(const Circuit& ckt, const std::string& source_name,
+                     NodeId observe, const std::vector<double>& freqs_hz) {
+  CNTI_EXPECTS(ckt.mosfets().empty(),
+               "AC analysis supports linear circuits only");
+  CNTI_EXPECTS(!freqs_hz.empty(), "need at least one frequency");
+  const std::size_t src = find_source(ckt, source_name);
+
+  AcResult out;
+  out.frequency_hz = freqs_hz;
+  out.transfer.reserve(freqs_hz.size());
+  for (double f : freqs_hz) {
+    CNTI_EXPECTS(f >= 0, "negative frequency");
+    const auto x = solve_at(ckt, 2.0 * M_PI * f, src);
+    const complex<double> v =
+        (observe == 0)
+            ? complex<double>(0.0, 0.0)
+            : x[static_cast<std::size_t>(observe - 1)];
+    out.transfer.push_back(v);
+  }
+  return out;
+}
+
+std::vector<double> log_frequency_grid(double f_start_hz, double f_stop_hz,
+                                       int points_per_decade) {
+  CNTI_EXPECTS(f_start_hz > 0 && f_stop_hz > f_start_hz,
+               "invalid frequency range");
+  CNTI_EXPECTS(points_per_decade >= 1, "need >= 1 point per decade");
+  std::vector<double> out;
+  const double decades = std::log10(f_stop_hz / f_start_hz);
+  const int n = static_cast<int>(std::ceil(decades * points_per_decade));
+  for (int i = 0; i <= n; ++i) {
+    out.push_back(f_start_hz *
+                  std::pow(10.0, decades * i / std::max(1, n)));
+  }
+  return out;
+}
+
+double bandwidth_3db(const AcResult& result) {
+  CNTI_EXPECTS(result.transfer.size() >= 2, "need a swept response");
+  const double dc = std::abs(result.transfer.front());
+  CNTI_EXPECTS(dc > 0, "zero DC response");
+  const double target = dc / std::sqrt(2.0);
+  for (std::size_t i = 1; i < result.transfer.size(); ++i) {
+    const double m0 = std::abs(result.transfer[i - 1]);
+    const double m1 = std::abs(result.transfer[i]);
+    if (m0 >= target && m1 < target) {
+      // Log-linear interpolation between grid points.
+      const double f0 = result.frequency_hz[i - 1];
+      const double f1 = result.frequency_hz[i];
+      const double t = (m0 - target) / (m0 - m1);
+      return f0 * std::pow(f1 / f0, t);
+    }
+  }
+  return -1.0;
+}
+
+std::complex<double> input_impedance(const Circuit& ckt,
+                                     const std::string& source_name,
+                                     double frequency_hz) {
+  CNTI_EXPECTS(ckt.mosfets().empty(),
+               "AC analysis supports linear circuits only");
+  const std::size_t src = find_source(ckt, source_name);
+  const auto x = solve_at(ckt, 2.0 * M_PI * frequency_hz, src);
+  const std::complex<double> i_branch =
+      x[static_cast<std::size_t>(ckt.node_count()) + src];
+  CNTI_EXPECTS(std::abs(i_branch) > 1e-30, "source sees an open circuit");
+  // Branch current flows from + through the source; Zin = V / (-I).
+  return -1.0 / i_branch;
+}
+
+}  // namespace cnti::circuit

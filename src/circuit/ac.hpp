@@ -1,0 +1,51 @@
+// Small-signal AC analysis (complex MNA): transfer functions, input
+// impedance and bandwidth of interconnect networks. This is where the
+// CNT-specific kinetic inductance (16 nH/um per channel) becomes visible —
+// the time-domain delay benches barely feel it, but the frequency response
+// does.
+//
+// Scope: linear networks (R, C, L, V, I). Circuits containing MOSFETs are
+// rejected — linearize them externally first.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace cnti::circuit {
+
+/// Transfer function H(jw) = V(observe) / V(source) over a frequency grid,
+/// with every other independent source zeroed.
+struct AcResult {
+  std::vector<double> frequency_hz;
+  std::vector<std::complex<double>> transfer;
+
+  double magnitude_db(std::size_t i) const {
+    return 20.0 * std::log10(std::abs(transfer[i]));
+  }
+  double phase_deg(std::size_t i) const {
+    return std::arg(transfer[i]) * 180.0 / M_PI;
+  }
+};
+
+/// Runs AC analysis driving the named voltage source with unit amplitude.
+/// Throws PreconditionError on nonlinear circuits or unknown sources.
+AcResult ac_analysis(const Circuit& ckt, const std::string& source_name,
+                     NodeId observe, const std::vector<double>& freqs_hz);
+
+/// Logarithmic frequency grid helper [Hz].
+std::vector<double> log_frequency_grid(double f_start_hz, double f_stop_hz,
+                                       int points_per_decade = 10);
+
+/// -3 dB bandwidth of a low-pass transfer function; returns a negative
+/// value when the response never drops 3 dB below its DC value.
+double bandwidth_3db(const AcResult& result);
+
+/// Complex input impedance seen by the named source at one frequency.
+std::complex<double> input_impedance(const Circuit& ckt,
+                                     const std::string& source_name,
+                                     double frequency_hz);
+
+}  // namespace cnti::circuit

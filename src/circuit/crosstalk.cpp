@@ -1,0 +1,117 @@
+#include "circuit/crosstalk.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+#include "numerics/interp.hpp"
+
+namespace cnti::circuit {
+
+CrosstalkResult analyze_crosstalk(const CrosstalkConfig& cfg,
+                                  int time_steps) {
+  CNTI_EXPECTS(cfg.segments >= 2, "need at least two segments");
+  CNTI_EXPECTS(cfg.length_m > 0, "length must be positive");
+  CNTI_EXPECTS(cfg.coupling_cap_per_m >= 0, "coupling must be >= 0");
+
+  Circuit ckt;
+  const NodeId agg_in = ckt.node("agg_in");
+  const NodeId vic_far = ckt.node("vic_far");
+  const NodeId agg_far = ckt.node("agg_far");
+  const NodeId agg_drv = ckt.node("agg_drv");
+  const NodeId vic_drv = ckt.node("vic_drv");
+
+  // Aggressor: pulse source behind its driver resistance.
+  PulseWave pulse;
+  pulse.v1 = 0.0;
+  pulse.v2 = cfg.vdd_v;
+  pulse.delay_s = 5.0 * cfg.edge_time_s;
+  pulse.rise_s = cfg.edge_time_s;
+  pulse.fall_s = cfg.edge_time_s;
+  pulse.width_s = 1.0;  // single edge within the window
+  pulse.period_s = 2.0;
+  ckt.add_vsource("vagg", agg_in, 0, pulse);
+  ckt.add_resistor("ragg", agg_in, agg_drv, cfg.aggressor_driver_ohm);
+  // Victim: held at ground through its driver.
+  ckt.add_resistor("rvic", 0, vic_drv, cfg.victim_driver_ohm);
+
+  // Build the two ladders with per-node coupling.
+  const auto seg_v =
+      core::discretize_line(cfg.victim, cfg.length_m, cfg.segments);
+  const auto seg_a =
+      core::discretize_line(cfg.aggressor, cfg.length_m, cfg.segments);
+  const double cc_per_seg =
+      cfg.coupling_cap_per_m * cfg.length_m / cfg.segments;
+  const double rv_end = cfg.victim.series_resistance_ohm / 2.0;
+  const double ra_end = cfg.aggressor.series_resistance_ohm / 2.0;
+
+  NodeId v_prev = vic_drv, a_prev = agg_drv;
+  if (rv_end > 0) {
+    const NodeId n = ckt.node("v_c1");
+    ckt.add_resistor("rvc1", v_prev, n, rv_end);
+    v_prev = n;
+  }
+  if (ra_end > 0) {
+    const NodeId n = ckt.node("a_c1");
+    ckt.add_resistor("rac1", a_prev, n, ra_end);
+    a_prev = n;
+  }
+  for (int s = 0; s < cfg.segments; ++s) {
+    const std::string is = std::to_string(s);
+    const NodeId vn = ckt.node("v" + is);
+    const NodeId an = ckt.node("a" + is);
+    ckt.add_resistor("rv" + is, v_prev, vn,
+                     seg_v[static_cast<std::size_t>(s)].resistance_ohm);
+    ckt.add_resistor("ra" + is, a_prev, an,
+                     seg_a[static_cast<std::size_t>(s)].resistance_ohm);
+    const double cv = seg_v[static_cast<std::size_t>(s)].capacitance_f;
+    const double ca = seg_a[static_cast<std::size_t>(s)].capacitance_f;
+    ckt.add_capacitor("cv" + is, vn, 0, cv);
+    ckt.add_capacitor("ca" + is, an, 0, ca);
+    if (cc_per_seg > 0) {
+      ckt.add_capacitor("cc" + is, vn, an, cc_per_seg);
+    }
+    v_prev = vn;
+    a_prev = an;
+  }
+  if (rv_end > 0) {
+    ckt.add_resistor("rvc2", v_prev, vic_far, rv_end);
+  } else {
+    ckt.add_resistor("rvc2", v_prev, vic_far, 1.0);
+  }
+  if (ra_end > 0) {
+    ckt.add_resistor("rac2", a_prev, agg_far, ra_end);
+  } else {
+    ckt.add_resistor("rac2", a_prev, agg_far, 1.0);
+  }
+  // Receiver loads.
+  ckt.add_capacitor("clv", vic_far, 0, 0.2e-15);
+  ckt.add_capacitor("cla", agg_far, 0, 0.2e-15);
+
+  // Simulation window: enough for the aggressor edge to settle.
+  const double tau =
+      (cfg.aggressor_driver_ohm +
+       cfg.aggressor.series_resistance_ohm +
+       cfg.aggressor.resistance_per_m * cfg.length_m) *
+      (cfg.aggressor.capacitance_per_m +
+       cfg.coupling_cap_per_m) * cfg.length_m;
+  TransientOptions opt;
+  opt.t_stop_s = std::max(20.0 * cfg.edge_time_s, 12.0 * tau);
+  opt.dt_s = opt.t_stop_s / time_steps;
+  const TransientResult res = simulate_transient(ckt, opt);
+
+  CrosstalkResult out;
+  const auto& t = res.time();
+  const auto& vn = res.voltage(vic_far);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (std::abs(vn[i]) > std::abs(out.peak_noise_v)) {
+      out.peak_noise_v = vn[i];
+      out.peak_time_s = t[i];
+    }
+  }
+  out.aggressor_delay_s = numerics::first_crossing_time(
+      t, res.voltage(agg_far), cfg.vdd_v / 2.0, /*rising=*/true);
+  return out;
+}
+
+}  // namespace cnti::circuit

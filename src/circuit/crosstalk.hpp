@@ -1,0 +1,40 @@
+// Coupled-line crosstalk analysis: the circuit-level counterpart of the
+// TCAD Fig. 10 cross-talk extraction. An aggressor line switches next to
+// a quiet victim; both are distributed RC lines coupled segment-by-segment
+// through the extracted (or analytic) coupling capacitance. Reports the
+// victim noise peak — the signal-integrity metric that decides whether a
+// lower-C CNT line buys noise margin.
+#pragma once
+
+#include "circuit/mna.hpp"
+#include "core/line_model.hpp"
+
+namespace cnti::circuit {
+
+struct CrosstalkConfig {
+  core::LineRlc victim;
+  core::LineRlc aggressor;
+  /// Coupling capacitance per metre between the two lines [F/m]
+  /// (e.g. -C_ij from tcad::extract_capacitance divided by line length).
+  double coupling_cap_per_m = 20e-12;
+  double length_m = 100e-6;
+  int segments = 16;
+  /// Holding resistance of the victim driver and drive resistance of the
+  /// switching aggressor [Ohm].
+  double victim_driver_ohm = 5e3;
+  double aggressor_driver_ohm = 5e3;
+  double vdd_v = 1.0;
+  double edge_time_s = 20e-12;
+};
+
+struct CrosstalkResult {
+  double peak_noise_v = 0.0;       ///< At the victim far end.
+  double peak_time_s = 0.0;
+  double aggressor_delay_s = 0.0;  ///< 50% delay of the aggressor itself.
+};
+
+/// Builds the coupled ladder, runs the MNA transient, measures the noise.
+CrosstalkResult analyze_crosstalk(const CrosstalkConfig& config,
+                                  int time_steps = 2500);
+
+}  // namespace cnti::circuit

@@ -1,0 +1,62 @@
+// Modified nodal analysis engine: DC operating point (Newton with g_min
+// stepping) and fixed-step transient (backward Euler or trapezoidal, Newton
+// per step). Dense LU is used — the paper's benchmark circuits (inverter
+// chains driving segmented MWCNT lines) stay below a few hundred unknowns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "numerics/matrix.hpp"
+
+namespace cnti::circuit {
+
+/// DC operating point.
+struct DcResult {
+  std::vector<double> node_voltages;    ///< [0] = ground = 0.
+  std::vector<double> vsource_currents;
+  std::vector<double> inductor_currents;
+  int newton_iterations = 0;
+};
+
+DcResult solve_dc(const Circuit& ckt, double time_s = 0.0);
+
+enum class Integrator { kBackwardEuler, kTrapezoidal };
+
+struct TransientOptions {
+  double t_stop_s = 1e-9;
+  double dt_s = 1e-12;
+  Integrator integrator = Integrator::kTrapezoidal;
+  int max_newton_iterations = 100;
+  double newton_tolerance = 1e-9;
+};
+
+/// Transient waveforms for every node (indexed by NodeId; ground included
+/// as all-zeros).
+class TransientResult {
+ public:
+  TransientResult(std::vector<double> time,
+                  std::vector<std::vector<double>> voltages)
+      : time_(std::move(time)), voltages_(std::move(voltages)) {}
+
+  const std::vector<double>& time() const { return time_; }
+
+  const std::vector<double>& voltage(NodeId node) const {
+    CNTI_EXPECTS(node >= 0 &&
+                     node < static_cast<NodeId>(voltages_.size()),
+                 "node id out of range");
+    return voltages_[static_cast<std::size_t>(node)];
+  }
+
+  std::size_t steps() const { return time_.size(); }
+
+ private:
+  std::vector<double> time_;
+  std::vector<std::vector<double>> voltages_;  // [node][step]
+};
+
+TransientResult simulate_transient(const Circuit& ckt,
+                                   const TransientOptions& options);
+
+}  // namespace cnti::circuit

@@ -1,0 +1,317 @@
+#include "circuit/spice_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+namespace cnti::circuit {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string tok;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+        c == ')' || c == ',') {
+      if (!tok.empty()) {
+        out.push_back(tok);
+        tok.clear();
+      }
+    } else {
+      tok.push_back(c);
+    }
+  }
+  if (!tok.empty()) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+double parse_spice_number(const std::string& token) {
+  const std::string t = lower(token);
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw ParseError("malformed number: " + token);
+  }
+  const std::string suffix = t.substr(pos);
+  if (suffix.empty()) return value;
+  if (suffix.rfind("meg", 0) == 0) return value * 1e6;
+  switch (suffix[0]) {
+    case 't': return value * 1e12;
+    case 'g': return value * 1e9;
+    case 'k': return value * 1e3;
+    case 'm': return value * 1e-3;
+    case 'u': return value * 1e-6;
+    case 'n': return value * 1e-9;
+    case 'p': return value * 1e-12;
+    case 'f': return value * 1e-15;
+    case 'a': return value * 1e-18;
+    default:
+      // Unit tails like "5ohm", "2v" are tolerated if non-scaling.
+      return value;
+  }
+}
+
+namespace {
+
+Waveform parse_source_wave(const std::vector<std::string>& tok,
+                           std::size_t first) {
+  if (first >= tok.size()) return DcWave{0.0};
+  const std::string head = lower(tok[first]);
+  if (head == "dc") {
+    if (first + 1 >= tok.size()) throw ParseError("DC needs a value");
+    return DcWave{parse_spice_number(tok[first + 1])};
+  }
+  if (head == "pulse") {
+    PulseWave p;
+    const std::size_t n = tok.size() - first - 1;
+    const auto arg = [&](std::size_t i) {
+      return parse_spice_number(tok[first + 1 + i]);
+    };
+    if (n >= 1) p.v1 = arg(0);
+    if (n >= 2) p.v2 = arg(1);
+    if (n >= 3) p.delay_s = arg(2);
+    if (n >= 4) p.rise_s = arg(3);
+    if (n >= 5) p.fall_s = arg(4);
+    if (n >= 6) p.width_s = arg(5);
+    if (n >= 7) p.period_s = arg(6);
+    return p;
+  }
+  if (head == "pwl") {
+    PwlWave p;
+    for (std::size_t i = first + 1; i + 1 < tok.size(); i += 2) {
+      p.points.emplace_back(parse_spice_number(tok[i]),
+                            parse_spice_number(tok[i + 1]));
+    }
+    if (p.points.empty()) throw ParseError("PWL needs points");
+    return p;
+  }
+  if (head == "sin") {
+    SineWave s;
+    const std::size_t n = tok.size() - first - 1;
+    const auto arg = [&](std::size_t i) {
+      return parse_spice_number(tok[first + 1 + i]);
+    };
+    if (n >= 1) s.offset = arg(0);
+    if (n >= 2) s.amplitude = arg(1);
+    if (n >= 3) s.frequency_hz = arg(2);
+    if (n >= 4) s.delay_s = arg(3);
+    return s;
+  }
+  // Bare value = DC.
+  return DcWave{parse_spice_number(tok[first])};
+}
+
+MosfetParams parse_mosfet_params(const std::vector<std::string>& tok,
+                                 std::size_t first, bool is_pmos) {
+  MosfetParams p;
+  p.is_pmos = is_pmos;
+  if (is_pmos) {
+    p.vt_v = -0.3;
+    p.kp_a_per_v2 = 225e-6;
+  }
+  for (std::size_t i = first; i < tok.size(); ++i) {
+    const std::string t = lower(tok[i]);
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = t.substr(0, eq);
+    const double val = parse_spice_number(t.substr(eq + 1));
+    if (key == "w") p.width_m = val;
+    else if (key == "l") p.length_m = val;
+    else if (key == "vt") p.vt_v = val;
+    else if (key == "kp") p.kp_a_per_v2 = val;
+    else if (key == "lambda") p.lambda_per_v = val;
+    else if (key == "cgs") p.cgs_f = val;
+    else if (key == "cgd") p.cgd_f = val;
+  }
+  return p;
+}
+
+}  // namespace
+
+ParsedNetlist parse_spice(const std::string& text) {
+  ParsedNetlist out;
+  std::istringstream in(text);
+  std::string line;
+  bool first_line = true;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    if (first_line) {
+      out.title = line;
+      first_line = false;
+      continue;
+    }
+    if (ended) break;
+    // Strip comments.
+    if (!line.empty() && line[0] == '*') continue;
+    const auto semi = line.find(';');
+    if (semi != std::string::npos) line = line.substr(0, semi);
+    const auto tok = tokenize(line);
+    if (tok.empty()) continue;
+
+    const std::string head = lower(tok[0]);
+    Circuit& ckt = out.circuit;
+    const auto node = [&](std::size_t i) {
+      if (i >= tok.size()) throw ParseError("missing node in: " + line);
+      return ckt.node(lower(tok[i]));
+    };
+
+    if (head[0] == '.') {
+      if (head == ".end") {
+        ended = true;
+      } else if (head == ".tran") {
+        if (tok.size() < 3) throw ParseError(".tran needs dt and tstop");
+        TransientOptions t;
+        t.dt_s = parse_spice_number(tok[1]);
+        t.t_stop_s = parse_spice_number(tok[2]);
+        out.tran = t;
+      }
+      // Other dot-cards ignored.
+      continue;
+    }
+    switch (head[0]) {
+      case 'r':
+        if (tok.size() < 4) throw ParseError("R card: " + line);
+        ckt.add_resistor(tok[0], node(1), node(2),
+                         parse_spice_number(tok[3]));
+        break;
+      case 'c':
+        if (tok.size() < 4) throw ParseError("C card: " + line);
+        ckt.add_capacitor(tok[0], node(1), node(2),
+                          parse_spice_number(tok[3]));
+        break;
+      case 'l':
+        if (tok.size() < 4) throw ParseError("L card: " + line);
+        ckt.add_inductor(tok[0], node(1), node(2),
+                         parse_spice_number(tok[3]));
+        break;
+      case 'v':
+        if (tok.size() < 3) throw ParseError("V card: " + line);
+        ckt.add_vsource(tok[0], node(1), node(2),
+                        parse_source_wave(tok, 3));
+        break;
+      case 'i':
+        if (tok.size() < 3) throw ParseError("I card: " + line);
+        ckt.add_isource(tok[0], node(1), node(2),
+                        parse_source_wave(tok, 3));
+        break;
+      case 'm': {
+        // Mname drain gate source [bulk] NMOS|PMOS key=value...
+        if (tok.size() < 5) throw ParseError("M card: " + line);
+        // Find the model token (nmos/pmos); bulk node optional before it.
+        std::size_t model_idx = 0;
+        bool is_pmos = false;
+        for (std::size_t i = 4; i < tok.size(); ++i) {
+          const std::string t = lower(tok[i]);
+          if (t == "nmos" || t == "pmos") {
+            model_idx = i;
+            is_pmos = (t == "pmos");
+            break;
+          }
+        }
+        if (model_idx == 0) throw ParseError("M card needs NMOS/PMOS");
+        ckt.add_mosfet(tok[0], node(1), node(2), node(3),
+                       parse_mosfet_params(tok, model_idx + 1, is_pmos));
+        break;
+      }
+      default:
+        throw ParseError("unsupported card: " + line);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string wave_to_string(const Waveform& w) {
+  std::ostringstream os;
+  std::visit(
+      [&os](const auto& wave) {
+        using T = std::decay_t<decltype(wave)>;
+        if constexpr (std::is_same_v<T, DcWave>) {
+          os << "DC " << wave.value;
+        } else if constexpr (std::is_same_v<T, PulseWave>) {
+          os << "PULSE(" << wave.v1 << " " << wave.v2 << " " << wave.delay_s
+             << " " << wave.rise_s << " " << wave.fall_s << " "
+             << wave.width_s << " " << wave.period_s << ")";
+        } else if constexpr (std::is_same_v<T, PwlWave>) {
+          os << "PWL(";
+          for (std::size_t i = 0; i < wave.points.size(); ++i) {
+            os << (i ? " " : "") << wave.points[i].first << " "
+               << wave.points[i].second;
+          }
+          os << ")";
+        } else {
+          os << "SIN(" << wave.offset << " " << wave.amplitude << " "
+             << wave.frequency_hz << " " << wave.delay_s << ")";
+        }
+      },
+      w);
+  return os.str();
+}
+
+}  // namespace
+
+std::string write_spice(const Circuit& ckt, const std::string& title,
+                        const std::optional<TransientOptions>& tran) {
+  std::ostringstream os;
+  os << std::setprecision(17);  // lossless round-trip of double values
+  os << title << "\n";
+  const auto n = [&](NodeId id) { return ckt.node_name(id); };
+  // SPICE cards dispatch on the first letter of the element name, so the
+  // writer enforces the type prefix when the stored name lacks it.
+  const auto card = [](char type, const std::string& name) {
+    if (!name.empty() &&
+        std::tolower(static_cast<unsigned char>(name[0])) ==
+            std::tolower(static_cast<unsigned char>(type))) {
+      return name;
+    }
+    return std::string(1, type) + "_" + name;
+  };
+  for (const auto& r : ckt.resistors()) {
+    os << card('R', r.name) << " " << n(r.a) << " " << n(r.b) << " "
+       << r.ohms << "\n";
+  }
+  for (const auto& c : ckt.capacitors()) {
+    os << card('C', c.name) << " " << n(c.a) << " " << n(c.b) << " "
+       << c.farads << "\n";
+  }
+  for (const auto& l : ckt.inductors()) {
+    os << card('L', l.name) << " " << n(l.a) << " " << n(l.b) << " "
+       << l.henries << "\n";
+  }
+  for (const auto& v : ckt.vsources()) {
+    os << card('V', v.name) << " " << n(v.plus) << " " << n(v.minus) << " "
+       << wave_to_string(v.wave) << "\n";
+  }
+  for (const auto& i : ckt.isources()) {
+    os << card('I', i.name) << " " << n(i.plus) << " " << n(i.minus) << " "
+       << wave_to_string(i.wave) << "\n";
+  }
+  for (const auto& m : ckt.mosfets()) {
+    const auto& p = m.params;
+    os << card('M', m.name) << " " << n(m.drain) << " " << n(m.gate) << " "
+       << n(m.source) << " " << (p.is_pmos ? "PMOS" : "NMOS")
+       << " W=" << p.width_m << " L=" << p.length_m << " VT=" << p.vt_v
+       << " KP=" << p.kp_a_per_v2 << " LAMBDA=" << p.lambda_per_v
+       << " CGS=0 CGD=0\n";
+  }
+  if (tran) {
+    os << ".tran " << tran->dt_s << " " << tran->t_stop_s << "\n";
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace cnti::circuit

@@ -1,0 +1,34 @@
+// SPICE-subset netlist reader/writer. The TCAD extractor exports RC
+// netlists "in a SPICE-like format for circuit-level simulation" (paper
+// Sec. III.B); this module round-trips that format into the MNA engine.
+//
+// Supported cards: R/C/L/V/I/M elements, PULSE/PWL/SIN sources, engineering
+// suffixes (f p n u m k meg g t), '*' comments, .tran, .end.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+
+namespace cnti::circuit {
+
+/// Parses an engineering-notation number ("1.5k", "10f", "2meg").
+/// Throws ParseError on malformed input.
+double parse_spice_number(const std::string& token);
+
+struct ParsedNetlist {
+  Circuit circuit;
+  std::string title;
+  std::optional<TransientOptions> tran;
+};
+
+/// Parses a SPICE-subset netlist. The first line is the title card.
+ParsedNetlist parse_spice(const std::string& text);
+
+/// Serializes a circuit to the same subset (sources as PULSE/PWL/DC).
+std::string write_spice(const Circuit& ckt, const std::string& title,
+                        const std::optional<TransientOptions>& tran = {});
+
+}  // namespace cnti::circuit

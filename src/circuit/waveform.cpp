@@ -1,0 +1,64 @@
+#include "circuit/waveform.hpp"
+
+#include <algorithm>
+
+namespace cnti::circuit {
+
+namespace {
+
+double pulse_value(const PulseWave& p, double t) {
+  if (t < p.delay_s) return p.v1;
+  double tl = t - p.delay_s;
+  if (p.period_s > 0) tl = std::fmod(tl, p.period_s);
+  if (tl < p.rise_s) {
+    return p.v1 + (p.v2 - p.v1) * tl / p.rise_s;
+  }
+  if (tl < p.rise_s + p.width_s) return p.v2;
+  if (tl < p.rise_s + p.width_s + p.fall_s) {
+    const double f = (tl - p.rise_s - p.width_s) / p.fall_s;
+    return p.v2 + (p.v1 - p.v2) * f;
+  }
+  return p.v1;
+}
+
+double pwl_value(const PwlWave& p, double t) {
+  CNTI_EXPECTS(!p.points.empty(), "PWL needs at least one point");
+  if (t <= p.points.front().first) return p.points.front().second;
+  if (t >= p.points.back().first) return p.points.back().second;
+  for (std::size_t i = 1; i < p.points.size(); ++i) {
+    if (t <= p.points[i].first) {
+      const auto& [t0, v0] = p.points[i - 1];
+      const auto& [t1, v1] = p.points[i];
+      const double f = (t - t0) / (t1 - t0);
+      return v0 + f * (v1 - v0);
+    }
+  }
+  return p.points.back().second;
+}
+
+}  // namespace
+
+double waveform_value(const Waveform& w, double time_s) {
+  const double t = std::max(0.0, time_s);
+  return std::visit(
+      [t](const auto& wave) -> double {
+        using T = std::decay_t<decltype(wave)>;
+        if constexpr (std::is_same_v<T, DcWave>) {
+          return wave.value;
+        } else if constexpr (std::is_same_v<T, PulseWave>) {
+          return pulse_value(wave, t);
+        } else if constexpr (std::is_same_v<T, PwlWave>) {
+          return pwl_value(wave, t);
+        } else {
+          return t < wave.delay_s
+                     ? wave.offset
+                     : wave.offset +
+                           wave.amplitude *
+                               std::sin(2.0 * M_PI * wave.frequency_hz *
+                                        (t - wave.delay_s));
+        }
+      },
+      w);
+}
+
+}  // namespace cnti::circuit

@@ -1,0 +1,45 @@
+// Source waveforms for the MNA engine: DC, pulse (SPICE PULSE semantics),
+// piecewise-linear and sine.
+#pragma once
+
+#include <cmath>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cnti::circuit {
+
+struct DcWave {
+  double value = 0.0;
+};
+
+/// SPICE PULSE(v1 v2 td tr tf pw per).
+struct PulseWave {
+  double v1 = 0.0;
+  double v2 = 1.0;
+  double delay_s = 0.0;
+  double rise_s = 10e-12;
+  double fall_s = 10e-12;
+  double width_s = 1e-9;
+  double period_s = 2e-9;
+};
+
+/// Piecewise-linear (time, value) points; clamps outside the range.
+struct PwlWave {
+  std::vector<std::pair<double, double>> points;
+};
+
+struct SineWave {
+  double offset = 0.0;
+  double amplitude = 1.0;
+  double frequency_hz = 1e9;
+  double delay_s = 0.0;
+};
+
+using Waveform = std::variant<DcWave, PulseWave, PwlWave, SineWave>;
+
+/// Value of the waveform at time t (t < 0 treated as t = 0).
+double waveform_value(const Waveform& w, double time_s);
+
+}  // namespace cnti::circuit

@@ -1,0 +1,116 @@
+// Physical constants and CNT-interconnect reference values used across the
+// cnti library. SI units throughout unless a suffix says otherwise.
+//
+// The CNT-specific constants mirror the values quoted in Uhlig et al.,
+// "Progress on Carbon Nanotube BEOL Interconnects", DATE 2018 (Sec. I and
+// Sec. III.C) and its compact-model references (Naeemi & Meindl, EDL 2006;
+// Li et al., TED 2008).
+#pragma once
+
+namespace cnti {
+
+// ---------------------------------------------------------------------------
+// Fundamental constants (2019 SI exact values where applicable).
+// ---------------------------------------------------------------------------
+namespace phys {
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+/// Planck constant [J s].
+inline constexpr double kPlanck = 6.62607015e-34;
+/// Reduced Planck constant [J s].
+inline constexpr double kHbar = 1.054571817e-34;
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+/// Vacuum permittivity [F/m].
+inline constexpr double kEpsilon0 = 8.8541878128e-12;
+/// Vacuum permeability [H/m].
+inline constexpr double kMu0 = 1.25663706212e-6;
+/// Electron volt [J].
+inline constexpr double kElectronVolt = kElementaryCharge;
+/// Room temperature used throughout the paper [K].
+inline constexpr double kRoomTemperature = 300.0;
+
+/// Conductance quantum G0 = 2 e^2 / h [S] (one spin-degenerate channel).
+/// The paper quotes 0.077 mS; the exact value is 77.48 uS.
+inline constexpr double kConductanceQuantum =
+    2.0 * kElementaryCharge * kElementaryCharge / kPlanck;
+
+/// Resistance quantum h / (2 e^2) = 1/G0 [Ohm] (~12.906 kOhm, paper: 12.9k).
+inline constexpr double kResistanceQuantum = 1.0 / kConductanceQuantum;
+
+}  // namespace phys
+
+// ---------------------------------------------------------------------------
+// Carbon / CNT material constants.
+// ---------------------------------------------------------------------------
+namespace cntconst {
+
+/// Graphene C-C bond length [m].
+inline constexpr double kCcBond = 0.142e-9;
+/// Graphene lattice constant a = sqrt(3) * a_cc [m].
+inline constexpr double kGrapheneLattice = 0.24595e-9;
+/// Nearest-neighbour tight-binding hopping energy gamma0 [eV].
+inline constexpr double kHoppingEv = 2.7;
+/// Van der Waals inter-shell spacing in MWCNTs [m].
+inline constexpr double kShellSpacing = 0.34e-9;
+/// Fermi velocity of graphene/CNT [m/s].
+inline constexpr double kFermiVelocity = 8.0e5;
+
+/// Quantum capacitance per conducting channel [F/m].
+/// Paper Sec. III.C quotes C_Q,1channel = 96.5 aF/um = 96.5e-12 F/m.
+inline constexpr double kQuantumCapacitancePerChannel = 96.5e-12;
+
+/// Kinetic inductance per conducting channel [H/m], the electromagnetic dual
+/// of kQuantumCapacitancePerChannel: L_K = 1 / (v_F^2 C_Q) ~ 16.2 nH/um.
+inline constexpr double kKineticInductancePerChannel =
+    1.0 / (kFermiVelocity * kFermiVelocity * kQuantumCapacitancePerChannel);
+
+/// Mean-free-path over diameter ratio for metallic CNTs at 300 K
+/// (Naeemi & Meindl compact model, lambda ~ 1000 d).
+inline constexpr double kMfpOverDiameter = 1000.0;
+
+/// Conducting channels per pristine metallic shell (paper: N_c close to 2).
+inline constexpr double kChannelsPerMetallicShell = 2.0;
+
+/// Fraction of CVD-grown CNTs that are semiconducting (paper Sec. II.A).
+inline constexpr double kSemiconductingFraction = 2.0 / 3.0;
+
+/// Maximum sustainable current of a ~1 nm SWCNT [A] (paper: 20-25 uA).
+inline constexpr double kSwcntSaturationCurrent = 25e-6;
+
+/// Breakdown current density of metallic SWCNT bundles [A/m^2]
+/// (paper: ~1e9 A/cm^2).
+inline constexpr double kCntMaxCurrentDensity = 1e13;
+
+/// Thermal conductivity range of SWCNT bundles [W/(m K)] (paper: 3000-10000).
+inline constexpr double kCntThermalConductivityLow = 3000.0;
+inline constexpr double kCntThermalConductivityHigh = 10000.0;
+
+/// Minimum CNT areal density for pure-CNT interconnects [1/m^2]
+/// (paper Sec. I: 0.096 per nm^2, ITRS requirement).
+inline constexpr double kMinCntDensity = 0.096e18;
+
+}  // namespace cntconst
+
+// ---------------------------------------------------------------------------
+// Copper reference values.
+// ---------------------------------------------------------------------------
+namespace cuconst {
+
+/// Bulk Cu resistivity at 300 K [Ohm m].
+inline constexpr double kBulkResistivity = 1.72e-8;
+/// Electron mean free path in Cu at 300 K [m].
+inline constexpr double kMeanFreePath = 39e-9;
+/// Temperature coefficient of resistivity [1/K].
+inline constexpr double kTempCoefficient = 3.9e-3;
+/// EM-limited current density of Cu interconnects [A/m^2] (paper: 1e6 A/cm^2).
+inline constexpr double kEmCurrentDensityLimit = 1e10;
+/// Thermal conductivity of Cu [W/(m K)] (paper: 385).
+inline constexpr double kThermalConductivity = 385.0;
+/// Typical EM activation energy for Cu/low-k [eV].
+inline constexpr double kEmActivationEnergyEv = 0.9;
+
+}  // namespace cuconst
+
+}  // namespace cnti

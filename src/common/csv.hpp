@@ -1,0 +1,39 @@
+// CSV writer for exporting reproduced figure series (one file per figure),
+// so the curves can be plotted with any external tool.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cnti {
+
+/// Streams rows of doubles to a CSV file. The file is flushed/closed by RAII.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& header)
+      : out_(path), columns_(header.size()) {
+    CNTI_EXPECTS(!header.empty(), "csv needs at least one column");
+    if (!out_) {
+      throw std::runtime_error("cannot open CSV file for writing: " + path);
+    }
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      out_ << header[i] << (i + 1 < header.size() ? "," : "\n");
+    }
+  }
+
+  void add_row(const std::vector<double>& values) {
+    CNTI_EXPECTS(values.size() == columns_, "row width must match header");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out_ << values[i] << (i + 1 < values.size() ? "," : "\n");
+    }
+  }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace cnti

@@ -1,0 +1,51 @@
+// Error handling: precondition/postcondition contracts that throw, following
+// Core Guidelines I.6/E.2 (use exceptions for errors that cannot be handled
+// locally). The library is exception-safe by construction (RAII everywhere).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace cnti {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a numerical routine fails to converge or encounters a
+/// singular/ill-conditioned system.
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown on malformed input (e.g. SPICE netlist parse errors).
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(
+    const char* expr, const std::string& msg,
+    const std::source_location loc = std::source_location::current()) {
+  throw PreconditionError(std::string(loc.file_name()) + ":" +
+                          std::to_string(loc.line()) + ": precondition `" +
+                          expr + "` violated: " + msg);
+}
+
+}  // namespace detail
+
+/// Contract check: `CNTI_EXPECTS(x > 0, "x must be positive")`.
+#define CNTI_EXPECTS(cond, msg)                        \
+  do {                                                 \
+    if (!(cond)) {                                     \
+      ::cnti::detail::throw_precondition(#cond, msg);  \
+    }                                                  \
+  } while (false)
+
+}  // namespace cnti

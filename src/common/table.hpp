@@ -1,0 +1,73 @@
+// Minimal ASCII table printer used by the bench binaries to emit the
+// paper-reproduction rows/series in a readable, diffable form.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cnti {
+
+/// Accumulates rows of formatted cells and prints them column-aligned.
+/// Example:
+///   Table t({"D [nm]", "R [kOhm]"});
+///   t.add_row({"10", "36.6"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {
+    CNTI_EXPECTS(!header_.empty(), "table needs at least one column");
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    CNTI_EXPECTS(cells.size() == header_.size(),
+                 "row width must match header width");
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Format a double with the given precision; trims to compact form.
+  static std::string num(double v, int precision = 4) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      width[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row(os, header_, width);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 3;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(os, row, width);
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << row[c];
+      if (c + 1 < row.size()) os << " | ";
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cnti

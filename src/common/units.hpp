@@ -1,0 +1,55 @@
+// Unit-conversion helpers. The library computes in SI; inputs in the
+// literature come in nm/um/aF/eV etc., so conversions are named explicitly
+// to keep call sites self-documenting (Core Guidelines P.1).
+#pragma once
+
+namespace cnti::units {
+
+// Length.
+inline constexpr double from_nm(double v) { return v * 1e-9; }
+inline constexpr double from_um(double v) { return v * 1e-6; }
+inline constexpr double from_mm(double v) { return v * 1e-3; }
+inline constexpr double to_nm(double v) { return v * 1e9; }
+inline constexpr double to_um(double v) { return v * 1e6; }
+
+// Capacitance.
+inline constexpr double from_aF(double v) { return v * 1e-18; }
+inline constexpr double from_fF(double v) { return v * 1e-15; }
+inline constexpr double to_aF(double v) { return v * 1e18; }
+inline constexpr double to_fF(double v) { return v * 1e15; }
+/// aF/um -> F/m.
+inline constexpr double from_aF_per_um(double v) { return v * 1e-12; }
+/// F/m -> aF/um.
+inline constexpr double to_aF_per_um(double v) { return v * 1e12; }
+
+// Resistance / conductance.
+inline constexpr double from_kOhm(double v) { return v * 1e3; }
+inline constexpr double to_kOhm(double v) { return v * 1e-3; }
+inline constexpr double from_mS(double v) { return v * 1e-3; }
+inline constexpr double to_mS(double v) { return v * 1e3; }
+inline constexpr double from_uS(double v) { return v * 1e-6; }
+inline constexpr double to_uS(double v) { return v * 1e6; }
+
+// Current.
+inline constexpr double from_uA(double v) { return v * 1e-6; }
+inline constexpr double to_uA(double v) { return v * 1e6; }
+/// A/cm^2 -> A/m^2.
+inline constexpr double from_A_per_cm2(double v) { return v * 1e4; }
+/// A/m^2 -> A/cm^2.
+inline constexpr double to_A_per_cm2(double v) { return v * 1e-4; }
+
+// Time.
+inline constexpr double from_ps(double v) { return v * 1e-12; }
+inline constexpr double from_ns(double v) { return v * 1e-9; }
+inline constexpr double to_ps(double v) { return v * 1e12; }
+inline constexpr double to_ns(double v) { return v * 1e9; }
+
+// Temperature.
+inline constexpr double celsius_to_kelvin(double c) { return c + 273.15; }
+inline constexpr double kelvin_to_celsius(double k) { return k - 273.15; }
+
+// Inductance.
+inline constexpr double to_nH_per_um(double v) { return v * 1e3; }  // H/m ->
+inline constexpr double from_nH_per_um(double v) { return v * 1e-3; }
+
+}  // namespace cnti::units

@@ -1,0 +1,54 @@
+#include "core/electrostatics.hpp"
+
+#include <cmath>
+
+namespace cnti::core {
+
+double wire_over_plane_capacitance(double radius_m, double center_height_m,
+                                   double eps_r) {
+  CNTI_EXPECTS(radius_m > 0, "radius must be positive");
+  CNTI_EXPECTS(center_height_m > radius_m,
+               "wire centre must be above the plane by more than r");
+  CNTI_EXPECTS(eps_r >= 1.0, "relative permittivity >= 1");
+  return 2.0 * M_PI * phys::kEpsilon0 * eps_r /
+         std::acosh(center_height_m / radius_m);
+}
+
+double wire_between_planes_capacitance(double radius_m, double gap_m,
+                                       double eps_r) {
+  CNTI_EXPECTS(gap_m > 2.0 * radius_m, "planes must clear the wire");
+  return 2.0 * wire_over_plane_capacitance(radius_m, gap_m / 2.0, eps_r);
+}
+
+double wire_to_wire_capacitance(double radius_m, double pitch_m,
+                                double eps_r) {
+  CNTI_EXPECTS(radius_m > 0, "radius must be positive");
+  CNTI_EXPECTS(pitch_m > 2.0 * radius_m, "wires overlap");
+  return M_PI * phys::kEpsilon0 * eps_r /
+         std::acosh(pitch_m / (2.0 * radius_m));
+}
+
+double rectangular_line_capacitance(double width_m, double thickness_m,
+                                    double dielectric_height_m, double eps_r) {
+  CNTI_EXPECTS(width_m > 0 && thickness_m > 0 && dielectric_height_m > 0,
+               "geometry must be positive");
+  // Sakurai-Tamaru-style single-line fit: plate term + fringe term.
+  const double plate = width_m / dielectric_height_m;
+  const double fringe =
+      0.77 + 1.06 * std::pow(width_m / dielectric_height_m, 0.25) +
+      1.06 * std::pow(thickness_m / dielectric_height_m, 0.5) - 0.77;
+  return phys::kEpsilon0 * eps_r * (plate + fringe);
+}
+
+double environment_capacitance(const WireEnvironment& env) {
+  double c = wire_over_plane_capacitance(env.radius_m, env.center_height_m,
+                                         env.eps_r);
+  if (env.neighbor_pitch_m > 0) {
+    c += 2.0 * env.coupling_factor *
+         wire_to_wire_capacitance(env.radius_m, env.neighbor_pitch_m,
+                                  env.eps_r);
+  }
+  return c;
+}
+
+}  // namespace cnti::core

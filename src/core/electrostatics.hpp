@@ -1,0 +1,48 @@
+// Electrostatic capacitance C_E models for interconnect geometries. The
+// paper's Eq. 5 reduces the doped-MWCNT capacitance to C_E (quantum
+// capacitance is far larger and in series), so C_E is what the circuit
+// benchmarks consume. Analytic forms here; the TCAD module extracts the
+// same quantity numerically for arbitrary 3-D structures.
+#pragma once
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace cnti::core {
+
+/// Cylindrical wire of radius r with its axis a height h above a ground
+/// plane, in dielectric eps_r: C' = 2 pi eps / acosh(h / r) [F/m].
+double wire_over_plane_capacitance(double radius_m, double center_height_m,
+                                   double eps_r);
+
+/// Wire centered between two ground planes separated by `gap` (approximated
+/// as two parallel over-plane capacitances) [F/m].
+double wire_between_planes_capacitance(double radius_m, double gap_m,
+                                       double eps_r);
+
+/// Mutual capacitance between two parallel wires of radius r at
+/// centre-to-centre pitch s: C' = pi eps / acosh(s / 2r) [F/m].
+double wire_to_wire_capacitance(double radius_m, double pitch_m,
+                                double eps_r);
+
+/// Parallel-plate estimate for a rectangular line over a plane, with a
+/// fringing term: C' = eps (w/h + 1.1 (t/h)^0.5 fudge) — used for Cu
+/// reference lines [F/m]. w = width, t = thickness, h = dielectric height.
+double rectangular_line_capacitance(double width_m, double thickness_m,
+                                    double dielectric_height_m, double eps_r);
+
+/// Total environment capacitance of a victim wire with a ground plane below
+/// and aggressor wires on both sides (the paper's Fig. 10 cross-talk
+/// configuration): C' = C_plane + 2 * coupling_factor * C_mutual [F/m].
+struct WireEnvironment {
+  double radius_m = 5e-9;
+  double center_height_m = 30e-9;
+  double neighbor_pitch_m = -1.0;  ///< <= 0: no neighbours.
+  double eps_r = 2.5;              ///< low-k default.
+  /// Switching-activity Miller factor applied to neighbour coupling.
+  double coupling_factor = 1.0;
+};
+
+double environment_capacitance(const WireEnvironment& env);
+
+}  // namespace cnti::core

@@ -1,0 +1,47 @@
+#include "core/kpis.hpp"
+
+namespace cnti::core {
+
+double cu_max_current(double width_m, double height_m) {
+  CNTI_EXPECTS(width_m > 0 && height_m > 0, "cross-section positive");
+  return cuconst::kEmCurrentDensityLimit * width_m * height_m;
+}
+
+double cnt_max_current(double diameter_m) {
+  CNTI_EXPECTS(diameter_m > 0, "diameter positive");
+  return cntconst::kSwcntSaturationCurrent * (diameter_m / 1e-9);
+}
+
+double cnts_to_match_cu_current(double cu_width_m, double cu_height_m,
+                                double diameter_m) {
+  return cu_max_current(cu_width_m, cu_height_m) /
+         cnt_max_current(diameter_m);
+}
+
+double ampacity_advantage() {
+  return cntconst::kCntMaxCurrentDensity / cuconst::kEmCurrentDensityLimit;
+}
+
+double thermal_advantage(double quality) {
+  const double k_cnt = cntconst::kCntThermalConductivityLow +
+                       quality * (cntconst::kCntThermalConductivityHigh -
+                                  cntconst::kCntThermalConductivityLow);
+  return k_cnt / cuconst::kThermalConductivity;
+}
+
+double min_density_to_match_cu(const materials::CuLineSpec& cu_spec,
+                               double length_m, double tube_diameter_m,
+                               double metallic_fraction) {
+  CNTI_EXPECTS(metallic_fraction > 0 && metallic_fraction <= 1,
+               "metallic fraction in (0, 1]");
+  const materials::CuLine cu(cu_spec);
+  const double r_cu = cu.resistance(length_m);
+  SwcntSpec tube;
+  tube.diameter_m = tube_diameter_m;
+  const double density_conducting = required_tube_density(
+      r_cu, length_m, cu_spec.width_m * cu_spec.height_m, tube);
+  // Only the metallic fraction conducts: need proportionally more tubes.
+  return density_conducting / metallic_fraction;
+}
+
+}  // namespace cnti::core

@@ -1,0 +1,38 @@
+// Interconnect key-performance-indicator models backing the paper's Sec. I
+// quantitative claims ("Table I" in this reproduction): ampacity, EM limits,
+// thermal conduction advantage and the minimum-CNT-density requirement.
+#pragma once
+
+#include "common/constants.hpp"
+#include "core/swcnt_line.hpp"
+#include "materials/copper.hpp"
+
+namespace cnti::core {
+
+/// Maximum EM-reliable current of a Cu line cross-section [A]
+/// (paper: 100 nm x 50 nm Cu carries up to ~50 uA at 1e6 A/cm^2).
+double cu_max_current(double width_m, double height_m);
+
+/// Maximum current of a single CNT of given diameter [A]
+/// (paper: 20-25 uA for a 1 nm tube).
+double cnt_max_current(double diameter_m);
+
+/// How many CNTs (of `diameter_m`) match the EM-limited current of the
+/// given Cu cross-section (paper: "a few CNTs are enough").
+double cnts_to_match_cu_current(double cu_width_m, double cu_height_m,
+                                double diameter_m = 1e-9);
+
+/// Ratio of CNT to Cu maximum current densities (paper: ~1e9 vs 1e6 A/cm^2).
+double ampacity_advantage();
+
+/// Ratio of CNT bundle to Cu thermal conductivity (paper: 3000-10000 vs 385).
+double thermal_advantage(double quality = 0.0);
+
+/// Minimum metallic-CNT areal density so that a CNT interconnect of length
+/// `length_m` matches the resistance of the equally sized Cu line
+/// (paper Sec. I: 0.096 nm^-2 requirement) [1/m^2].
+double min_density_to_match_cu(const materials::CuLineSpec& cu_spec,
+                               double length_m, double tube_diameter_m = 1e-9,
+                               double metallic_fraction = 1.0);
+
+}  // namespace cnti::core

@@ -1,0 +1,56 @@
+#include "core/line_model.hpp"
+
+#include <cmath>
+
+namespace cnti::core {
+
+double elmore_delay(const DriverLineLoad& cfg) {
+  CNTI_EXPECTS(cfg.length_m > 0, "length must be positive");
+  const double r_line = cfg.line.resistance_per_m * cfg.length_m;
+  const double c_line = cfg.line.capacitance_per_m * cfg.length_m;
+  const double r_c1 = cfg.line.series_resistance_ohm / 2.0;  // near end
+  const double r_c2 = cfg.line.series_resistance_ohm / 2.0;  // far end
+  const double r_drv = cfg.driver_resistance_ohm;
+  const double c_l = cfg.load_capacitance_f;
+
+  // Elmore sum for: Rdrv -> [Cdrv] -> Rc1 -> distributed rc -> Rc2 -> [CL].
+  // Distributed line contributes Rline*Cline/2 internally; every upstream
+  // resistance sees the full downstream capacitance.
+  double td = 0.0;
+  td += r_drv * (cfg.driver_output_capacitance_f + c_line + c_l);
+  td += r_c1 * (c_line + c_l);
+  td += r_line * (c_line / 2.0 + c_l);
+  td += r_c2 * c_l;
+  return td;
+}
+
+double delay_50_estimate(const DriverLineLoad& cfg) {
+  return 0.693 * elmore_delay(cfg);
+}
+
+std::vector<LadderSegment> discretize_line(const LineRlc& line,
+                                           double length_m, int segments) {
+  CNTI_EXPECTS(segments >= 1, "need at least one segment");
+  CNTI_EXPECTS(length_m > 0, "length must be positive");
+  const double r_seg = line.resistance_per_m * length_m / segments;
+  const double c_seg = line.capacitance_per_m * length_m / segments;
+  return std::vector<LadderSegment>(
+      static_cast<std::size_t>(segments),
+      LadderSegment{.resistance_ohm = r_seg, .capacitance_f = c_seg});
+}
+
+double bandwidth_estimate(const DriverLineLoad& cfg) {
+  const double td = delay_50_estimate(cfg);
+  CNTI_EXPECTS(td > 0, "delay must be positive");
+  return 0.35 / td;
+}
+
+double switching_energy(const DriverLineLoad& cfg, double vdd) {
+  CNTI_EXPECTS(vdd > 0, "supply must be positive");
+  const double c_total = cfg.line.capacitance_per_m * cfg.length_m +
+                         cfg.load_capacitance_f +
+                         cfg.driver_output_capacitance_f;
+  return 0.5 * c_total * vdd * vdd;
+}
+
+}  // namespace cnti::core

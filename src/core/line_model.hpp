@@ -1,0 +1,47 @@
+// Distributed-RC line analysis: segmented ladder generation parameters and
+// analytic delay estimates (Elmore and a two-pole fit), used both directly
+// and as cross-checks for the full MNA transient in the circuit module.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/mwcnt_line.hpp"
+
+namespace cnti::core {
+
+/// A driver-line-load configuration for delay analysis.
+struct DriverLineLoad {
+  double driver_resistance_ohm = 10e3;
+  double driver_output_capacitance_f = 0.05e-15;
+  LineRlc line;                 ///< Per-unit-length + lumped line model.
+  double length_m = 10e-6;
+  double load_capacitance_f = 0.1e-15;
+};
+
+/// Elmore delay of driver + lumped-contact + distributed RC + load [s].
+/// The lumped series resistance is split half per end (symmetric contacts).
+double elmore_delay(const DriverLineLoad& cfg);
+
+/// 50% step-response delay estimate: 0.693 x Elmore for a dominant-pole
+/// system; kept separate so benches can report both conventions.
+double delay_50_estimate(const DriverLineLoad& cfg);
+
+/// Per-segment RC values of an N-segment pi-ladder discretization of the
+/// line (used by the circuit module to netlist the line).
+struct LadderSegment {
+  double resistance_ohm = 0.0;
+  double capacitance_f = 0.0;
+};
+
+/// Discretizes the distributed part of the line into n equal segments.
+std::vector<LadderSegment> discretize_line(const LineRlc& line,
+                                           double length_m, int segments);
+
+/// Time-of-flight limited bandwidth estimate of the line: 0.35 / t_delay.
+double bandwidth_estimate(const DriverLineLoad& cfg);
+
+/// Dynamic energy per transition: (C_line + C_load) * Vdd^2 / 2 [J].
+double switching_energy(const DriverLineLoad& cfg, double vdd);
+
+}  // namespace cnti::core

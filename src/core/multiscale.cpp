@@ -1,0 +1,57 @@
+#include "core/multiscale.hpp"
+
+#include "common/units.hpp"
+
+namespace cnti::core {
+
+MultiscaleReport run_multiscale_flow(const MultiscaleInput& in,
+                                     const MultiscaleHooks& hooks) {
+  CNTI_EXPECTS(in.outer_diameter_nm >= 1.0, "diameter must be >= 1 nm");
+  CNTI_EXPECTS(in.length_um > 0, "length must be positive");
+  MultiscaleReport out;
+
+  // --- Atomistic stage: doping -> Fermi shift -> channels per shell. ---
+  const atomistic::ChargeTransferDoping doping(in.dopant,
+                                               in.dopant_concentration);
+  out.fermi_shift_ev = doping.stable_fermi_shift_ev();
+  out.channels_per_shell = doping.channels_per_shell_simple();
+
+  // --- Materials + compact stage. ---
+  MwcntSpec spec;
+  spec.outer_diameter_m = units::from_nm(in.outer_diameter_nm);
+  spec.channels_per_shell = out.channels_per_shell;
+  spec.temperature_k = in.temperature_k;
+  spec.defect_spacing_m = in.defect_spacing_um > 0
+                              ? units::from_um(in.defect_spacing_um)
+                              : -1.0;
+  spec.contact_resistance_ohm = units::from_kOhm(in.contact_resistance_kohm);
+  const double ce = hooks.extract_capacitance
+                        ? hooks.extract_capacitance(in.environment)
+                        : environment_capacitance(in.environment);
+  spec.electrostatic_capacitance_f_per_m = ce;
+  out.electrostatic_cap_af_per_um = units::to_aF_per_um(ce);
+
+  const MwcntLine line(spec);
+  const double length_m = units::from_um(in.length_um);
+  out.shells = line.shell_count();
+  out.mfp_um = units::to_um(line.shell_mfp(0));
+  out.resistance_kohm = units::to_kOhm(line.resistance(length_m));
+  out.capacitance_ff = units::to_fF(line.capacitance_per_m() * length_m);
+
+  // --- Circuit stage. ---
+  DriverLineLoad cfg;
+  cfg.driver_resistance_ohm = units::from_kOhm(in.driver_resistance_kohm);
+  cfg.line = line.rlc();
+  cfg.length_m = length_m;
+  cfg.load_capacitance_f = in.load_capacitance_ff * 1e-15;
+  if (hooks.simulate_delay) {
+    out.delay_ps = units::to_ps(hooks.simulate_delay(cfg));
+    out.delay_method = "hook";
+  } else {
+    out.delay_ps = units::to_ps(delay_50_estimate(cfg));
+    out.delay_method = "elmore";
+  }
+  return out;
+}
+
+}  // namespace cnti::core

@@ -1,0 +1,64 @@
+// The multi-scale simulation flow the paper's conclusion calls for: from
+// ab-initio-calibrated channel counts, through materials-level MFPs, to
+// compact RLC models and delay — in one façade. Higher-level stages (TCAD
+// C_E extraction, full MNA transient) plug in through optional hooks so the
+// core stays free of upward dependencies.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "atomistic/doping.hpp"
+#include "core/electrostatics.hpp"
+#include "core/line_model.hpp"
+#include "core/mwcnt_line.hpp"
+
+namespace cnti::core {
+
+/// Input description of a doped-MWCNT interconnect problem.
+struct MultiscaleInput {
+  double outer_diameter_nm = 10.0;
+  double length_um = 100.0;
+  atomistic::DopantSpecies dopant = atomistic::DopantSpecies::kIodineInternal;
+  double dopant_concentration = 0.0;  ///< 0 = pristine.
+  double temperature_k = phys::kRoomTemperature;
+  double defect_spacing_um = -1.0;
+  double contact_resistance_kohm = 200.0;
+  WireEnvironment environment;        ///< For the analytic C_E stage.
+  double driver_resistance_kohm = 10.0;
+  double load_capacitance_ff = 0.1;
+};
+
+/// Per-stage outputs of the flow.
+struct MultiscaleReport {
+  // Atomistic stage.
+  double fermi_shift_ev = 0.0;
+  double channels_per_shell = 2.0;
+  // Materials stage.
+  double mfp_um = 0.0;
+  // Compact-model stage.
+  int shells = 0;
+  double resistance_kohm = 0.0;
+  double capacitance_ff = 0.0;
+  double electrostatic_cap_af_per_um = 0.0;
+  // Circuit stage (Elmore by default; MNA via hook).
+  double delay_ps = 0.0;
+  std::string delay_method = "elmore";
+};
+
+/// Optional hooks for the higher-level stages.
+struct MultiscaleHooks {
+  /// Returns C_E [F/m] for the wire environment (e.g. TCAD extraction);
+  /// falls back to the analytic model when absent.
+  std::function<double(const WireEnvironment&)> extract_capacitance;
+  /// Returns the 50% propagation delay [s] for the driver-line-load config
+  /// (e.g. MNA transient); falls back to the Elmore estimate when absent.
+  std::function<double(const DriverLineLoad&)> simulate_delay;
+};
+
+/// Runs the full flow. Deterministic; throws on invalid inputs.
+MultiscaleReport run_multiscale_flow(const MultiscaleInput& in,
+                                     const MultiscaleHooks& hooks = {});
+
+}  // namespace cnti::core

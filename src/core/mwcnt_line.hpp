@@ -1,0 +1,112 @@
+// Doped-MWCNT interconnect compact model — the paper's core contribution
+// (Sec. III.C, Eqs. 4-5):
+//
+//   R_MW = 1 / (N_C N_S G_1channel),  G_1channel = G0 / (1 + L / L_MFP)
+//   C_MW = (N_C N_S C_Q1 * C_E) / (N_C N_S C_Q1 + C_E) ~ C_E
+//
+// with N_C the conducting channels per shell (2 pristine, up to ~10 doped —
+// the doping enhancement factor) and N_S the number of shells. Two shell
+// rules are provided: the physical van-der-Waals filling (shells spaced by
+// 0.34 nm down to D_max/2) and the paper's stated linear rule
+// N_S = D[nm] - 1. Kinetic inductance is included for completeness.
+#pragma once
+
+#include <vector>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace cnti::core {
+
+/// Shell-count convention (see DESIGN.md).
+enum class ShellRule {
+  kVanDerWaals,  ///< shells at D, D-2delta, ... >= D/2 (delta = 0.34 nm).
+  kPaperLinear,  ///< N_S = D[nm] - 1 (paper Sec. III.C).
+};
+
+/// Mean-free-path convention for the per-channel conductance.
+enum class MfpRule {
+  kPerShell,       ///< lambda_i = 1000 * d_i (Naeemi-Meindl, exact sum).
+  kOuterDiameter,  ///< lambda = 1000 * D_max for all shells (paper Eq. 4).
+};
+
+/// Parameters of a doped (or pristine) MWCNT interconnect line.
+struct MwcntSpec {
+  double outer_diameter_m = 10e-9;
+  ShellRule shell_rule = ShellRule::kPaperLinear;
+  MfpRule mfp_rule = MfpRule::kOuterDiameter;
+  /// Conducting channels per shell: 2 = pristine, up to ~10 heavily doped.
+  double channels_per_shell = cntconst::kChannelsPerMetallicShell;
+  double temperature_k = phys::kRoomTemperature;
+  /// Mean distance between growth defects; <= 0 = defect-free.
+  double defect_spacing_m = -1.0;
+  /// Lumped metal-CNT contact resistance, both ends combined [Ohm]. Doping
+  /// does not act on this term (paper motivation: "resistive metal-CNT
+  /// contacts"). 0 = ideal contacts (quantum resistance only).
+  double contact_resistance_ohm = 0.0;
+  /// Electrostatic capacitance per length from the line's environment
+  /// [F/m]; geometry dependent, unaffected by doping (paper Eq. 5).
+  double electrostatic_capacitance_f_per_m = 50e-12;
+};
+
+/// Per-unit-length RLC of a line plus its lumped end resistance.
+struct LineRlc {
+  double series_resistance_ohm = 0.0;     ///< Lumped (contacts + quantum).
+  double resistance_per_m = 0.0;          ///< Distributed scattering part.
+  double capacitance_per_m = 0.0;
+  double inductance_per_m = 0.0;
+};
+
+/// Compact electrical model of a doped MWCNT interconnect.
+class MwcntLine {
+ public:
+  explicit MwcntLine(MwcntSpec spec);
+
+  const MwcntSpec& spec() const { return spec_; }
+
+  int shell_count() const { return static_cast<int>(shells_.size()); }
+  const std::vector<double>& shell_diameters() const { return shells_; }
+
+  /// Total conducting channels N_C * N_S.
+  double total_channels() const;
+
+  /// Effective MFP of shell i [m] (includes defect scattering).
+  double shell_mfp(int shell) const;
+
+  /// End-to-end resistance at length L (paper Eq. 4 + contacts) [Ohm].
+  double resistance(double length_m) const;
+
+  /// Length-independent lumped part: quantum + imperfect contacts [Ohm].
+  double lumped_resistance() const;
+
+  /// Distributed (scattering) resistance per metre [Ohm/m].
+  double scattering_resistance_per_m() const;
+
+  /// Quantum capacitance per metre: N_C N_S C_Q1 [F/m].
+  double quantum_capacitance_per_m() const;
+
+  /// Total capacitance per metre (paper Eq. 5: series C_Q with C_E) [F/m].
+  double capacitance_per_m() const;
+
+  /// Kinetic inductance per metre: L_K1 / (N_C N_S) [H/m].
+  double kinetic_inductance_per_m() const;
+
+  /// Effective conductivity referenced to the outer-diameter disc area, the
+  /// quantity plotted in the paper's Fig. 9 [S/m].
+  double effective_conductivity(double length_m) const;
+
+  /// Bundle of RLC parameters for circuit netlisting.
+  LineRlc rlc() const;
+
+ private:
+  MwcntSpec spec_;
+  std::vector<double> shells_;
+};
+
+/// Convenience: the paper's Fig. 12 delay-ratio configurations use pristine
+/// (N_c = 2) vs. doped (N_c in 2..10) MWCNTs of D_max = 10/14/22 nm.
+MwcntLine make_paper_mwcnt(double outer_diameter_nm, double channels_per_shell,
+                           double contact_resistance_ohm = 200e3,
+                           double electrostatic_cap_af_per_um = 50.0);
+
+}  // namespace cnti::core

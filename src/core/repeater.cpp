@@ -1,0 +1,52 @@
+#include "core/repeater.hpp"
+
+#include <cmath>
+
+namespace cnti::core {
+
+double repeated_line_delay(const LineRlc& line, double length_m, int count,
+                           double size, const RepeaterLibrary& lib) {
+  CNTI_EXPECTS(count >= 1, "need at least one segment");
+  CNTI_EXPECTS(size >= 1.0, "repeater size must be >= 1x");
+  CNTI_EXPECTS(length_m > 0, "length must be positive");
+
+  const double seg_len = length_m / count;
+  DriverLineLoad stage;
+  stage.driver_resistance_ohm = lib.unit_resistance_ohm / size;
+  stage.driver_output_capacitance_f = lib.unit_output_cap_f * size;
+  stage.line = line;  // per-unit-length values unchanged; contacts per seg
+  stage.length_m = seg_len;
+  stage.load_capacitance_f = lib.unit_input_cap_f * size;
+  // All stages identical; the final stage drives the same load.
+  return count * elmore_delay(stage);
+}
+
+RepeaterPlan optimize_repeaters(const LineRlc& line, double length_m,
+                                const RepeaterLibrary& lib) {
+  RepeaterPlan best;
+  best.unrepeated_delay_s =
+      repeated_line_delay(line, length_m, 1, 1.0, lib);
+  best.total_delay_s = best.unrepeated_delay_s;
+  best.count = 1;
+  best.size = 1.0;
+
+  for (int k = 1; k <= lib.max_count; ++k) {
+    for (double h = 1.0; h <= lib.max_size; h *= 2.0) {
+      const double d = repeated_line_delay(line, length_m, k, h, lib);
+      if (d < best.total_delay_s) {
+        best.total_delay_s = d;
+        best.count = k;
+        best.size = h;
+      }
+    }
+  }
+  // Energy at 1 V: line capacitance + all repeater caps.
+  const double c_line = line.capacitance_per_m * length_m;
+  const double c_rep = best.count *
+                       (lib.unit_input_cap_f + lib.unit_output_cap_f) *
+                       best.size;
+  best.energy_per_transition_j = 0.5 * (c_line + c_rep);
+  return best;
+}
+
+}  // namespace cnti::core

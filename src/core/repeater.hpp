@@ -1,0 +1,42 @@
+// Repeater insertion for long CNT interconnects — the design-space
+// exploration the paper's conclusion calls for ("physical design, design
+// space exploration"). Classic Bakoglu-style optimization evaluated with
+// the Elmore model: split a line into k segments re-driven by size-h
+// inverters; minimize total delay over (k, h).
+#pragma once
+
+#include "core/line_model.hpp"
+
+namespace cnti::core {
+
+/// Unit (1x) driver characteristics of the repeater library.
+struct RepeaterLibrary {
+  double unit_resistance_ohm = 20e3;   ///< R_eff of a 1x inverter.
+  double unit_input_cap_f = 0.15e-15;  ///< C_in of a 1x inverter.
+  double unit_output_cap_f = 0.10e-15;
+  /// Largest allowed repeater size.
+  double max_size = 256.0;
+  /// Largest allowed repeater count.
+  int max_count = 128;
+};
+
+struct RepeaterPlan {
+  int count = 1;          ///< Number of driven segments (1 = no repeater).
+  double size = 1.0;      ///< Repeater size h (x unit).
+  double total_delay_s = 0.0;
+  double energy_per_transition_j = 0.0;  ///< At 1 V swing.
+  double unrepeated_delay_s = 0.0;
+};
+
+/// Delay of a line split into `count` segments driven by size-`size`
+/// repeaters (Elmore per stage, summed). The lumped line resistance
+/// (contacts) is paid once per segment — each repeater re-contacts the
+/// CNT, which is exactly why repeaters are expensive on CNT interconnects.
+double repeated_line_delay(const LineRlc& line, double length_m, int count,
+                           double size, const RepeaterLibrary& lib);
+
+/// Exhaustive (k, h) search over the discrete design space.
+RepeaterPlan optimize_repeaters(const LineRlc& line, double length_m,
+                                const RepeaterLibrary& lib = {});
+
+}  // namespace cnti::core

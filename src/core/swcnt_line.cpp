@@ -1,0 +1,94 @@
+#include "core/swcnt_line.hpp"
+
+#include <cmath>
+
+#include "materials/cnt_mfp.hpp"
+
+namespace cnti::core {
+
+SwcntWire::SwcntWire(SwcntSpec spec) : spec_(spec) {
+  CNTI_EXPECTS(spec_.diameter_m > 0.3e-9, "diameter below physical minimum");
+  CNTI_EXPECTS(spec_.channels > 0, "channels must be positive");
+  materials::MfpSpec mfp;
+  mfp.diameter_m = spec_.diameter_m;
+  mfp.temperature_k = spec_.temperature_k;
+  mfp.defect_spacing_m = spec_.defect_spacing_m;
+  mfp_ = materials::effective_mfp(mfp);
+}
+
+double SwcntWire::resistance(double length_m) const {
+  CNTI_EXPECTS(length_m > 0, "length must be positive");
+  return (phys::kResistanceQuantum / spec_.channels) *
+             (1.0 + length_m / mfp_) +
+         spec_.contact_resistance_ohm;
+}
+
+double SwcntWire::effective_conductivity(double length_m) const {
+  const double area = M_PI * spec_.diameter_m * spec_.diameter_m / 4.0;
+  return length_m / (resistance(length_m) * area);
+}
+
+double SwcntWire::saturation_current() const {
+  // Saturation scales weakly with diameter; anchor 25 uA at 1 nm.
+  return cntconst::kSwcntSaturationCurrent * (spec_.diameter_m / 1e-9);
+}
+
+SwcntBundle::SwcntBundle(BundleSpec spec) : spec_(spec) {
+  CNTI_EXPECTS(spec_.width_m > 0 && spec_.height_m > 0,
+               "cross-section must be positive");
+  CNTI_EXPECTS(spec_.tube_density_per_m2 > 0, "density must be positive");
+  CNTI_EXPECTS(spec_.metallic_fraction > 0 && spec_.metallic_fraction <= 1,
+               "metallic fraction in (0, 1]");
+}
+
+double SwcntBundle::tube_count() const {
+  return spec_.tube_density_per_m2 * spec_.width_m * spec_.height_m;
+}
+
+double SwcntBundle::conducting_tube_count() const {
+  return tube_count() * spec_.metallic_fraction;
+}
+
+double SwcntBundle::resistance(double length_m) const {
+  CNTI_EXPECTS(length_m > 0, "length must be positive");
+  SwcntSpec tube;
+  tube.diameter_m = spec_.tube_diameter_m;
+  tube.channels = spec_.channels_per_tube;
+  tube.temperature_k = spec_.temperature_k;
+  tube.defect_spacing_m = spec_.defect_spacing_m;
+  tube.contact_resistance_ohm = spec_.contact_resistance_ohm;
+  const SwcntWire wire(tube);
+  const double n = conducting_tube_count();
+  CNTI_EXPECTS(n >= 1.0, "bundle has no conducting tubes");
+  return wire.resistance(length_m) / n;
+}
+
+double SwcntBundle::effective_conductivity(double length_m) const {
+  const double area = spec_.width_m * spec_.height_m;
+  return length_m / (resistance(length_m) * area);
+}
+
+double SwcntBundle::max_current() const {
+  SwcntSpec tube;
+  tube.diameter_m = spec_.tube_diameter_m;
+  const SwcntWire wire(tube);
+  return wire.saturation_current() * conducting_tube_count();
+}
+
+double SwcntBundle::max_current_density() const {
+  return max_current() / (spec_.width_m * spec_.height_m);
+}
+
+double required_tube_density(double cu_resistance_ohm, double length_m,
+                             double cross_section_m2, const SwcntSpec& tube) {
+  CNTI_EXPECTS(cu_resistance_ohm > 0, "reference resistance positive");
+  CNTI_EXPECTS(cross_section_m2 > 0, "cross-section positive");
+  const SwcntWire wire(tube);
+  // n tubes in parallel must reach the Cu resistance:
+  // n = R_tube(L) / R_cu; density = n / A. The caller chooses whether the
+  // tube spec already includes the metallic-fraction derating.
+  const double n = wire.resistance(length_m) / cu_resistance_ohm;
+  return n / cross_section_m2;
+}
+
+}  // namespace cnti::core

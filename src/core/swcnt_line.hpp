@@ -1,0 +1,106 @@
+// Compact models for single SWCNTs and SWCNT bundles (local interconnects /
+// vias, paper Sec. I-II): resistance with ballistic-to-diffusive crossover,
+// quantum capacitance, kinetic inductance, and bundle statistics with the
+// 1/3-metallic CVD fraction and the ITRS minimum-density requirement.
+#pragma once
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace cnti::core {
+
+/// A single SWCNT treated as an interconnect.
+struct SwcntSpec {
+  double diameter_m = 1e-9;
+  /// Conducting channels (2 for a metallic tube; doped tubes more).
+  double channels = cntconst::kChannelsPerMetallicShell;
+  double temperature_k = phys::kRoomTemperature;
+  double defect_spacing_m = -1.0;
+  /// Imperfect contact resistance, both ends combined [Ohm].
+  double contact_resistance_ohm = 0.0;
+};
+
+class SwcntWire {
+ public:
+  explicit SwcntWire(SwcntSpec spec);
+
+  const SwcntSpec& spec() const { return spec_; }
+
+  double mfp() const { return mfp_; }
+
+  /// End-to-end resistance at length L [Ohm]:
+  /// R = (R0/N_ch)(1 + L/lambda) + R_contact.
+  double resistance(double length_m) const;
+
+  /// Effective conductivity vs. the tube disc area (Fig. 9 quantity) [S/m].
+  double effective_conductivity(double length_m) const;
+
+  double quantum_capacitance_per_m() const {
+    return spec_.channels * cntconst::kQuantumCapacitancePerChannel;
+  }
+
+  double kinetic_inductance_per_m() const {
+    return cntconst::kKineticInductancePerChannel / spec_.channels;
+  }
+
+  /// Current saturation limit of the tube [A] (paper: 20-25 uA for ~1 nm).
+  double saturation_current() const;
+
+ private:
+  SwcntSpec spec_;
+  double mfp_;
+};
+
+/// A bundle of parallel SWCNTs filling a rectangular cross-section.
+struct BundleSpec {
+  double width_m = 20e-9;
+  double height_m = 40e-9;
+  /// Tube areal density [1/m^2]; the ITRS floor is 0.096 nm^-2.
+  double tube_density_per_m2 = cntconst::kMinCntDensity;
+  double tube_diameter_m = 1e-9;
+  /// Fraction of metallic tubes (1/3 for unsorted CVD; 1.0 if doped to
+  /// conduction — doping makes semiconducting tubes conductive too).
+  double metallic_fraction = 1.0 - cntconst::kSemiconductingFraction;
+  double channels_per_tube = cntconst::kChannelsPerMetallicShell;
+  double temperature_k = phys::kRoomTemperature;
+  double defect_spacing_m = -1.0;
+  /// Per-tube contact resistance (both ends) [Ohm].
+  double contact_resistance_ohm = 0.0;
+};
+
+class SwcntBundle {
+ public:
+  explicit SwcntBundle(BundleSpec spec);
+
+  const BundleSpec& spec() const { return spec_; }
+
+  /// Total tubes in the cross-section.
+  double tube_count() const;
+
+  /// Conducting (metallic) tubes.
+  double conducting_tube_count() const;
+
+  double resistance(double length_m) const;
+
+  /// Referenced to the bundle cross-section [S/m].
+  double effective_conductivity(double length_m) const;
+
+  /// Ampacity: saturation-current-limited total current [A].
+  double max_current() const;
+
+  /// Bundle ampacity expressed as a current density [A/m^2].
+  double max_current_density() const;
+
+ private:
+  BundleSpec spec_;
+};
+
+/// Minimum tube density for a pure-CNT interconnect to match the resistance
+/// of a Cu line of resistance `cu_resistance_ohm`, same length and
+/// cross-section (the ITRS-style requirement behind the paper's
+/// "0.096 per nm^2" figure) [1/m^2].
+double required_tube_density(double cu_resistance_ohm, double length_m,
+                             double cross_section_m2,
+                             const SwcntSpec& tube = {});
+
+}  // namespace cnti::core

@@ -1,0 +1,86 @@
+#include "core/via_model.hpp"
+
+#include <cmath>
+
+namespace cnti::core {
+
+namespace {
+double hole_area(const ViaSpec& via) {
+  return M_PI * via.hole_diameter_m * via.hole_diameter_m / 4.0;
+}
+}  // namespace
+
+SingleCntVia::SingleCntVia(ViaSpec via, MwcntSpec tube)
+    : via_(via), tube_(std::move(tube)) {
+  CNTI_EXPECTS(via_.hole_diameter_m > tube_.spec().outer_diameter_m,
+               "tube does not fit the via hole");
+  CNTI_EXPECTS(via_.height_m > 0, "via height must be positive");
+}
+
+double SingleCntVia::resistance() const {
+  return tube_.resistance(via_.height_m);
+}
+
+double SingleCntVia::max_current() const {
+  // Saturation current scales with total channels relative to a single
+  // 2-channel metallic shell at 1 nm.
+  const double per_channel = cntconst::kSwcntSaturationCurrent / 2.0;
+  return per_channel * tube_.total_channels();
+}
+
+double SingleCntVia::max_current_density() const {
+  return max_current() / hole_area(via_);
+}
+
+BundleCntVia::BundleCntVia(ViaSpec via, BundleSpec bundle)
+    : via_(via), bundle_([&] {
+        // Square-equivalent cross-section of the round hole.
+        const double side = std::sqrt(hole_area(via));
+        bundle.width_m = side;
+        bundle.height_m = side;
+        return SwcntBundle(bundle);
+      }()) {
+  CNTI_EXPECTS(via_.height_m > 0, "via height must be positive");
+}
+
+double BundleCntVia::resistance() const {
+  return bundle_.resistance(via_.height_m);
+}
+
+double BundleCntVia::max_current() const { return bundle_.max_current(); }
+
+CuVia::CuVia(ViaSpec via, double barrier_thickness_m, double resistivity_ohm_m)
+    : via_(via), barrier_m_(barrier_thickness_m), rho_(resistivity_ohm_m) {
+  CNTI_EXPECTS(via_.hole_diameter_m > 2.0 * barrier_m_,
+               "barrier consumes the via");
+  CNTI_EXPECTS(rho_ > 0, "resistivity must be positive");
+}
+
+double CuVia::resistance() const {
+  const double d = via_.hole_diameter_m - 2.0 * barrier_m_;
+  const double area = M_PI * d * d / 4.0;
+  return rho_ * via_.height_m / area;
+}
+
+double CuVia::max_current() const {
+  const double d = via_.hole_diameter_m - 2.0 * barrier_m_;
+  const double area = M_PI * d * d / 4.0;
+  return cuconst::kEmCurrentDensityLimit * area;
+}
+
+CompositeVia::CompositeVia(ViaSpec via, materials::CompositeSpec composite)
+    : via_(via), composite_(composite) {
+  CNTI_EXPECTS(via_.height_m > 0, "via height must be positive");
+}
+
+double CompositeVia::resistance() const {
+  const double sigma = materials::composite_conductivity(composite_);
+  return via_.height_m / (sigma * hole_area(via_));
+}
+
+double CompositeVia::max_current() const {
+  return materials::composite_max_current_density(composite_) *
+         hole_area(via_);
+}
+
+}  // namespace cnti::core

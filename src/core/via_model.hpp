@@ -1,0 +1,79 @@
+// Vertical via models: single-CNT via (the paper's 30 nm via with one
+// CVD-grown MWCNT, Fig. 2), CNT-bundle via, Cu via with barrier, and the
+// Cu-CNT composite via. Used for local-interconnect and 3-D integration
+// studies (paper Sec. I: "desirable as vertical through-silicon via").
+#pragma once
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "core/mwcnt_line.hpp"
+#include "core/swcnt_line.hpp"
+#include "materials/composite.hpp"
+
+namespace cnti::core {
+
+/// Via geometry common to all fill variants.
+struct ViaSpec {
+  double hole_diameter_m = 30e-9;  ///< The paper's 30 nm via hole.
+  double height_m = 100e-9;
+  double temperature_k = phys::kRoomTemperature;
+};
+
+/// Single-MWCNT via (paper Fig. 2a/b: one CNT grown from a catalyst dot at
+/// the via bottom).
+class SingleCntVia {
+ public:
+  SingleCntVia(ViaSpec via, MwcntSpec tube);
+
+  double resistance() const;
+  double max_current() const;
+  /// Current density referenced to the via hole area [A/m^2].
+  double max_current_density() const;
+
+ private:
+  ViaSpec via_;
+  MwcntLine tube_;
+};
+
+/// CNT-bundle via (vertically aligned CNT carpet in the hole).
+class BundleCntVia {
+ public:
+  BundleCntVia(ViaSpec via, BundleSpec bundle);
+
+  double resistance() const;
+  double max_current() const;
+
+ private:
+  ViaSpec via_;
+  SwcntBundle bundle_;
+};
+
+/// Cu via with a conformal barrier liner.
+class CuVia {
+ public:
+  CuVia(ViaSpec via, double barrier_thickness_m = 2e-9,
+        double resistivity_ohm_m = 3.0e-8);
+
+  double resistance() const;
+  double max_current() const;
+
+ private:
+  ViaSpec via_;
+  double barrier_m_;
+  double rho_;
+};
+
+/// Cu-CNT composite via.
+class CompositeVia {
+ public:
+  CompositeVia(ViaSpec via, materials::CompositeSpec composite);
+
+  double resistance() const;
+  double max_current() const;
+
+ private:
+  ViaSpec via_;
+  materials::CompositeSpec composite_;
+};
+
+}  // namespace cnti::core

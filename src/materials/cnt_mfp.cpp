@@ -1,0 +1,40 @@
+#include "materials/cnt_mfp.hpp"
+
+#include <cmath>
+
+namespace cnti::materials {
+
+namespace {
+/// Optical phonon energy in graphitic systems [eV].
+constexpr double kOpticalPhononEv = 0.16;
+/// Spontaneous optical-phonon emission length scale [m].
+constexpr double kOpticalEmissionLength = 15e-9;
+}  // namespace
+
+double acoustic_mfp(double diameter_m, double temperature_k) {
+  CNTI_EXPECTS(diameter_m > 0, "diameter must be positive");
+  CNTI_EXPECTS(temperature_k > 0, "temperature must be positive");
+  // lambda_ap ~ 1000 d at 300 K with ~1/T scaling (phonon occupation).
+  return cntconst::kMfpOverDiameter * diameter_m *
+         (phys::kRoomTemperature / temperature_k);
+}
+
+double optical_mfp(double diameter_m, double bias_v, double length_m) {
+  CNTI_EXPECTS(diameter_m > 0, "diameter must be positive");
+  CNTI_EXPECTS(length_m > 0, "length must be positive");
+  if (bias_v <= kOpticalPhononEv) return 1e30;
+  // Carrier must gain the phonon energy over the field length before
+  // emitting: lambda_op = L * (hbar w_op / eV) + lambda_emission.
+  return length_m * kOpticalPhononEv / bias_v + kOpticalEmissionLength;
+}
+
+double effective_mfp(const MfpSpec& spec, double length_m) {
+  const double l_ap = acoustic_mfp(spec.diameter_m, spec.temperature_k);
+  double inv = 1.0 / l_ap;
+  if (spec.defect_spacing_m > 0) inv += 1.0 / spec.defect_spacing_m;
+  const double l_op = optical_mfp(spec.diameter_m, spec.bias_v, length_m);
+  inv += 1.0 / l_op;
+  return 1.0 / inv;
+}
+
+}  // namespace cnti::materials

@@ -1,0 +1,35 @@
+// Mean-free-path model for CNT shells: acoustic-phonon limited MFP
+// (lambda ~ 1000 d at 300 K, Naeemi & Meindl), optical-phonon emission at
+// high bias, and defect scattering from imperfect (low-temperature CVD)
+// growth, combined by Matthiessen's rule. The defect term is what couples
+// the process/growth module to the electrical models.
+#pragma once
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace cnti::materials {
+
+/// Scattering environment of a CNT shell.
+struct MfpSpec {
+  double diameter_m = 7.5e-9;        ///< Shell diameter.
+  double temperature_k = phys::kRoomTemperature;
+  /// Mean distance between lattice defects along the tube; <= 0 means
+  /// defect-free (arc-discharge quality). CVD tubes: 0.1-1 um typical.
+  double defect_spacing_m = -1.0;
+  /// Bias voltage across the tube (activates optical-phonon emission).
+  double bias_v = 0.0;
+};
+
+/// Acoustic-phonon-limited MFP [m]: lambda_ap = k d (300 K / T).
+double acoustic_mfp(double diameter_m, double temperature_k);
+
+/// Optical-phonon emission MFP at bias V [m] (high-field saturation);
+/// returns +inf (1e30) below the ~0.16 eV phonon threshold.
+double optical_mfp(double diameter_m, double bias_v, double length_m);
+
+/// Effective MFP by Matthiessen's rule over acoustic, optical and defect
+/// contributions [m].
+double effective_mfp(const MfpSpec& spec, double length_m = 1e-6);
+
+}  // namespace cnti::materials

@@ -1,0 +1,76 @@
+#include "materials/composite.hpp"
+
+#include <cmath>
+
+namespace cnti::materials {
+
+namespace {
+
+void validate(const CompositeSpec& s) {
+  CNTI_EXPECTS(s.cnt_volume_fraction >= 0 && s.cnt_volume_fraction <= 1,
+               "CNT volume fraction in [0, 1]");
+  CNTI_EXPECTS(s.alignment >= 0 && s.alignment <= 1, "alignment in [0, 1]");
+  CNTI_EXPECTS(s.metallic_fraction >= 0 && s.metallic_fraction <= 1,
+               "metallic fraction in [0, 1]");
+  CNTI_EXPECTS(s.void_fraction >= 0 && s.void_fraction < 1,
+               "void fraction in [0, 1)");
+  CNTI_EXPECTS(s.cu_matrix_resistivity > 0, "matrix resistivity positive");
+}
+
+/// Conductivity-weighted share of the total current carried by the CNTs.
+double cnt_current_share(const CompositeSpec& s) {
+  const double sigma_cnt_eff = s.cnt_volume_fraction * s.alignment *
+                               s.metallic_fraction *
+                               s.cnt_axial_conductivity;
+  const double cu_fraction =
+      std::max(0.0, 1.0 - s.cnt_volume_fraction - s.void_fraction);
+  const double sigma_cu_eff = cu_fraction / s.cu_matrix_resistivity;
+  const double total = sigma_cnt_eff + sigma_cu_eff;
+  return (total > 0) ? sigma_cnt_eff / total : 0.0;
+}
+
+}  // namespace
+
+double composite_conductivity(const CompositeSpec& spec) {
+  validate(spec);
+  const double cu_fraction = std::max(
+      0.0, 1.0 - spec.cnt_volume_fraction - spec.void_fraction);
+  const double sigma_cu = cu_fraction / spec.cu_matrix_resistivity;
+  // Only aligned metallic tubes conduct axially.
+  const double sigma_cnt = spec.cnt_volume_fraction * spec.alignment *
+                           spec.metallic_fraction *
+                           spec.cnt_axial_conductivity;
+  return sigma_cu + sigma_cnt;
+}
+
+double composite_max_current_density(const CompositeSpec& spec) {
+  validate(spec);
+  // The Cu matrix is EM-limited at its own current density; the CNT network
+  // sustains CNT-class density. At the composite failure point the Cu
+  // partial current density reaches its limit:
+  //   j_total,max = j_cu,max / (1 - share_cnt), capped by the CNT limit.
+  const double share = cnt_current_share(spec);
+  const double cu_limited =
+      cuconst::kEmCurrentDensityLimit / std::max(1e-12, 1.0 - share);
+  return std::min(cu_limited, cntconst::kCntMaxCurrentDensity);
+}
+
+double composite_thermal_conductivity(const CompositeSpec& spec) {
+  validate(spec);
+  const double cu_fraction = std::max(
+      0.0, 1.0 - spec.cnt_volume_fraction - spec.void_fraction);
+  return cu_fraction * cuconst::kThermalConductivity +
+         spec.cnt_volume_fraction * spec.alignment *
+             cntconst::kCntThermalConductivityLow;
+}
+
+double composite_em_lifetime_factor(const CompositeSpec& spec) {
+  validate(spec);
+  // Black's-law exponent n = 2: lifetime ~ j_cu^-2. The Cu partial current
+  // density drops by (1 - share), so MTTF improves by 1/(1-share)^2.
+  const double share = cnt_current_share(spec);
+  const double f = 1.0 / std::max(1e-12, (1.0 - share) * (1.0 - share));
+  return f;
+}
+
+}  // namespace cnti::materials

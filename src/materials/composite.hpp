@@ -1,0 +1,47 @@
+// Cu-CNT composite material model (paper Sec. II.C): CNT bundles impregnated
+// with copper by electroless (ELD) or electrochemical (ECD) deposition.
+// The composite trades a modest resistivity increase for a large ampacity
+// gain (Subramaniam et al. report ~100x ampacity at Cu-like conductivity).
+#pragma once
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace cnti::materials {
+
+/// Volume-fraction composition and quality of a Cu-CNT composite line.
+struct CompositeSpec {
+  /// CNT volume fraction (0 = pure Cu, 1 = pure CNT bundle).
+  double cnt_volume_fraction = 0.3;
+  /// Fraction of CNTs aligned with the transport direction.
+  double alignment = 0.9;
+  /// Fraction of metallic CNTs (2/3 semiconducting for undoped CVD tubes).
+  double metallic_fraction = 1.0 / 3.0;
+  /// Void volume fraction left by imperfect fill (process dependent).
+  double void_fraction = 0.02;
+  /// Axial conductivity of an individual long CNT [S/m].
+  double cnt_axial_conductivity = 2e8;
+  /// Effective resistivity of the Cu matrix (with size effects) [Ohm m].
+  double cu_matrix_resistivity = cuconst::kBulkResistivity;
+  double temperature_k = phys::kRoomTemperature;
+};
+
+/// Effective axial conductivity [S/m]: parallel rule over the Cu matrix and
+/// the aligned metallic CNT fraction, de-rated by voids.
+double composite_conductivity(const CompositeSpec& spec);
+
+/// Maximum current density [A/m^2]: Cu EM limit lifted by the CNT fraction
+/// carrying current at CNT-class density; interpolates between the Cu limit
+/// and the CNT limit with the current-sharing ratio.
+double composite_max_current_density(const CompositeSpec& spec);
+
+/// Effective thermal conductivity [W/(m K)] (volume-weighted parallel rule,
+/// CNTs at the conservative low end of the 3000-10000 W/mK range).
+double composite_thermal_conductivity(const CompositeSpec& spec);
+
+/// Electromigration lifetime improvement factor relative to pure Cu at the
+/// same stress current density (current shunted into EM-immune CNTs slows
+/// void growth; factor rises steeply with the CNT current share).
+double composite_em_lifetime_factor(const CompositeSpec& spec);
+
+}  // namespace cnti::materials

@@ -1,0 +1,80 @@
+#include "materials/copper.hpp"
+
+#include <cmath>
+
+namespace cnti::materials {
+
+double cu_bulk_resistivity(double temperature_k) {
+  CNTI_EXPECTS(temperature_k > 0, "temperature must be positive");
+  return cuconst::kBulkResistivity *
+         (1.0 + cuconst::kTempCoefficient *
+                    (temperature_k - phys::kRoomTemperature));
+}
+
+double mayadas_shatzkes_factor(double grain_size_m, double reflectivity,
+                               double mfp_m) {
+  CNTI_EXPECTS(grain_size_m > 0, "grain size must be positive");
+  CNTI_EXPECTS(reflectivity >= 0 && reflectivity < 1,
+               "grain reflectivity in [0, 1)");
+  // Mayadas-Shatzkes: rho0/rho = 3 [1/3 - alpha/2 + alpha^2
+  //                               - alpha^3 ln(1 + 1/alpha)]
+  // with alpha = (mfp/d) * R / (1 - R).
+  const double alpha = (mfp_m / grain_size_m) * reflectivity /
+                       (1.0 - reflectivity);
+  if (alpha < 1e-12) return 1.0;
+  const double inv = 3.0 * (1.0 / 3.0 - alpha / 2.0 + alpha * alpha -
+                            alpha * alpha * alpha * std::log(1.0 + 1.0 / alpha));
+  CNTI_EXPECTS(inv > 0, "Mayadas-Shatzkes factor out of validity range");
+  return 1.0 / inv;
+}
+
+double fuchs_sondheimer_factor(double width_m, double height_m,
+                               double specularity, double mfp_m) {
+  CNTI_EXPECTS(width_m > 0 && height_m > 0, "cross-section must be positive");
+  CNTI_EXPECTS(specularity >= 0 && specularity <= 1, "specularity in [0,1]");
+  // Additive small-size approximation for a rectangular wire:
+  // rho/rho0 = 1 + C (1 - p) lambda (1/w + 1/h), C = 3/8.
+  const double c = 3.0 / 8.0;
+  return 1.0 + c * (1.0 - specularity) * mfp_m *
+                   (1.0 / width_m + 1.0 / height_m);
+}
+
+double cu_effective_resistivity(const CuLineSpec& spec) {
+  const double grain =
+      spec.grain_size_m > 0 ? spec.grain_size_m : spec.width_m;
+  const double rho0 = cu_bulk_resistivity(spec.temperature_k);
+  return rho0 * mayadas_shatzkes_factor(grain, spec.grain_reflectivity) *
+         fuchs_sondheimer_factor(spec.width_m, spec.height_m,
+                                 spec.specularity);
+}
+
+CuLine::CuLine(CuLineSpec spec) : spec_(spec) {
+  CNTI_EXPECTS(spec_.width_m > 2.0 * spec_.barrier_thickness_m,
+               "barrier consumes the whole line width");
+  CNTI_EXPECTS(spec_.height_m > spec_.barrier_thickness_m,
+               "barrier consumes the whole line height");
+  rho_eff_ = cu_effective_resistivity(spec_);
+}
+
+double CuLine::conducting_area() const {
+  // Barrier on both sidewalls and the bottom (damascene).
+  const double w = spec_.width_m - 2.0 * spec_.barrier_thickness_m;
+  const double h = spec_.height_m - spec_.barrier_thickness_m;
+  return w * h;
+}
+
+double CuLine::resistance(double length_m) const {
+  CNTI_EXPECTS(length_m > 0, "length must be positive");
+  return rho_eff_ * length_m / conducting_area();
+}
+
+double CuLine::effective_conductivity() const {
+  // Referenced to drawn area so that thinner lines show the barrier loss.
+  return conducting_area() / (rho_eff_ * drawn_area());
+}
+
+double CuLine::max_current() const {
+  return cuconst::kEmCurrentDensityLimit * conducting_area();
+}
+
+}  // namespace cnti::materials

@@ -1,0 +1,74 @@
+// Copper interconnect resistivity with size effects: Fuchs-Sondheimer
+// surface scattering and Mayadas-Shatzkes grain-boundary scattering, plus a
+// diffusion-barrier area penalty. This is the "Cu lines" baseline the paper
+// compares CNT conductivity against in Fig. 9 and the EM-limited reference
+// of Sec. I / Sec. IV.A.
+#pragma once
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace cnti::materials {
+
+/// Geometry and microstructure of a Cu damascene line.
+struct CuLineSpec {
+  double width_m = 45e-9;
+  double height_m = 90e-9;
+  /// Specularity of surface scattering (0 = fully diffuse).
+  double specularity = 0.25;
+  /// Grain-boundary reflection coefficient.
+  double grain_reflectivity = 0.27;
+  /// Mean grain size; defaults to the line width (damascene microstructure).
+  /// <= 0 means "use the line width".
+  double grain_size_m = -1.0;
+  /// Diffusion-barrier (Ta/TaN) thickness consumed on each sidewall and the
+  /// bottom; the barrier conducts negligibly.
+  double barrier_thickness_m = 2e-9;
+  double temperature_k = phys::kRoomTemperature;
+};
+
+/// Bulk Cu resistivity at temperature T [Ohm m] (linear alpha model).
+double cu_bulk_resistivity(double temperature_k);
+
+/// Mayadas-Shatzkes grain-boundary resistivity multiplier (>= 1).
+double mayadas_shatzkes_factor(double grain_size_m, double reflectivity,
+                               double mfp_m = cuconst::kMeanFreePath);
+
+/// Fuchs-Sondheimer surface-scattering resistivity multiplier (>= 1) for a
+/// rectangular wire of the given cross-section (additive small-size form).
+double fuchs_sondheimer_factor(double width_m, double height_m,
+                               double specularity,
+                               double mfp_m = cuconst::kMeanFreePath);
+
+/// Effective resistivity of the Cu core, including both size effects [Ohm m].
+double cu_effective_resistivity(const CuLineSpec& spec);
+
+/// Cu line model: resistance, conductivity and ampacity of a finite line.
+class CuLine {
+ public:
+  explicit CuLine(CuLineSpec spec);
+
+  const CuLineSpec& spec() const { return spec_; }
+
+  /// Conducting (barrier-excluded) cross-section area [m^2].
+  double conducting_area() const;
+
+  /// Full drawn cross-section area [m^2].
+  double drawn_area() const { return spec_.width_m * spec_.height_m; }
+
+  /// Line resistance for length L [Ohm].
+  double resistance(double length_m) const;
+
+  /// Effective conductivity referenced to the drawn area [S/m]
+  /// (the quantity plotted in the paper's Fig. 9).
+  double effective_conductivity() const;
+
+  /// Maximum EM-reliable current (j_max * conducting area) [A].
+  double max_current() const;
+
+ private:
+  CuLineSpec spec_;
+  double rho_eff_;
+};
+
+}  // namespace cnti::materials

@@ -1,0 +1,36 @@
+// Thermal material properties shared by the thermal solver and TCAD
+// structures.
+#pragma once
+
+#include <string>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace cnti::materials {
+
+/// Bulk thermal conductivities [W/(m K)] used across the thermal studies.
+struct ThermalProps {
+  double conductivity_w_mk = 1.0;
+  std::string name = "unknown";
+};
+
+inline ThermalProps thermal_copper() {
+  return {cuconst::kThermalConductivity, "Cu"};
+}
+
+/// CNT bundle axial thermal conductivity; quality in [0,1] interpolates the
+/// paper's measured 3000-10000 W/mK range.
+inline ThermalProps thermal_cnt_bundle(double quality = 0.0) {
+  CNTI_EXPECTS(quality >= 0.0 && quality <= 1.0, "quality in [0, 1]");
+  const double k = cntconst::kCntThermalConductivityLow +
+                   quality * (cntconst::kCntThermalConductivityHigh -
+                              cntconst::kCntThermalConductivityLow);
+  return {k, "CNT bundle"};
+}
+
+inline ThermalProps thermal_sio2() { return {1.4, "SiO2"}; }
+inline ThermalProps thermal_lowk() { return {0.3, "low-k"}; }
+inline ThermalProps thermal_silicon() { return {148.0, "Si"}; }
+
+}  // namespace cnti::materials

@@ -1,0 +1,116 @@
+// Linear least squares with parameter uncertainties. Used by the
+// characterization module (TLM fits, SThM k_th extraction, EM TTF fits).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "numerics/matrix.hpp"
+
+namespace cnti::numerics {
+
+/// Result of a straight-line fit y = intercept + slope * x.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double intercept_stderr = 0.0;
+  double slope_stderr = 0.0;
+  double r_squared = 0.0;
+  double residual_rms = 0.0;
+};
+
+/// Ordinary least squares line fit. Requires >= 2 distinct x values.
+inline LineFit fit_line(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  CNTI_EXPECTS(n == y.size(), "x/y size mismatch");
+  CNTI_EXPECTS(n >= 2, "need at least two points");
+
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx < 1e-300) throw NumericalError("fit_line: degenerate x values");
+
+  LineFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ssr = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = y[i] - (fit.intercept + fit.slope * x[i]);
+    ssr += r * r;
+  }
+  fit.residual_rms = std::sqrt(ssr / n);
+  fit.r_squared = (syy > 0) ? 1.0 - ssr / syy : 1.0;
+  if (n > 2) {
+    const double s2 = ssr / (n - 2);
+    fit.slope_stderr = std::sqrt(s2 / sxx);
+    fit.intercept_stderr = std::sqrt(s2 * (1.0 / n + mx * mx / sxx));
+  }
+  return fit;
+}
+
+/// Weighted least squares line fit; weights ~ 1/sigma_i^2.
+inline LineFit fit_line_weighted(const std::vector<double>& x,
+                                 const std::vector<double>& y,
+                                 const std::vector<double>& w) {
+  const std::size_t n = x.size();
+  CNTI_EXPECTS(n == y.size() && n == w.size(), "size mismatch");
+  CNTI_EXPECTS(n >= 2, "need at least two points");
+
+  double sw = 0, swx = 0, swy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    CNTI_EXPECTS(w[i] > 0, "weights must be positive");
+    sw += w[i];
+    swx += w[i] * x[i];
+    swy += w[i] * y[i];
+  }
+  const double mx = swx / sw, my = swy / sw;
+  double sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += w[i] * (x[i] - mx) * (x[i] - mx);
+    sxy += w[i] * (x[i] - mx) * (y[i] - my);
+  }
+  if (sxx < 1e-300) throw NumericalError("fit_line_weighted: degenerate x");
+
+  LineFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.slope_stderr = std::sqrt(1.0 / sxx);
+  fit.intercept_stderr = std::sqrt(1.0 / sw + mx * mx / sxx);
+
+  double ssr = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = y[i] - (fit.intercept + fit.slope * x[i]);
+    ssr += w[i] * r * r;
+    syy += w[i] * (y[i] - my) * (y[i] - my);
+  }
+  fit.residual_rms = std::sqrt(ssr / sw);
+  fit.r_squared = (syy > 0) ? 1.0 - ssr / syy : 1.0;
+  return fit;
+}
+
+/// General linear least squares: minimizes ||A beta - y||_2 via normal
+/// equations (A is tall, well-conditioned design matrices only).
+inline std::vector<double> fit_linear_model(const MatrixD& a,
+                                            const std::vector<double>& y) {
+  CNTI_EXPECTS(a.rows() == y.size(), "design/observation mismatch");
+  CNTI_EXPECTS(a.rows() >= a.cols(), "underdetermined system");
+  const MatrixD at = a.transpose();
+  const MatrixD ata = at * a;
+  const std::vector<double> aty = at * y;
+  return solve_dense(ata, aty);
+}
+
+}  // namespace cnti::numerics

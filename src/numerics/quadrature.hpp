@@ -1,0 +1,76 @@
+// Numerical integration: adaptive Simpson (thermal broadening integrals in
+// the Landauer conductance) and fixed-order Gauss-Legendre.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace cnti::numerics {
+
+namespace detail {
+
+template <typename F>
+double adaptive_simpson_rec(const F& f, double a, double b, double fa,
+                            double fm, double fb, double whole, double eps,
+                            int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m), rm = 0.5 * (m + b);
+  const double flm = f(lm), frm = f(rm);
+  const double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  const double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * eps) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive_simpson_rec(f, a, m, fa, flm, fm, left, 0.5 * eps,
+                              depth - 1) +
+         adaptive_simpson_rec(f, m, b, fm, frm, fb, right, 0.5 * eps,
+                              depth - 1);
+}
+
+}  // namespace detail
+
+/// Adaptive Simpson quadrature of f over [a, b] to absolute tolerance eps.
+template <typename F>
+double integrate_adaptive(const F& f, double a, double b, double eps = 1e-10,
+                          int max_depth = 30) {
+  CNTI_EXPECTS(b >= a, "integration bounds reversed");
+  if (a == b) return 0.0;
+  const double fa = f(a), fb = f(b), fm = f(0.5 * (a + b));
+  const double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+  return detail::adaptive_simpson_rec(f, a, b, fa, fm, fb, whole, eps,
+                                      max_depth);
+}
+
+/// 16-point Gauss-Legendre quadrature over [a, b] (smooth integrands).
+template <typename F>
+double integrate_gauss16(const F& f, double a, double b) {
+  // Abscissae/weights for n=16 on [-1, 1].
+  static constexpr std::array<double, 8> x = {
+      0.0950125098376374, 0.2816035507792589, 0.4580167776572274,
+      0.6178762444026438, 0.7554044083550030, 0.8656312023878318,
+      0.9445750230732326, 0.9894009349916499};
+  static constexpr std::array<double, 8> w = {
+      0.1894506104550685, 0.1826034150449236, 0.1691565193950025,
+      0.1495959888165767, 0.1246289712555339, 0.0951585116824928,
+      0.0622535239386479, 0.0271524594117541};
+  const double c = 0.5 * (a + b), h = 0.5 * (b - a);
+  double s = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    s += w[i] * (f(c + h * x[i]) + f(c - h * x[i]));
+  }
+  return s * h;
+}
+
+/// Composite trapezoid on n+1 uniform samples (tabulated data).
+inline double integrate_trapezoid(const std::vector<double>& y, double dx) {
+  CNTI_EXPECTS(y.size() >= 2, "need at least two samples");
+  double s = 0.5 * (y.front() + y.back());
+  for (std::size_t i = 1; i + 1 < y.size(); ++i) s += y[i];
+  return s * dx;
+}
+
+}  // namespace cnti::numerics

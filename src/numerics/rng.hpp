@@ -1,0 +1,63 @@
+// Deterministic RNG facade. All stochastic models (growth, variability,
+// instrument noise) take an Rng& so experiments are reproducible by seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace cnti::numerics {
+
+/// Thin wrapper over mt19937_64 with the distributions the library needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  double normal(double mean = 0.0, double sigma = 1.0) {
+    return std::normal_distribution<double>(mean, sigma)(engine_);
+  }
+
+  /// Lognormal parameterized by the *linear-space* median and the sigma of
+  /// the underlying normal (geometric sigma).
+  double lognormal_median(double median, double sigma_log) {
+    CNTI_EXPECTS(median > 0, "lognormal median must be positive");
+    return std::lognormal_distribution<double>(std::log(median),
+                                               sigma_log)(engine_);
+  }
+
+  /// Truncated normal via rejection (bounds guard unphysical samples).
+  double normal_truncated(double mean, double sigma, double lo, double hi) {
+    CNTI_EXPECTS(hi > lo, "invalid truncation bounds");
+    for (int i = 0; i < 1000; ++i) {
+      const double v = normal(mean, sigma);
+      if (v >= lo && v <= hi) return v;
+    }
+    // Pathological parameters: fall back to clamped mean.
+    return std::min(std::max(mean, lo), hi);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  double exponential(double rate) {
+    CNTI_EXPECTS(rate > 0, "rate must be positive");
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cnti::numerics

@@ -1,0 +1,91 @@
+// Scalar root finding: Brent's method (ampacity solves, crossover lengths)
+// and bisection fallback.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace cnti::numerics {
+
+struct RootOptions {
+  double x_tolerance = 1e-12;
+  double f_tolerance = 1e-14;
+  int max_iterations = 200;
+};
+
+/// Brent's method on [a, b]; requires f(a) and f(b) of opposite sign.
+template <typename F>
+double find_root_brent(const F& f, double a, double b,
+                       const RootOptions& opt = {}) {
+  double fa = f(a), fb = f(b);
+  CNTI_EXPECTS(fa * fb <= 0.0, "root not bracketed");
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+
+  double c = a, fc = fa, d = b - a, e = d;
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol = 2.0 * 1e-16 * std::abs(b) + 0.5 * opt.x_tolerance;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || std::abs(fb) < opt.f_tolerance) return b;
+
+    if (std::abs(e) >= tol && std::abs(fa) > std::abs(fb)) {
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {  // secant
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {  // inverse quadratic
+        const double qq = fa / fc, r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0) q = -q;
+      p = std::abs(p);
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q),
+                             std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    } else {
+      d = m;
+      e = m;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0) == (fc > 0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  throw NumericalError("Brent: no convergence");
+}
+
+/// Expands [a, b] geometrically until f changes sign, then runs Brent.
+template <typename F>
+double find_root_auto_bracket(const F& f, double a, double b,
+                              double expand = 2.0, int max_expand = 60,
+                              const RootOptions& opt = {}) {
+  CNTI_EXPECTS(b > a, "invalid initial bracket");
+  double fa = f(a), fb = f(b);
+  for (int i = 0; i < max_expand && fa * fb > 0.0; ++i) {
+    b = a + (b - a) * expand;
+    fb = f(b);
+  }
+  if (fa * fb > 0.0) throw NumericalError("auto-bracket failed");
+  return find_root_brent(f, a, b, opt);
+}
+
+}  // namespace cnti::numerics

@@ -1,0 +1,133 @@
+// Compressed-sparse-row matrix and a triplet-based builder, used by the TCAD
+// field solver and the MNA engine for large linear systems.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cnti::numerics {
+
+/// CSR matrix of doubles. Immutable once built (build via SparseBuilder).
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  SparseMatrix(std::size_t rows, std::size_t cols,
+               std::vector<std::size_t> row_ptr, std::vector<std::size_t> col,
+               std::vector<double> val)
+      : rows_(rows),
+        cols_(cols),
+        row_ptr_(std::move(row_ptr)),
+        col_(std::move(col)),
+        val_(std::move(val)) {
+    CNTI_EXPECTS(row_ptr_.size() == rows_ + 1, "bad row_ptr length");
+    CNTI_EXPECTS(col_.size() == val_.size(), "col/val length mismatch");
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return val_.size(); }
+
+  /// y = A x.
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const {
+    CNTI_EXPECTS(x.size() == cols_, "matvec size mismatch");
+    y.assign(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      double acc = 0.0;
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        acc += val_[k] * x[col_[k]];
+      }
+      y[i] = acc;
+    }
+  }
+
+  std::vector<double> operator*(const std::vector<double>& x) const {
+    std::vector<double> y;
+    multiply(x, y);
+    return y;
+  }
+
+  /// Diagonal entries (zero when absent) — Jacobi preconditioner input.
+  std::vector<double> diagonal() const {
+    std::vector<double> d(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        if (col_[k] == i) d[i] = val_[k];
+      }
+    }
+    return d;
+  }
+
+  double at(std::size_t r, std::size_t c) const {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_[k] == c) return val_[k];
+    }
+    return 0.0;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_;
+  std::vector<double> val_;
+};
+
+/// Accumulates (row, col, value) triplets; duplicate entries are summed on
+/// build (natural for FD/MNA stamping).
+class SparseBuilder {
+ public:
+  SparseBuilder(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {}
+
+  void add(std::size_t r, std::size_t c, double v) {
+    CNTI_EXPECTS(r < rows_ && c < cols_, "triplet out of range");
+    triplets_.push_back({r, c, v});
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  SparseMatrix build() const {
+    std::vector<Triplet> t = triplets_;
+    std::sort(t.begin(), t.end(), [](const Triplet& a, const Triplet& b) {
+      return a.row != b.row ? a.row < b.row : a.col < b.col;
+    });
+    std::vector<std::size_t> row_ptr(rows_ + 1, 0);
+    std::vector<std::size_t> col;
+    std::vector<double> val;
+    col.reserve(t.size());
+    val.reserve(t.size());
+    for (std::size_t i = 0; i < t.size();) {
+      std::size_t j = i;
+      double acc = 0.0;
+      while (j < t.size() && t[j].row == t[i].row && t[j].col == t[i].col) {
+        acc += t[j].value;
+        ++j;
+      }
+      col.push_back(t[i].col);
+      val.push_back(acc);
+      ++row_ptr[t[i].row + 1];
+      i = j;
+    }
+    for (std::size_t r = 0; r < rows_; ++r) row_ptr[r + 1] += row_ptr[r];
+    return SparseMatrix(rows_, cols_, std::move(row_ptr), std::move(col),
+                        std::move(val));
+  }
+
+ private:
+  struct Triplet {
+    std::size_t row;
+    std::size_t col;
+    double value;
+  };
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace cnti::numerics

@@ -1,0 +1,79 @@
+// Descriptive statistics for Monte Carlo variability studies and virtual
+// wafer-level characterization.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cnti::numerics {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;      ///< Sample standard deviation (n-1).
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+  /// Coefficient of variation sigma/mu — the paper's variability metric.
+  double cv() const { return (mean != 0.0) ? stddev / std::abs(mean) : 0.0; }
+};
+
+/// Linear-interpolated percentile of a sorted vector, p in [0, 1].
+inline double percentile_sorted(const std::vector<double>& sorted, double p) {
+  CNTI_EXPECTS(!sorted.empty(), "empty sample");
+  CNTI_EXPECTS(p >= 0.0 && p <= 1.0, "percentile out of [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double idx = p * (sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - lo;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+inline Summary summarize(std::vector<double> sample) {
+  CNTI_EXPECTS(!sample.empty(), "empty sample");
+  Summary s;
+  s.count = sample.size();
+  double sum = 0;
+  for (double v : sample) sum += v;
+  s.mean = sum / sample.size();
+  double ss = 0;
+  for (double v : sample) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = sample.size() > 1 ? std::sqrt(ss / (sample.size() - 1)) : 0.0;
+  std::sort(sample.begin(), sample.end());
+  s.min = sample.front();
+  s.max = sample.back();
+  s.median = percentile_sorted(sample, 0.5);
+  s.p05 = percentile_sorted(sample, 0.05);
+  s.p95 = percentile_sorted(sample, 0.95);
+  return s;
+}
+
+/// Histogram with uniform bins over [lo, hi].
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+};
+
+inline Histogram histogram(const std::vector<double>& sample, double lo,
+                           double hi, std::size_t bins) {
+  CNTI_EXPECTS(hi > lo, "invalid histogram range");
+  CNTI_EXPECTS(bins >= 1, "need at least one bin");
+  Histogram h{lo, hi, std::vector<std::size_t>(bins, 0)};
+  const double w = (hi - lo) / bins;
+  for (double v : sample) {
+    if (v < lo || v >= hi) continue;
+    const auto b = static_cast<std::size_t>((v - lo) / w);
+    ++h.counts[std::min(b, bins - 1)];
+  }
+  return h;
+}
+
+}  // namespace cnti::numerics

@@ -1,0 +1,51 @@
+#include "process/chirality_stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/constants.hpp"
+
+namespace cnti::process {
+
+atomistic::Chirality sample_chirality(double diameter_nm,
+                                      numerics::Rng& rng) {
+  CNTI_EXPECTS(diameter_nm >= 0.4, "diameter below smallest stable tube");
+  // Enumerate canonical (n, m) with diameter within 5% of the target and
+  // pick uniformly; widen the window if the shell diameter is awkward.
+  for (double window = 0.05; window < 0.5; window *= 2.0) {
+    std::vector<atomistic::Chirality> candidates;
+    const int n_max = static_cast<int>(diameter_nm / 0.0783) + 2;
+    for (int n = 1; n <= n_max; ++n) {
+      for (int m = 0; m <= n; ++m) {
+        const atomistic::Chirality ch(n, m);
+        const double d = ch.diameter() * 1e9;
+        if (std::abs(d - diameter_nm) < window * diameter_nm) {
+          candidates.push_back(ch);
+        }
+      }
+    }
+    if (!candidates.empty()) {
+      const int pick = rng.uniform_int(0,
+                                       static_cast<int>(candidates.size()) -
+                                           1);
+      return candidates[static_cast<std::size_t>(pick)];
+    }
+  }
+  throw NumericalError("no chirality found near requested diameter");
+}
+
+double metallic_probability() {
+  return 1.0 - cntconst::kSemiconductingFraction;
+}
+
+double sampled_metallic_fraction(double diameter_nm, int samples,
+                                 numerics::Rng& rng) {
+  CNTI_EXPECTS(samples > 0, "need at least one sample");
+  int metallic = 0;
+  for (int i = 0; i < samples; ++i) {
+    if (sample_chirality(diameter_nm, rng).is_metallic()) ++metallic;
+  }
+  return static_cast<double>(metallic) / samples;
+}
+
+}  // namespace cnti::process

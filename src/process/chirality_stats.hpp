@@ -1,0 +1,24 @@
+// Chirality statistics of CVD growth: without chirality control, 2/3 of
+// tubes/shells are semiconducting (paper Sec. II.A). Samples (n, m) pairs
+// uniformly over the chiral angle at a target diameter and classifies them.
+#pragma once
+
+#include "atomistic/swcnt_geometry.hpp"
+#include "numerics/rng.hpp"
+
+namespace cnti::process {
+
+/// Samples a chirality with diameter close to `diameter_nm` (within the
+/// lattice discreteness), uniform over canonical (n, m) pairs near it.
+atomistic::Chirality sample_chirality(double diameter_nm,
+                                      numerics::Rng& rng);
+
+/// Probability that a randomly grown shell is metallic (~1/3).
+double metallic_probability();
+
+/// Fraction of metallic tubes in `samples` random chiralities at the given
+/// diameter — statistical check used in tests and the variability MC.
+double sampled_metallic_fraction(double diameter_nm, int samples,
+                                 numerics::Rng& rng);
+
+}  // namespace cnti::process

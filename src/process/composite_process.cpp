@@ -1,0 +1,73 @@
+#include "process/composite_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cnti::process {
+
+std::string to_string(FillMethod m) {
+  return m == FillMethod::kEld ? "ELD" : "ECD";
+}
+
+FillOutcome simulate_fill(const FillRecipe& recipe,
+                          double cnt_volume_fraction) {
+  CNTI_EXPECTS(cnt_volume_fraction >= 0 && cnt_volume_fraction < 1,
+               "CNT volume fraction in [0, 1)");
+  CNTI_EXPECTS(recipe.bath_quality >= 0 && recipe.bath_quality <= 1,
+               "bath quality in [0, 1]");
+  CNTI_EXPECTS(recipe.plating_time_min > 0, "plating time positive");
+
+  FillOutcome out;
+
+  // Process preconditions.
+  if (recipe.method == FillMethod::kEcd && !recipe.conductive_substrate) {
+    out.feasible = false;  // ECD needs a conductive substrate (Sec. II.C)
+    return out;
+  }
+  if (recipe.alignment == CntAlignment::kHorizontal &&
+      !recipe.ha_preparation_done) {
+    out.feasible = false;  // HA-CNTs need the CEA preparation technique
+    return out;
+  }
+
+  // Fill saturates with time; denser CNT carpets are harder to infiltrate.
+  const double tau_min = 10.0 * (1.0 + 2.0 * cnt_volume_fraction);
+  const double saturation = 1.0 - std::exp(-recipe.plating_time_min /
+                                           tau_min);
+
+  double quality = recipe.bath_quality;
+  if (recipe.method == FillMethod::kEcd) {
+    // Off-optimum plating current nucleates voids (dendrites / depletion).
+    const double detune = std::abs(recipe.relative_current - 1.0);
+    quality *= std::exp(-2.0 * detune * detune);
+  } else {
+    // ELD: simpler but chemically dirtier and slightly less conformal.
+    quality *= 0.9;
+  }
+
+  out.fill_fraction = saturation * quality;
+  out.void_fraction = std::max(0.0, 1.0 - out.fill_fraction) *
+                      (1.0 - cnt_volume_fraction);
+  // Overburden grows once the structure is full (Fig. 6 cross-section).
+  out.overburden_nm =
+      std::max(0.0, recipe.plating_time_min - tau_min) * 4.0;
+  // ELD involves "a multitude of different chemicals" — flagged for CMOS.
+  out.cmos_compatible_chemistry = (recipe.method == FillMethod::kEcd) ||
+                                  recipe.bath_quality > 0.95;
+  return out;
+}
+
+materials::CompositeSpec to_composite_spec(const FillOutcome& outcome,
+                                           double cnt_volume_fraction,
+                                           double cu_matrix_resistivity) {
+  CNTI_EXPECTS(outcome.feasible, "cannot build a composite from an "
+                                 "infeasible fill");
+  materials::CompositeSpec spec;
+  spec.cnt_volume_fraction = cnt_volume_fraction;
+  spec.void_fraction =
+      std::min(0.99, outcome.void_fraction);
+  spec.cu_matrix_resistivity = cu_matrix_resistivity;
+  return spec;
+}
+
+}  // namespace cnti::process

@@ -1,0 +1,52 @@
+// Cu impregnation of CNT bundles (paper Sec. II.C): electroless deposition
+// (ELD — low technical effort, many chemicals, CMOS-compatibility concerns)
+// versus electrochemical deposition (ECD — needs a conductive substrate,
+// more control knobs, demonstrated void-free fill of HA-CNT bundles).
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "materials/composite.hpp"
+
+namespace cnti::process {
+
+enum class FillMethod { kEld, kEcd };
+enum class CntAlignment { kVertical, kHorizontal };
+
+std::string to_string(FillMethod m);
+
+struct FillRecipe {
+  FillMethod method = FillMethod::kEcd;
+  CntAlignment alignment = CntAlignment::kVertical;
+  /// Bath/chemistry quality, 0..1 (additive concentrations, pH control).
+  double bath_quality = 0.8;
+  /// ECD only: plating current density relative to the optimum (1 = best).
+  double relative_current = 1.0;
+  double plating_time_min = 30.0;
+  /// Substrate is conductive (required by ECD).
+  bool conductive_substrate = true;
+  /// HA-CNTs require CEA's alignment preparation before filling.
+  bool ha_preparation_done = true;
+};
+
+struct FillOutcome {
+  double fill_fraction = 0.0;     ///< Cu volume fraction of the open space.
+  double void_fraction = 0.0;     ///< Remaining voids.
+  double overburden_nm = 0.0;     ///< Cu crystal growth on top (Fig. 6).
+  bool cmos_compatible_chemistry = true;
+  bool feasible = true;           ///< Process preconditions met.
+};
+
+/// Simulates the Cu impregnation of a CNT bundle with the given CNT volume
+/// fraction. Throws on invalid recipes; infeasible combinations (ECD on an
+/// insulating substrate, HA without preparation) return feasible = false.
+FillOutcome simulate_fill(const FillRecipe& recipe,
+                          double cnt_volume_fraction);
+
+/// Convenience: converts a fill outcome into a composite material spec.
+materials::CompositeSpec to_composite_spec(const FillOutcome& outcome,
+                                           double cnt_volume_fraction,
+                                           double cu_matrix_resistivity);
+
+}  // namespace cnti::process

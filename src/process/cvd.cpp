@@ -1,0 +1,98 @@
+#include "process/cvd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace cnti::process {
+
+std::string to_string(Catalyst c) {
+  return c == Catalyst::kFe ? "Fe" : "Co";
+}
+
+namespace {
+
+/// Catalyst activity vs. temperature: logistic with a catalyst-specific
+/// onset. Co stays active at lower temperature than Fe (Sec. II.B showed
+/// good growth on Co shifted into the CMOS-compatible range).
+double catalyst_activity(Catalyst c, double t_c) {
+  const double t50 = (c == Catalyst::kCo) ? 375.0 : 425.0;
+  const double width = 25.0;
+  return 1.0 / (1.0 + std::exp(-(t_c - t50) / width));
+}
+
+}  // namespace
+
+GrowthQuality evaluate_recipe(const GrowthRecipe& recipe) {
+  CNTI_EXPECTS(recipe.temperature_c > 200.0 && recipe.temperature_c < 1100.0,
+               "growth temperature out of CVD range");
+  CNTI_EXPECTS(recipe.catalyst_thickness_nm > 0.2 &&
+                   recipe.catalyst_thickness_nm < 10.0,
+               "catalyst thickness out of range");
+  CNTI_EXPECTS(recipe.growth_time_min > 0, "growth time must be positive");
+
+  GrowthQuality q;
+  const double t_k = units::celsius_to_kelvin(recipe.temperature_c);
+  const double t_ref = units::celsius_to_kelvin(450.0);
+  const double kb_ev = phys::kBoltzmann / phys::kElectronVolt;
+
+  // Diameter scales with the dewetted particle size: ~7.5x the film
+  // thickness at 1 nm (paper: 1 nm film -> ~7.5 nm, 4-5 wall MWCNT).
+  q.mean_diameter_nm = 7.5 * recipe.catalyst_thickness_nm;
+  // Hotter growth -> better-defined particles -> tighter distribution.
+  q.diameter_sigma_log = std::clamp(0.25 - 0.0002 * (t_k - 600.0), 0.05,
+                                    0.35);
+  q.mean_walls = std::clamp(q.mean_diameter_nm * 0.6, 2.0, 20.0);
+
+  // Arrhenius growth rate (Ea ~ 1.2 eV), 1 um/min at the 450 C reference.
+  const double ea_growth = 1.2;
+  q.growth_rate_um_per_min =
+      1.0 * std::exp(-ea_growth / kb_ev * (1.0 / t_k - 1.0 / t_ref)) *
+      catalyst_activity(recipe.catalyst, recipe.temperature_c);
+  q.expected_length_um = q.growth_rate_um_per_min * recipe.growth_time_min;
+
+  // Defect healing is thermally activated (Ea ~ 0.5 eV): low-temperature
+  // CVD leaves a short defect spacing (paper Sec. II.A: defects from
+  // low-temperature growth versus arc discharge).
+  const double ea_defect = 0.5;
+  q.defect_spacing_um =
+      1.0 * std::exp(-ea_defect / kb_ev * (1.0 / t_k - 1.0 / t_ref));
+
+  // Tortuosity and density improve with temperature (conclusion: "reduce
+  // the CNT tortuosity and increase their packing density").
+  q.tortuosity = std::clamp(1.6 - 0.0005 * (t_k - 600.0), 1.05, 1.8);
+  q.areal_density_per_nm2 =
+      0.08 * catalyst_activity(recipe.catalyst, recipe.temperature_c);
+
+  // Via fill: needs enough activity and enough length to reach the top.
+  const double activity =
+      catalyst_activity(recipe.catalyst, recipe.temperature_c);
+  q.via_fill_yield = std::clamp(activity * (q.expected_length_um > 0.1
+                                                ? 0.97
+                                                : 0.0),
+                                0.0, 0.97);
+  q.cmos_compatible_temperature = recipe.temperature_c <= 400.0;
+  return q;
+}
+
+GrownTube sample_tube(const GrowthQuality& quality, numerics::Rng& rng) {
+  GrownTube t;
+  t.diameter_nm =
+      rng.lognormal_median(quality.mean_diameter_nm,
+                           quality.diameter_sigma_log);
+  t.diameter_nm = std::clamp(t.diameter_nm, 1.0, 50.0);
+  const int walls = static_cast<int>(std::round(
+      rng.normal(quality.mean_walls, 0.7)));
+  t.walls = std::max(1, walls);
+  // Exponentially distributed defect gaps around the mean spacing.
+  t.defect_spacing_um =
+      std::max(0.01, rng.exponential(1.0 / quality.defect_spacing_um));
+  t.length_um = std::max(0.05, rng.normal(quality.expected_length_um,
+                                          0.15 * quality.expected_length_um));
+  t.via_filled = rng.bernoulli(quality.via_fill_yield);
+  return t;
+}
+
+}  // namespace cnti::process

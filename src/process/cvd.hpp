@@ -1,0 +1,56 @@
+// CVD growth process model (paper Sec. II): catalyst film dewets into
+// nanoparticles that seed MWCNTs inside pre-patterned via holes. Growth
+// temperature and catalyst material set the growth rate (Arrhenius), the
+// defect density (low-temperature growth is defective), the diameter
+// statistics and the via-fill yield. Fe is the reference catalyst; Co is
+// the CMOS-compatible one that must work below 400 C (Sec. II.B).
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "numerics/rng.hpp"
+
+namespace cnti::process {
+
+enum class Catalyst { kFe, kCo };
+
+std::string to_string(Catalyst c);
+
+/// Deposition / growth conditions.
+struct GrowthRecipe {
+  Catalyst catalyst = Catalyst::kFe;
+  double temperature_c = 450.0;
+  double catalyst_thickness_nm = 1.0;  ///< Paper: 1 nm film -> ~7.5 nm CNT.
+  double growth_time_min = 10.0;
+};
+
+/// Deterministic quality metrics derived from a recipe.
+struct GrowthQuality {
+  double mean_diameter_nm = 7.5;
+  double diameter_sigma_log = 0.15;   ///< Lognormal spread.
+  double mean_walls = 4.5;            ///< Paper: 4-5 walls.
+  double defect_spacing_um = 1.0;     ///< Mean distance between defects.
+  double growth_rate_um_per_min = 1.0;
+  double expected_length_um = 10.0;
+  double tortuosity = 1.2;            ///< Path length / straight length.
+  double areal_density_per_nm2 = 0.05;
+  double via_fill_yield = 0.9;        ///< P(single CNT grows in the via).
+  bool cmos_compatible_temperature = false;  ///< <= 400 C budget.
+};
+
+/// Evaluates the growth model at a recipe. Throws on unphysical inputs.
+GrowthQuality evaluate_recipe(const GrowthRecipe& recipe);
+
+/// One grown tube sampled from the quality distributions.
+struct GrownTube {
+  double diameter_nm = 7.5;
+  int walls = 5;
+  double defect_spacing_um = 1.0;
+  double length_um = 10.0;
+  bool via_filled = true;
+};
+
+GrownTube sample_tube(const GrowthQuality& quality, numerics::Rng& rng);
+
+}  // namespace cnti::process

@@ -1,0 +1,91 @@
+#include "process/variability.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace cnti::process {
+
+double sample_device_resistance_kohm(const GrowthQuality& quality,
+                                     double length_um,
+                                     double channels_if_doped,
+                                     double contact_kohm,
+                                     numerics::Rng& rng) {
+  const GrownTube tube = sample_tube(quality, rng);
+  const double length_m = units::from_um(length_um);
+  const double spacing = 2.0 * cntconst::kShellSpacing;
+
+  // Shells from the sampled wall count, diameters stepping inward.
+  double conductance = 0.0;
+  for (int s = 0; s < tube.walls; ++s) {
+    const double d_m = units::from_nm(tube.diameter_nm) - spacing * s;
+    if (d_m < 1e-9) break;
+    double channels;
+    if (channels_if_doped > 0.0) {
+      // Doping makes every shell conduct with the enhanced channel count.
+      channels = channels_if_doped;
+    } else {
+      // Pristine: per-shell chirality lottery — 1/3 metallic shells carry
+      // ~2 channels, semiconducting shells are off at low bias.
+      channels = rng.bernoulli(1.0 / 3.0)
+                     ? cntconst::kChannelsPerMetallicShell
+                     : 0.0;
+    }
+    if (channels <= 0.0) continue;
+    // Matthiessen MFP: acoustic (1000 d) + sampled defect spacing.
+    const double l_ac = cntconst::kMfpOverDiameter * d_m;
+    const double l_def = units::from_um(tube.defect_spacing_um);
+    const double mfp = 1.0 / (1.0 / l_ac + 1.0 / l_def);
+    conductance += channels * phys::kConductanceQuantum /
+                   (1.0 + length_m / mfp);
+  }
+  if (conductance <= 0.0) return -1.0;  // open device
+  const double r = 1.0 / conductance + units::from_kOhm(contact_kohm);
+  return units::to_kOhm(r);
+}
+
+VariabilityResult run_resistance_mc(const VariabilityConfig& config) {
+  CNTI_EXPECTS(config.samples >= 10, "need at least 10 MC samples");
+  CNTI_EXPECTS(config.length_um > 0, "length must be positive");
+  const GrowthQuality quality = evaluate_recipe(config.recipe);
+  numerics::Rng rng(config.seed);
+
+  double channels_if_doped = 0.0;
+  if (config.dopant_concentration > 0.0) {
+    const atomistic::ChargeTransferDoping doping(
+        config.dopant, config.dopant_concentration);
+    channels_if_doped = doping.channels_per_shell_simple();
+  }
+
+  std::vector<double> resistances;
+  resistances.reserve(static_cast<std::size_t>(config.samples));
+  int open_count = 0;
+  for (int i = 0; i < config.samples; ++i) {
+    const double contact_kohm = rng.lognormal_median(
+        config.contact_median_kohm, config.contact_sigma_log);
+    const double r = sample_device_resistance_kohm(
+        quality, config.length_um, channels_if_doped, contact_kohm, rng);
+    if (r < 0) {
+      ++open_count;
+    } else {
+      resistances.push_back(r);
+    }
+  }
+  CNTI_EXPECTS(!resistances.empty(), "every sampled device was open");
+
+  VariabilityResult out;
+  out.resistance_kohm = numerics::summarize(resistances);
+  out.open_fraction =
+      static_cast<double>(open_count) / config.samples;
+  const double threshold = 3.0 * out.resistance_kohm.median;
+  int tail = 0;
+  for (double r : resistances) {
+    if (r > threshold) ++tail;
+  }
+  out.tail_fraction = static_cast<double>(tail) / config.samples;
+  return out;
+}
+
+}  // namespace cnti::process

@@ -1,0 +1,50 @@
+// Monte Carlo variability analysis of CNT interconnect resistance: samples
+// growth outcomes (diameter, walls, defects), per-shell chirality (1/3
+// metallic) and contact resistance, then builds the electrical model. The
+// paper's central variability claim — doping counteracts chirality- and
+// defect-induced resistance spread (Sec. II.A, III.C) — is what this
+// module quantifies.
+#pragma once
+
+#include "atomistic/doping.hpp"
+#include "numerics/stats.hpp"
+#include "process/cvd.hpp"
+
+namespace cnti::process {
+
+struct VariabilityConfig {
+  GrowthRecipe recipe;
+  int samples = 2000;
+  double length_um = 1.0;
+  /// Doping: concentration 0 = pristine.
+  atomistic::DopantSpecies dopant =
+      atomistic::DopantSpecies::kIodineInternal;
+  double dopant_concentration = 0.0;
+  /// Contact resistance distribution (lognormal, both ends combined).
+  double contact_median_kohm = 50.0;
+  double contact_sigma_log = 0.5;
+  unsigned seed = 1234;
+};
+
+struct VariabilityResult {
+  numerics::Summary resistance_kohm;
+  /// Fraction of devices whose resistance exceeds 3x the median (failures
+  /// in a delay-binned design).
+  double tail_fraction = 0.0;
+  /// Fraction of tubes with zero conducting shells (open devices, counted
+  /// separately and excluded from the resistance summary).
+  double open_fraction = 0.0;
+};
+
+/// Resistance of one sampled MWCNT device of length `length_um` [kOhm];
+/// negative when the device has no conducting shell (pristine all-
+/// semiconducting case).
+double sample_device_resistance_kohm(const GrowthQuality& quality,
+                                     double length_um,
+                                     double channels_if_doped,
+                                     double contact_kohm,
+                                     numerics::Rng& rng);
+
+VariabilityResult run_resistance_mc(const VariabilityConfig& config);
+
+}  // namespace cnti::process

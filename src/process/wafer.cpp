@@ -1,0 +1,61 @@
+#include "process/wafer.hpp"
+
+#include <cmath>
+
+namespace cnti::process {
+
+WaferMap::WaferMap(const WaferSpec& spec, const GrowthRecipe& nominal,
+                   numerics::Rng& rng) {
+  CNTI_EXPECTS(spec.diameter_mm > 0 && spec.die_pitch_mm > 0,
+               "wafer geometry must be positive");
+  const double r_max = spec.diameter_mm / 2.0 - spec.edge_exclusion_mm;
+  const double pitch = spec.die_pitch_mm;
+  const int n_half = static_cast<int>(std::ceil(r_max / pitch));
+
+  for (int iy = -n_half; iy <= n_half; ++iy) {
+    for (int ix = -n_half; ix <= n_half; ++ix) {
+      Die die;
+      die.x_mm = ix * pitch;
+      die.y_mm = iy * pitch;
+      die.radius_mm = std::hypot(die.x_mm, die.y_mm);
+      if (die.radius_mm > r_max) continue;
+
+      const double rho = die.radius_mm / (spec.diameter_mm / 2.0);
+      die.recipe = nominal;
+      die.recipe.temperature_c +=
+          -spec.radial_temperature_droop_c * rho * rho +
+          rng.normal(0.0, spec.temperature_noise_c);
+      die.recipe.catalyst_thickness_nm *=
+          1.0 + spec.radial_catalyst_skew * rho * rho;
+      die.quality = evaluate_recipe(die.recipe);
+      dies_.push_back(die);
+    }
+  }
+  CNTI_EXPECTS(!dies_.empty(), "no dies fit on the wafer");
+}
+
+numerics::Summary WaferMap::summarize(
+    double (*metric)(const GrowthQuality&)) const {
+  std::vector<double> values;
+  values.reserve(dies_.size());
+  for (const auto& d : dies_) values.push_back(metric(d.quality));
+  return numerics::summarize(values);
+}
+
+double WaferMap::diameter_uniformity() const {
+  const auto s = summarize(
+      [](const GrowthQuality& q) { return q.mean_diameter_nm; });
+  return (s.max - s.min) / s.mean;
+}
+
+double WaferMap::yield(double min_growth_rate_um_min) const {
+  int good = 0;
+  for (const auto& d : dies_) {
+    if (d.quality.growth_rate_um_per_min >= min_growth_rate_um_min) {
+      ++good;
+    }
+  }
+  return static_cast<double>(good) / static_cast<double>(dies_.size());
+}
+
+}  // namespace cnti::process

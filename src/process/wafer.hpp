@@ -1,0 +1,57 @@
+// 300 mm wafer-scale growth uniformity (paper Sec. II.B / Fig. 5): the
+// CVD chamber imposes a radial temperature/catalyst profile; every die
+// gets a perturbed recipe and the resulting growth quality, from which
+// wafer maps and uniformity metrics are computed.
+#pragma once
+
+#include <vector>
+
+#include "numerics/stats.hpp"
+#include "process/cvd.hpp"
+
+namespace cnti::process {
+
+struct WaferSpec {
+  double diameter_mm = 300.0;
+  double die_pitch_mm = 20.0;
+  double edge_exclusion_mm = 5.0;
+  /// Centre-to-edge temperature droop of the chamber [C].
+  double radial_temperature_droop_c = 12.0;
+  /// Random per-die temperature noise [C].
+  double temperature_noise_c = 2.0;
+  /// Radial catalyst-thickness nonuniformity (fractional at the edge).
+  double radial_catalyst_skew = 0.03;
+};
+
+struct Die {
+  double x_mm = 0.0;
+  double y_mm = 0.0;
+  double radius_mm = 0.0;
+  GrowthRecipe recipe;     ///< Locally perturbed recipe.
+  GrowthQuality quality;
+};
+
+/// A fully characterized wafer.
+class WaferMap {
+ public:
+  WaferMap(const WaferSpec& spec, const GrowthRecipe& nominal,
+           numerics::Rng& rng);
+
+  const std::vector<Die>& dies() const { return dies_; }
+
+  /// Summary of a per-die quality metric across the wafer.
+  numerics::Summary summarize(double (*metric)(const GrowthQuality&)) const;
+
+  /// (max - min) / mean of mean diameter — the uniformity number a fab
+  /// would quote for Fig. 5.
+  double diameter_uniformity() const;
+
+  /// Fraction of dies meeting the CMOS thermal budget and a minimal
+  /// growth rate (usable dies).
+  double yield(double min_growth_rate_um_min = 0.05) const;
+
+ private:
+  std::vector<Die> dies_;
+};
+
+}  // namespace cnti::process

@@ -1,0 +1,328 @@
+#include "tcad/field_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/sparse.hpp"
+
+namespace cnti::tcad {
+
+namespace {
+
+/// Face conductance between node (i,j,k) and its +axis neighbour: the edge
+/// is shared by up to four cells; each contributes a quarter of its
+/// cross-section over the edge length (box integration).
+struct FaceStencil {
+  const Grid3D& grid;
+  const std::vector<double>& coef;
+
+  double cell(std::size_t i, std::size_t j, std::size_t k) const {
+    return coef[grid.cell_index(i, j, k)];
+  }
+
+  double gx(std::size_t i, std::size_t j, std::size_t k) const {
+    double g = 0.0;
+    for (int dj = -1; dj <= 0; ++dj) {
+      for (int dk = -1; dk <= 0; ++dk) {
+        const std::size_t cj = j + static_cast<std::size_t>(dj);
+        const std::size_t ck = k + static_cast<std::size_t>(dk);
+        if (cj >= grid.ny() - 1 || ck >= grid.nz() - 1) continue;  // wraps
+        g += cell(i, cj, ck) * 0.25 * grid.dy(cj) * grid.dz(ck) /
+             grid.dx(i);
+      }
+    }
+    return g;
+  }
+
+  double gy(std::size_t i, std::size_t j, std::size_t k) const {
+    double g = 0.0;
+    for (int di = -1; di <= 0; ++di) {
+      for (int dk = -1; dk <= 0; ++dk) {
+        const std::size_t ci = i + static_cast<std::size_t>(di);
+        const std::size_t ck = k + static_cast<std::size_t>(dk);
+        if (ci >= grid.nx() - 1 || ck >= grid.nz() - 1) continue;
+        g += cell(ci, j, ck) * 0.25 * grid.dx(ci) * grid.dz(ck) /
+             grid.dy(j);
+      }
+    }
+    return g;
+  }
+
+  double gz(std::size_t i, std::size_t j, std::size_t k) const {
+    double g = 0.0;
+    for (int di = -1; di <= 0; ++di) {
+      for (int dj = -1; dj <= 0; ++dj) {
+        const std::size_t ci = i + static_cast<std::size_t>(di);
+        const std::size_t cj = j + static_cast<std::size_t>(dj);
+        if (ci >= grid.nx() - 1 || cj >= grid.ny() - 1) continue;
+        g += cell(ci, cj, k) * 0.25 * grid.dx(ci) * grid.dy(cj) /
+             grid.dz(k);
+      }
+    }
+    return g;
+  }
+};
+
+/// Visits every grid edge once: callback(node_a, node_b, conductance).
+template <typename Fn>
+void for_each_edge(const Grid3D& grid, const std::vector<double>& coef,
+                   const Fn& fn) {
+  const FaceStencil st{grid, coef};
+  for (std::size_t k = 0; k < grid.nz(); ++k) {
+    for (std::size_t j = 0; j < grid.ny(); ++j) {
+      for (std::size_t i = 0; i < grid.nx(); ++i) {
+        const std::size_t n = grid.node_index(i, j, k);
+        if (i + 1 < grid.nx()) {
+          const double g = st.gx(i, j, k);
+          if (g > 0) fn(n, grid.node_index(i + 1, j, k), g);
+        }
+        if (j + 1 < grid.ny()) {
+          const double g = st.gy(i, j, k);
+          if (g > 0) fn(n, grid.node_index(i, j + 1, k), g);
+        }
+        if (k + 1 < grid.nz()) {
+          const double g = st.gz(i, j, k);
+          if (g > 0) fn(n, grid.node_index(i, j, k + 1), g);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FieldSolution solve_laplace(const Grid3D& grid,
+                            const std::vector<double>& cell_coef,
+                            const std::vector<char>& dirichlet_mask,
+                            const std::vector<double>& dirichlet_value,
+                            const numerics::IterativeOptions& opt) {
+  const std::size_t n_nodes = grid.node_count();
+  CNTI_EXPECTS(cell_coef.size() == grid.cell_count(),
+               "cell coefficient size mismatch");
+  CNTI_EXPECTS(dirichlet_mask.size() == n_nodes &&
+                   dirichlet_value.size() == n_nodes,
+               "dirichlet array size mismatch");
+
+  // Identify free unknowns: non-Dirichlet nodes with at least one incident
+  // non-zero-conductance edge.
+  std::vector<char> active(n_nodes, 0);
+  for_each_edge(grid, cell_coef, [&](std::size_t a, std::size_t b, double) {
+    active[a] = 1;
+    active[b] = 1;
+  });
+  std::vector<std::ptrdiff_t> eq_of(n_nodes, -1);
+  std::size_t n_free = 0;
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    if (active[n] && !dirichlet_mask[n]) {
+      eq_of[n] = static_cast<std::ptrdiff_t>(n_free++);
+    }
+  }
+
+  numerics::SparseBuilder builder(n_free, n_free);
+  std::vector<double> rhs(n_free, 0.0);
+  for_each_edge(grid, cell_coef,
+                [&](std::size_t a, std::size_t b, double g) {
+    const bool da = dirichlet_mask[a], db = dirichlet_mask[b];
+    if (da && db) return;
+    if (!da && !db) {
+      const auto ea = static_cast<std::size_t>(eq_of[a]);
+      const auto eb = static_cast<std::size_t>(eq_of[b]);
+      builder.add(ea, ea, g);
+      builder.add(eb, eb, g);
+      builder.add(ea, eb, -g);
+      builder.add(eb, ea, -g);
+    } else if (da) {
+      const auto eb = static_cast<std::size_t>(eq_of[b]);
+      builder.add(eb, eb, g);
+      rhs[eb] += g * dirichlet_value[a];
+    } else {
+      const auto ea = static_cast<std::size_t>(eq_of[a]);
+      builder.add(ea, ea, g);
+      rhs[ea] += g * dirichlet_value[b];
+    }
+  });
+
+  FieldSolution out;
+  out.potential.assign(n_nodes, 0.0);
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    if (dirichlet_mask[n]) out.potential[n] = dirichlet_value[n];
+  }
+  if (n_free == 0) {
+    out.converged = true;
+    return out;
+  }
+  const auto res = numerics::conjugate_gradient(builder.build(), rhs, opt);
+  if (!res.converged) {
+    throw NumericalError("TCAD Laplace CG did not converge (residual " +
+                         std::to_string(res.residual) + ")");
+  }
+  out.cg_iterations = res.iterations;
+  out.converged = true;
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    if (eq_of[n] >= 0) {
+      out.potential[n] = res.x[static_cast<std::size_t>(eq_of[n])];
+    }
+  }
+  return out;
+}
+
+CapacitanceResult extract_capacitance(const Structure& structure,
+                                      const numerics::IterativeOptions& opt) {
+  const Grid3D& grid = structure.grid();
+  const int nc = structure.conductor_count();
+  CNTI_EXPECTS(nc >= 1, "need at least one conductor");
+
+  // Permittivity per cell (conductor interiors don't matter: their nodes
+  // are Dirichlet).
+  std::vector<double> eps(grid.cell_count());
+  for (std::size_t k = 0; k + 1 < grid.nz(); ++k) {
+    for (std::size_t j = 0; j + 1 < grid.ny(); ++j) {
+      for (std::size_t i = 0; i + 1 < grid.nx(); ++i) {
+        eps[grid.cell_index(i, j, k)] = structure.cell_permittivity(i, j, k);
+      }
+    }
+  }
+
+  // Node -> conductor map.
+  std::vector<int> cond_of(grid.node_count(), -1);
+  std::vector<char> mask(grid.node_count(), 0);
+  for (std::size_t k = 0; k < grid.nz(); ++k) {
+    for (std::size_t j = 0; j < grid.ny(); ++j) {
+      for (std::size_t i = 0; i < grid.nx(); ++i) {
+        const int c = structure.node_conductor(i, j, k);
+        const std::size_t n = grid.node_index(i, j, k);
+        cond_of[n] = c;
+        mask[n] = (c >= 0) ? 1 : 0;
+      }
+    }
+  }
+
+  CapacitanceResult out;
+  out.matrix = numerics::MatrixD(static_cast<std::size_t>(nc),
+                                 static_cast<std::size_t>(nc));
+  for (int excited = 0; excited < nc; ++excited) {
+    std::vector<double> value(grid.node_count(), 0.0);
+    for (std::size_t n = 0; n < grid.node_count(); ++n) {
+      if (cond_of[n] == excited) value[n] = 1.0;
+    }
+    const FieldSolution sol = solve_laplace(grid, eps, mask, value, opt);
+    out.total_cg_iterations += sol.cg_iterations;
+
+    // Charge on every conductor: sum of fluxes on edges leaving it.
+    std::vector<double> charge(static_cast<std::size_t>(nc), 0.0);
+    for_each_edge(grid, eps,
+                  [&](std::size_t a, std::size_t b, double g) {
+      const int ca = cond_of[a], cb = cond_of[b];
+      if (ca >= 0 && cb < 0) {
+        charge[static_cast<std::size_t>(ca)] +=
+            g * (sol.potential[a] - sol.potential[b]);
+      } else if (cb >= 0 && ca < 0) {
+        charge[static_cast<std::size_t>(cb)] +=
+            g * (sol.potential[b] - sol.potential[a]);
+      }
+    });
+    for (int c = 0; c < nc; ++c) {
+      out.matrix(static_cast<std::size_t>(c),
+                 static_cast<std::size_t>(excited)) =
+          charge[static_cast<std::size_t>(c)];
+    }
+  }
+  return out;
+}
+
+ResistanceResult extract_resistance(const Structure& structure, int conductor,
+                                    const Box& terminal_a,
+                                    const Box& terminal_b,
+                                    const numerics::IterativeOptions& opt) {
+  const Grid3D& grid = structure.grid();
+
+  std::vector<double> kappa(grid.cell_count(), 0.0);
+  for (std::size_t k = 0; k + 1 < grid.nz(); ++k) {
+    for (std::size_t j = 0; j + 1 < grid.ny(); ++j) {
+      for (std::size_t i = 0; i + 1 < grid.nx(); ++i) {
+        kappa[grid.cell_index(i, j, k)] =
+            structure.cell_conductivity(conductor, i, j, k);
+      }
+    }
+  }
+
+  std::vector<char> mask(grid.node_count(), 0);
+  std::vector<double> value(grid.node_count(), 0.0);
+  std::size_t n_a = 0, n_b = 0;
+  for (std::size_t k = 0; k < grid.nz(); ++k) {
+    for (std::size_t j = 0; j < grid.ny(); ++j) {
+      for (std::size_t i = 0; i < grid.nx(); ++i) {
+        const std::size_t n = grid.node_index(i, j, k);
+        const double x = grid.x(i), y = grid.y(j), z = grid.z(k);
+        if (terminal_a.contains(x, y, z, 1e-15)) {
+          mask[n] = 1;
+          value[n] = 1.0;
+          ++n_a;
+        } else if (terminal_b.contains(x, y, z, 1e-15)) {
+          mask[n] = 1;
+          value[n] = 0.0;
+          ++n_b;
+        }
+      }
+    }
+  }
+  CNTI_EXPECTS(n_a > 0 && n_b > 0, "terminals select no grid nodes");
+
+  const FieldSolution sol = solve_laplace(grid, kappa, mask, value, opt);
+
+  ResistanceResult out;
+  out.cg_iterations = sol.cg_iterations;
+
+  // Terminal current: net flux out of the 1 V terminal.
+  double current = 0.0;
+  for_each_edge(grid, kappa, [&](std::size_t a, std::size_t b, double g) {
+    const bool ta = mask[a] && value[a] > 0.5;
+    const bool tb = mask[b] && value[b] > 0.5;
+    if (ta && !tb) current += g * (sol.potential[a] - sol.potential[b]);
+    if (tb && !ta) current += g * (sol.potential[b] - sol.potential[a]);
+  });
+  // Disconnected terminals leave only CG residual flux (~1e-15 A at 1 V).
+  CNTI_EXPECTS(current > 1e-9, "no current path between terminals");
+  out.terminal_current_a = current;
+  out.resistance_ohm = 1.0 / current;
+
+  // Per-cell current density from central differences of nodal potential.
+  out.current_density.assign(grid.cell_count(), 0.0);
+  const auto pot = [&](std::size_t i, std::size_t j, std::size_t k) {
+    return sol.potential[grid.node_index(i, j, k)];
+  };
+  for (std::size_t k = 0; k + 1 < grid.nz(); ++k) {
+    for (std::size_t j = 0; j + 1 < grid.ny(); ++j) {
+      for (std::size_t i = 0; i + 1 < grid.nx(); ++i) {
+        const double kap = kappa[grid.cell_index(i, j, k)];
+        if (kap <= 0) continue;
+        // Average the four edge gradients per axis across the cell.
+        double ex = 0, ey = 0, ez = 0;
+        for (int a = 0; a < 2; ++a) {
+          for (int b = 0; b < 2; ++b) {
+            const auto ja = j + static_cast<std::size_t>(a);
+            const auto kb = k + static_cast<std::size_t>(b);
+            ex += (pot(i + 1, ja, kb) - pot(i, ja, kb)) / grid.dx(i);
+            const auto ia = i + static_cast<std::size_t>(a);
+            ey += (pot(ia, j + 1, kb) - pot(ia, j, kb)) / grid.dy(j);
+            ez += (pot(ia, ja, k + 1) - pot(ia, ja, k)) / grid.dz(k);
+          }
+        }
+        ex *= 0.25;
+        ey *= 0.25;
+        ez *= 0.25;
+        const double jmag = kap * std::sqrt(ex * ex + ey * ey + ez * ez);
+        out.current_density[grid.cell_index(i, j, k)] = jmag;
+        if (jmag > out.max_current_density) {
+          out.max_current_density = jmag;
+          out.hotspot_x = grid.cell_cx(i);
+          out.hotspot_y = grid.cell_cy(j);
+          out.hotspot_z = grid.cell_cz(k);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cnti::tcad

@@ -1,0 +1,67 @@
+// Finite-volume Laplace solver and RC extraction (paper Sec. III.B,
+// Eqs. 2-3): div(eps grad psi) = 0 in insulators for the capacitance
+// matrix, div(kappa grad psi) = 0 in metals for resistance and current-
+// density hot-spots. Conductors are equipotential Dirichlet regions; outer
+// boundaries are natural (Neumann).
+#pragma once
+
+#include <vector>
+
+#include "numerics/matrix.hpp"
+#include "numerics/solvers.hpp"
+#include "tcad/structure.hpp"
+
+namespace cnti::tcad {
+
+/// Electrostatic solution for one conductor excitation.
+struct FieldSolution {
+  std::vector<double> potential;  ///< Per node.
+  std::size_t cg_iterations = 0;
+  bool converged = false;
+};
+
+/// Solves div(c grad psi) = 0 with per-cell coefficient `cell_coef`
+/// (size = cell_count) and Dirichlet values where `dirichlet_mask` is true.
+/// Nodes whose incident faces all have zero coefficient are frozen at 0.
+FieldSolution solve_laplace(const Grid3D& grid,
+                            const std::vector<double>& cell_coef,
+                            const std::vector<char>& dirichlet_mask,
+                            const std::vector<double>& dirichlet_value,
+                            const numerics::IterativeOptions& opt = {
+                                .max_iterations = 20000,
+                                .tolerance = 1e-10});
+
+/// Maxwell capacitance matrix of all conductors in the structure [F].
+/// C(i,i) > 0 is the total capacitance of conductor i; C(i,j) < 0 for
+/// i != j is minus the coupling (cross-talk) capacitance.
+struct CapacitanceResult {
+  numerics::MatrixD matrix;
+  std::size_t total_cg_iterations = 0;
+};
+
+CapacitanceResult extract_capacitance(const Structure& structure,
+                                      const numerics::IterativeOptions& opt =
+                                          {.max_iterations = 20000,
+                                           .tolerance = 1e-10});
+
+/// Resistance of one conductor between two terminal boxes, with the
+/// current-density field for hot-spot analysis (paper Fig. 10b).
+struct ResistanceResult {
+  double resistance_ohm = 0.0;
+  double terminal_current_a = 0.0;  ///< At 1 V excitation.
+  /// |J| per cell [A/m^2] (0 outside the conductor).
+  std::vector<double> current_density;
+  double max_current_density = 0.0;
+  /// Cell centre of the |J| hot-spot [m].
+  double hotspot_x = 0.0, hotspot_y = 0.0, hotspot_z = 0.0;
+  std::size_t cg_iterations = 0;
+};
+
+ResistanceResult extract_resistance(const Structure& structure, int conductor,
+                                    const Box& terminal_a,
+                                    const Box& terminal_b,
+                                    const numerics::IterativeOptions& opt = {
+                                        .max_iterations = 20000,
+                                        .tolerance = 1e-10});
+
+}  // namespace cnti::tcad

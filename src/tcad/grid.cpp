@@ -1,0 +1,37 @@
+#include "tcad/grid.hpp"
+
+namespace cnti::tcad {
+
+namespace {
+void check_axis(const std::vector<double>& a, const char* name) {
+  CNTI_EXPECTS(a.size() >= 2, std::string(name) + " axis needs >= 2 nodes");
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    CNTI_EXPECTS(a[i] > a[i - 1],
+                 std::string(name) + " axis must be strictly increasing");
+  }
+}
+}  // namespace
+
+Grid3D::Grid3D(std::vector<double> x, std::vector<double> y,
+               std::vector<double> z)
+    : x_(std::move(x)), y_(std::move(y)), z_(std::move(z)) {
+  check_axis(x_, "x");
+  check_axis(y_, "y");
+  check_axis(z_, "z");
+}
+
+Grid3D Grid3D::uniform(double lx, double ly, double lz, std::size_t nx,
+                       std::size_t ny, std::size_t nz) {
+  CNTI_EXPECTS(lx > 0 && ly > 0 && lz > 0, "domain must be positive");
+  CNTI_EXPECTS(nx >= 2 && ny >= 2 && nz >= 2, "need >= 2 nodes per axis");
+  const auto axis = [](double l, std::size_t n) {
+    std::vector<double> a(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = l * static_cast<double>(i) / static_cast<double>(n - 1);
+    }
+    return a;
+  };
+  return Grid3D(axis(lx, nx), axis(ly, ny), axis(lz, nz));
+}
+
+}  // namespace cnti::tcad

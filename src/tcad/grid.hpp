@@ -1,0 +1,64 @@
+// Structured, possibly non-uniform 3-D tensor-product grid for the TCAD
+// field solver. Potentials live on nodes; material coefficients live on
+// cells (box-integration / finite-volume discretization).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cnti::tcad {
+
+/// Axis-aligned box [x0,x1] x [y0,y1] x [z0,z1] in metres.
+struct Box {
+  double x0 = 0, x1 = 0, y0 = 0, y1 = 0, z0 = 0, z1 = 0;
+
+  bool contains(double x, double y, double z, double tol = 0.0) const {
+    return x >= x0 - tol && x <= x1 + tol && y >= y0 - tol && y <= y1 + tol &&
+           z >= z0 - tol && z <= z1 + tol;
+  }
+};
+
+/// Tensor-product grid defined by strictly increasing node coordinates.
+class Grid3D {
+ public:
+  Grid3D(std::vector<double> x, std::vector<double> y, std::vector<double> z);
+
+  /// Uniform grid over [0,lx]x[0,ly]x[0,lz] with the given node counts.
+  static Grid3D uniform(double lx, double ly, double lz, std::size_t nx,
+                        std::size_t ny, std::size_t nz);
+
+  std::size_t nx() const { return x_.size(); }
+  std::size_t ny() const { return y_.size(); }
+  std::size_t nz() const { return z_.size(); }
+  std::size_t node_count() const { return nx() * ny() * nz(); }
+  std::size_t cell_count() const {
+    return (nx() - 1) * (ny() - 1) * (nz() - 1);
+  }
+
+  double x(std::size_t i) const { return x_[i]; }
+  double y(std::size_t j) const { return y_[j]; }
+  double z(std::size_t k) const { return z_[k]; }
+
+  double dx(std::size_t i) const { return x_[i + 1] - x_[i]; }
+  double dy(std::size_t j) const { return y_[j + 1] - y_[j]; }
+  double dz(std::size_t k) const { return z_[k + 1] - z_[k]; }
+
+  std::size_t node_index(std::size_t i, std::size_t j, std::size_t k) const {
+    return (k * ny() + j) * nx() + i;
+  }
+  std::size_t cell_index(std::size_t i, std::size_t j, std::size_t k) const {
+    return (k * (ny() - 1) + j) * (nx() - 1) + i;
+  }
+
+  /// Cell-centre coordinates.
+  double cell_cx(std::size_t i) const { return 0.5 * (x_[i] + x_[i + 1]); }
+  double cell_cy(std::size_t j) const { return 0.5 * (y_[j] + y_[j + 1]); }
+  double cell_cz(std::size_t k) const { return 0.5 * (z_[k] + z_[k + 1]); }
+
+ private:
+  std::vector<double> x_, y_, z_;
+};
+
+}  // namespace cnti::tcad

@@ -1,0 +1,118 @@
+#include "tcad/netlist_export.hpp"
+
+#include <cmath>
+
+#include "circuit/spice_io.hpp"
+
+namespace cnti::tcad {
+
+circuit::Circuit parasitic_network(const Structure& structure,
+                                   const CapacitanceResult& caps) {
+  const int nc = structure.conductor_count();
+  CNTI_EXPECTS(static_cast<int>(caps.matrix.rows()) == nc,
+               "capacitance matrix does not match structure");
+  circuit::Circuit ckt;
+
+  // Ground capacitance of conductor i: C_ii - sum_j |C_ij|; coupling
+  // capacitance between i and j: -C_ij.
+  for (int i = 0; i < nc; ++i) {
+    const auto ni = ckt.node(structure.conductor(i).name);
+    double c_ground = caps.matrix(static_cast<std::size_t>(i),
+                                  static_cast<std::size_t>(i));
+    for (int j = 0; j < nc; ++j) {
+      if (j == i) continue;
+      const double c_coup = -caps.matrix(static_cast<std::size_t>(i),
+                                         static_cast<std::size_t>(j));
+      c_ground -= std::max(0.0, c_coup);
+      if (j > i && c_coup > 1e-21) {
+        const auto nj = ckt.node(structure.conductor(j).name);
+        ckt.add_capacitor("Cc_" + structure.conductor(i).name + "_" +
+                              structure.conductor(j).name,
+                          ni, nj, c_coup);
+      }
+    }
+    if (c_ground > 1e-21) {
+      ckt.add_capacitor("Cg_" + structure.conductor(i).name, ni, 0,
+                        c_ground);
+    }
+  }
+  return ckt;
+}
+
+std::string export_spice_netlist(const Structure& structure,
+                                 const CapacitanceResult& caps,
+                                 const std::string& title) {
+  return circuit::write_spice(parasitic_network(structure, caps), title);
+}
+
+Fig10Structure build_fig10_structure(const Fig10Options& opt) {
+  CNTI_EXPECTS(opt.grid_step_nm > 0, "grid step must be positive");
+  const double nm = 1e-9;
+  const double w = opt.width_nm * nm;
+  const double pitch = opt.pitch_nm * nm;
+  const double h = opt.height_nm * nm;
+  const double len = opt.line_length_nm * nm;
+
+  // Layout (x = across lines, y = along M1, z = up):
+  //   z in [0, h0): ground plane; [h1, h1+h): M1; [h2, h2+h): M2.
+  const double h0 = h;                 // ground plane thickness
+  const double gap = h;                // inter-level dielectric
+  const double z_m1 = h0 + gap;
+  const double z_via = z_m1 + h;
+  const double z_m2 = z_via + h;
+  const double domain_x = 5.0 * pitch;
+  const double domain_y = len + 2.0 * pitch;
+  const double domain_z = z_m2 + h + gap;
+
+  const double step = opt.grid_step_nm * nm;
+  const auto n_of = [&](double l) {
+    return static_cast<std::size_t>(std::round(l / step)) + 1;
+  };
+  Structure s(Grid3D::uniform(domain_x, domain_y, domain_z, n_of(domain_x),
+                              n_of(domain_y), n_of(domain_z)),
+              opt.eps_r);
+
+  Fig10Structure out{std::move(s), -1, -1, -1, -1, -1, {}, {}};
+  Structure& st = out.structure;
+
+  // Ground plane spans the whole footprint.
+  out.ground_plane = st.add_conductor(
+      "gnd_plane", {0, domain_x, 0, domain_y, 0, h0},
+      opt.metal_conductivity);
+
+  // Three M1 lines along y, centred in x.
+  const double x_mid = domain_x / 2.0;
+  const double y0 = pitch, y1 = pitch + len;
+  const auto m1_box = [&](double x_center) {
+    return Box{x_center - w / 2.0, x_center + w / 2.0, y0, y1, z_m1,
+               z_m1 + h};
+  };
+  out.m1_left = st.add_conductor("m1_left", m1_box(x_mid - pitch),
+                                 opt.metal_conductivity);
+  out.m1_victim = st.add_conductor("m1_victim", m1_box(x_mid),
+                                   opt.metal_conductivity);
+  out.m1_right = st.add_conductor("m1_right", m1_box(x_mid + pitch),
+                                  opt.metal_conductivity);
+
+  // Via from the victim up to M2 at the line's y midpoint.
+  const double y_mid = 0.5 * (y0 + y1);
+  const Box via{x_mid - w / 2.0, x_mid + w / 2.0, y_mid - w / 2.0,
+                y_mid + w / 2.0, z_m1 + h, z_via + 1e-15};
+  st.add_conductor_box(out.m1_victim, via);
+
+  // Orthogonal M2 line along x, connected to the via.
+  const Box m2{0.5 * pitch, domain_x - 0.5 * pitch, y_mid - w / 2.0,
+               y_mid + w / 2.0, z_via, z_m2};
+  st.add_conductor_box(out.m1_victim, m2);
+  out.m2_line = out.m1_victim;  // same electrical net through the via
+
+  // Terminals for resistance extraction through the via path.
+  out.via_terminal_top = Box{0.5 * pitch - 1e-12, 0.5 * pitch + 1e-12,
+                             y_mid - w / 2.0, y_mid + w / 2.0, z_via, z_m2};
+  out.victim_terminal_end =
+      Box{x_mid - w / 2.0, x_mid + w / 2.0, y0 - 1e-12, y0 + 1e-12, z_m1,
+          z_m1 + h};
+  return out;
+}
+
+}  // namespace cnti::tcad

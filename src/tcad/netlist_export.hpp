@@ -1,0 +1,52 @@
+// Exports extracted parasitics as a SPICE-like RC netlist (paper Sec.
+// III.B: "Extracted RC netlists are provided in a SPICE-like format for
+// circuit-level simulation"), plus the canned Fig. 10 benchmark structure:
+// a 14 nm-class two-level (M1/M2 + via) interconnect stack in low-k.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "tcad/field_solver.hpp"
+
+namespace cnti::tcad {
+
+/// Converts a Maxwell capacitance matrix into a star network of ground and
+/// coupling capacitors on nodes named after the conductors, optionally
+/// including extracted wire resistances (series split at each node is left
+/// to the caller; resistances attach between "<name>" and "<name>_far").
+circuit::Circuit parasitic_network(const Structure& structure,
+                                   const CapacitanceResult& caps);
+
+/// Full SPICE text for the extracted network.
+std::string export_spice_netlist(const Structure& structure,
+                                 const CapacitanceResult& caps,
+                                 const std::string& title);
+
+/// The Fig. 10 benchmark structure: three parallel M1 lines (victim plus
+/// two aggressors), an orthogonal M2 line, and a via connecting the victim
+/// to M2, embedded in low-k (eps_r = 2.5) over a ground plane.
+struct Fig10Structure {
+  Structure structure;
+  int ground_plane = -1;
+  int m1_left = -1;
+  int m1_victim = -1;
+  int m1_right = -1;
+  int m2_line = -1;   ///< Connected to the victim through the via.
+  Box via_terminal_top;     ///< For resistance extraction through the via.
+  Box victim_terminal_end;  ///< Far end of the victim M1 line.
+};
+
+struct Fig10Options {
+  double pitch_nm = 56.0;        ///< 14 nm-node M1 pitch ~ 56 nm.
+  double width_nm = 28.0;
+  double height_nm = 56.0;
+  double line_length_nm = 500.0;
+  double eps_r = 2.5;
+  double grid_step_nm = 14.0;
+  double metal_conductivity = 2.0e7;  ///< Size-effect-degraded Cu [S/m].
+};
+
+Fig10Structure build_fig10_structure(const Fig10Options& opt = {});
+
+}  // namespace cnti::tcad

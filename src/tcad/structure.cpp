@@ -1,0 +1,105 @@
+#include "tcad/structure.hpp"
+
+#include <algorithm>
+
+namespace cnti::tcad {
+
+Structure::Structure(Grid3D grid, double background_eps_r)
+    : grid_(std::move(grid)),
+      cell_eps_r_(grid_.cell_count(), background_eps_r),
+      node_conductor_(grid_.node_count(), -1) {
+  CNTI_EXPECTS(background_eps_r >= 1.0, "eps_r must be >= 1");
+}
+
+void Structure::paint_dielectric(const Box& region, double eps_r) {
+  CNTI_EXPECTS(eps_r >= 1.0, "eps_r must be >= 1");
+  for (std::size_t k = 0; k + 1 < grid_.nz(); ++k) {
+    for (std::size_t j = 0; j + 1 < grid_.ny(); ++j) {
+      for (std::size_t i = 0; i + 1 < grid_.nx(); ++i) {
+        if (region.contains(grid_.cell_cx(i), grid_.cell_cy(j),
+                            grid_.cell_cz(k))) {
+          cell_eps_r_[grid_.cell_index(i, j, k)] = eps_r;
+        }
+      }
+    }
+  }
+}
+
+int Structure::add_conductor(const std::string& name, const Box& box,
+                             double conductivity_s_per_m) {
+  CNTI_EXPECTS(conductivity_s_per_m > 0, "conductivity must be positive");
+  conductors_.push_back({name, {box}, conductivity_s_per_m});
+  refresh_node_map();
+  return static_cast<int>(conductors_.size()) - 1;
+}
+
+void Structure::add_conductor_box(int conductor, const Box& box) {
+  CNTI_EXPECTS(conductor >= 0 && conductor < conductor_count(),
+               "conductor id out of range");
+  conductors_[static_cast<std::size_t>(conductor)].boxes.push_back(box);
+  refresh_node_map();
+}
+
+const ConductorRegion& Structure::conductor(int id) const {
+  CNTI_EXPECTS(id >= 0 && id < conductor_count(),
+               "conductor id out of range");
+  return conductors_[static_cast<std::size_t>(id)];
+}
+
+double Structure::cell_permittivity(std::size_t i, std::size_t j,
+                                    std::size_t k) const {
+  return phys::kEpsilon0 * cell_eps_r_[grid_.cell_index(i, j, k)];
+}
+
+double Structure::cell_conductivity(int conductor, std::size_t i,
+                                    std::size_t j, std::size_t k) const {
+  const auto& c = conductor_ref(conductor);
+  return c.contains(grid_.cell_cx(i), grid_.cell_cy(j), grid_.cell_cz(k),
+                    0.0)
+             ? c.conductivity_s_per_m
+             : 0.0;
+}
+
+int Structure::node_conductor(std::size_t i, std::size_t j,
+                              std::size_t k) const {
+  return node_conductor_[grid_.node_index(i, j, k)];
+}
+
+void Structure::refresh_node_map() {
+  // Surface tolerance: half the smallest spacing avoids losing boundary
+  // nodes to floating-point comparisons.
+  double min_spacing = 1e300;
+  for (std::size_t i = 0; i + 1 < grid_.nx(); ++i) {
+    min_spacing = std::min(min_spacing, grid_.dx(i));
+  }
+  for (std::size_t j = 0; j + 1 < grid_.ny(); ++j) {
+    min_spacing = std::min(min_spacing, grid_.dy(j));
+  }
+  for (std::size_t k = 0; k + 1 < grid_.nz(); ++k) {
+    min_spacing = std::min(min_spacing, grid_.dz(k));
+  }
+  const double tol = 1e-3 * min_spacing;
+
+  std::fill(node_conductor_.begin(), node_conductor_.end(), -1);
+  for (std::size_t k = 0; k < grid_.nz(); ++k) {
+    for (std::size_t j = 0; j < grid_.ny(); ++j) {
+      for (std::size_t i = 0; i < grid_.nx(); ++i) {
+        for (int c = 0; c < conductor_count(); ++c) {
+          if (conductors_[static_cast<std::size_t>(c)].contains(
+                  grid_.x(i), grid_.y(j), grid_.z(k), tol)) {
+            node_conductor_[grid_.node_index(i, j, k)] = c;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+const ConductorRegion& Structure::conductor_ref(int id) const {
+  CNTI_EXPECTS(id >= 0 && id < conductor_count(),
+               "conductor id out of range");
+  return conductors_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace cnti::tcad

@@ -1,0 +1,69 @@
+// Interconnect structure description: dielectric regions painted onto grid
+// cells and named conductors occupying boxes. Input to the field solver
+// (paper Sec. III.B: Laplace solves over insulator and metal regions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "tcad/grid.hpp"
+
+namespace cnti::tcad {
+
+/// A named conductor made of one or more boxes, with an electrical
+/// conductivity for resistance extraction.
+struct ConductorRegion {
+  std::string name;
+  std::vector<Box> boxes;
+  double conductivity_s_per_m = 5.8e7;  // Cu default
+
+  bool contains(double x, double y, double z, double tol) const {
+    for (const auto& b : boxes) {
+      if (b.contains(x, y, z, tol)) return true;
+    }
+    return false;
+  }
+};
+
+/// Grid + materials. Cells carry permittivity (and conductivity inside
+/// conductors); nodes inside a conductor are equipotential (Dirichlet).
+class Structure {
+ public:
+  Structure(Grid3D grid, double background_eps_r = 1.0);
+
+  const Grid3D& grid() const { return grid_; }
+
+  /// Paints cells whose centre lies in `region` with eps_r.
+  void paint_dielectric(const Box& region, double eps_r);
+
+  /// Adds a conductor; returns its id. Extend with add_conductor_box.
+  int add_conductor(const std::string& name, const Box& box,
+                    double conductivity_s_per_m = 5.8e7);
+  void add_conductor_box(int conductor, const Box& box);
+
+  int conductor_count() const { return static_cast<int>(conductors_.size()); }
+  const ConductorRegion& conductor(int id) const;
+
+  /// Absolute permittivity of a cell [F/m].
+  double cell_permittivity(std::size_t i, std::size_t j, std::size_t k) const;
+
+  /// Conductivity of a cell for the given conductor (0 outside it) [S/m].
+  double cell_conductivity(int conductor, std::size_t i, std::size_t j,
+                           std::size_t k) const;
+
+  /// Conductor occupying this node, or -1. Nodes on a conductor surface
+  /// belong to it (closed regions).
+  int node_conductor(std::size_t i, std::size_t j, std::size_t k) const;
+
+ private:
+  void refresh_node_map();
+  const ConductorRegion& conductor_ref(int id) const;
+
+  Grid3D grid_;
+  std::vector<double> cell_eps_r_;
+  std::vector<ConductorRegion> conductors_;
+  std::vector<int> node_conductor_;  ///< -1 = dielectric node.
+};
+
+}  // namespace cnti::tcad

@@ -1,0 +1,75 @@
+#include "thermal/electrothermal.hpp"
+
+#include <cmath>
+
+namespace cnti::thermal {
+
+EtOperatingPoint solve_operating_point(const LineThermalSpec& spec,
+                                       double voltage_v, double tolerance,
+                                       int max_iterations) {
+  CNTI_EXPECTS(voltage_v >= 0, "bias must be non-negative");
+  EtOperatingPoint op;
+  op.voltage_v = voltage_v;
+  const double r_cold = spec.resistance_per_m * spec.length_m;
+  CNTI_EXPECTS(r_cold > 0, "line needs finite electrical resistance");
+
+  double current = voltage_v / r_cold;
+  SelfHeatResult heat;
+  for (int it = 0; it < max_iterations; ++it) {
+    op.outer_iterations = it + 1;
+    heat = solve_self_heating(spec, current, 101);
+    if (heat.thermal_runaway) {
+      op.runaway = true;
+      op.current_a = current;
+      op.peak_temperature_k = heat.peak_temperature_k;
+      op.resistance_ohm = heat.hot_resistance_ohm;
+      return op;
+    }
+    const double new_current = voltage_v / heat.hot_resistance_ohm;
+    // Damped update guards against overshoot near runaway.
+    const double next = 0.5 * (current + new_current);
+    const double rel =
+        std::abs(next - current) / std::max(current, 1e-30);
+    current = next;
+    if (rel < tolerance) break;
+  }
+  op.current_a = current;
+  op.resistance_ohm = heat.hot_resistance_ohm;
+  op.peak_temperature_k = heat.peak_temperature_k;
+  return op;
+}
+
+std::vector<EtOperatingPoint> sweep_electrothermal_iv(
+    const LineThermalSpec& spec, double v_max, int points,
+    double t_breakdown_k) {
+  CNTI_EXPECTS(points >= 2, "need at least two sweep points");
+  CNTI_EXPECTS(v_max > 0, "sweep range must be positive");
+  std::vector<EtOperatingPoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double v = v_max * i / (points - 1);
+    EtOperatingPoint op = solve_operating_point(spec, v);
+    const bool dead = op.runaway || op.peak_temperature_k > t_breakdown_k;
+    out.push_back(op);
+    if (dead) break;  // device destroyed; stop the sweep
+  }
+  return out;
+}
+
+double breakdown_voltage(const LineThermalSpec& spec, double v_max,
+                         double t_breakdown_k) {
+  CNTI_EXPECTS(v_max > 0, "search range must be positive");
+  const auto dead = [&](double v) {
+    const EtOperatingPoint op = solve_operating_point(spec, v);
+    return op.runaway || op.peak_temperature_k > t_breakdown_k;
+  };
+  if (!dead(v_max)) return v_max;
+  double lo = 0.0, hi = v_max;
+  for (int i = 0; i < 60 && (hi - lo) > 1e-9 * v_max; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (dead(mid) ? hi : lo) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace cnti::thermal

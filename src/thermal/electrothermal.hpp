@@ -1,0 +1,44 @@
+// Electro-thermal co-simulation — the tool the paper's conclusion asks
+// for ("electro-thermal modeling and simulation tools are needed to
+// evaluate the performance, reliability, and variability"). Couples the
+// electrical line model (R rises with T) with the 1-D heat solver
+// (T rises with I^2 R) self-consistently at each bias point, producing
+// IV curves with thermal droop and the thermal-breakdown voltage.
+#pragma once
+
+#include <vector>
+
+#include "thermal/heat1d.hpp"
+
+namespace cnti::thermal {
+
+/// One self-consistent electro-thermal operating point.
+struct EtOperatingPoint {
+  double voltage_v = 0.0;
+  double current_a = 0.0;
+  double resistance_ohm = 0.0;       ///< Hot resistance.
+  double peak_temperature_k = 0.0;
+  bool runaway = false;
+  int outer_iterations = 0;
+};
+
+/// Solves for the current through the line at a fixed terminal voltage,
+/// iterating I = V / R_hot(I) against the heat solver until |dI/I| < tol.
+EtOperatingPoint solve_operating_point(const LineThermalSpec& spec,
+                                       double voltage_v,
+                                       double tolerance = 1e-6,
+                                       int max_iterations = 200);
+
+/// Voltage sweep; stops early (marking runaway) once the solver detects
+/// thermal runaway or the peak temperature passes `t_breakdown_k`.
+std::vector<EtOperatingPoint> sweep_electrothermal_iv(
+    const LineThermalSpec& spec, double v_max, int points,
+    double t_breakdown_k = 873.0);
+
+/// Thermal-breakdown voltage: smallest bias whose self-consistent peak
+/// temperature reaches t_breakdown_k (bisection; returns v_max if the
+/// line never reaches breakdown within the range).
+double breakdown_voltage(const LineThermalSpec& spec, double v_max,
+                         double t_breakdown_k = 873.0);
+
+}  // namespace cnti::thermal

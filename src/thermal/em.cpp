@@ -1,0 +1,45 @@
+#include "thermal/em.hpp"
+
+#include <cmath>
+
+namespace cnti::thermal {
+
+namespace {
+/// Reference stress: 2 MA/cm^2 at 378 K gives a ~10-year median.
+constexpr double kRefJ = 2e10;          // A/m^2
+constexpr double kRefT = 378.0;         // K
+constexpr double kRefMttf = 3.15e8;     // s (~10 years)
+}  // namespace
+
+double black_mttf_s(double current_density_a_m2, double temperature_k,
+                    const BlackParams& params) {
+  CNTI_EXPECTS(current_density_a_m2 > 0, "current density must be positive");
+  CNTI_EXPECTS(temperature_k > 0, "temperature must be positive");
+  const double ea_j = params.activation_energy_ev * phys::kElectronVolt;
+  const double ref = kRefMttf * params.a_scale;
+  const double j_term =
+      std::pow(kRefJ / current_density_a_m2, params.current_exponent_n);
+  const double t_term = std::exp(ea_j / phys::kBoltzmann *
+                                 (1.0 / temperature_k - 1.0 / kRefT));
+  return ref * j_term * t_term;
+}
+
+double sample_ttf_s(double current_density_a_m2, double temperature_k,
+                    numerics::Rng& rng, const BlackParams& params) {
+  const double median =
+      black_mttf_s(current_density_a_m2, temperature_k, params);
+  return rng.lognormal_median(median, params.sigma_log);
+}
+
+bool cnt_em_immune(double current_density_a_m2) {
+  return current_density_a_m2 < cntconst::kCntMaxCurrentDensity;
+}
+
+double em_acceleration_factor(double j_stress, double t_stress_k,
+                              double j_use, double t_use_k,
+                              const BlackParams& params) {
+  return black_mttf_s(j_use, t_use_k, params) /
+         black_mttf_s(j_stress, t_stress_k, params);
+}
+
+}  // namespace cnti::thermal

@@ -1,0 +1,42 @@
+// Electromigration reliability models: Black's equation for Cu (and
+// Cu-dominated composites) and the CNT breakdown-threshold model (CNTs are
+// EM-immune below their ~1e9 A/cm^2 saturation limit — paper Sec. I).
+#pragma once
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "numerics/rng.hpp"
+
+namespace cnti::thermal {
+
+/// Black's-equation parameters for a Cu interconnect population.
+struct BlackParams {
+  /// Scale constant chosen so the reference stress (2 MA/cm^2 at 378 K)
+  /// gives ~10-year median lifetime.
+  double a_scale = 1.0;
+  double current_exponent_n = 2.0;
+  double activation_energy_ev = cuconst::kEmActivationEnergyEv;
+  /// Lognormal shape parameter of the TTF distribution.
+  double sigma_log = 0.4;
+};
+
+/// Median time-to-failure of a Cu line at current density j [A/m^2] and
+/// temperature T [K], in seconds.
+double black_mttf_s(double current_density_a_m2, double temperature_k,
+                    const BlackParams& params = {});
+
+/// Samples a lognormal TTF around the Black median.
+double sample_ttf_s(double current_density_a_m2, double temperature_k,
+                    numerics::Rng& rng, const BlackParams& params = {});
+
+/// CNT electromigration immunity: returns true when the stress is below
+/// the intrinsic breakdown density (no EM wear-out mechanism applies).
+bool cnt_em_immune(double current_density_a_m2);
+
+/// Lifetime acceleration factor between stress and use conditions
+/// (standard Black extrapolation).
+double em_acceleration_factor(double j_stress, double t_stress_k,
+                              double j_use, double t_use_k,
+                              const BlackParams& params = {});
+
+}  // namespace cnti::thermal

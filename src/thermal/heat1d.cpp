@@ -1,0 +1,120 @@
+#include "thermal/heat1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/roots.hpp"
+#include "numerics/solvers.hpp"
+
+namespace cnti::thermal {
+
+namespace {
+void validate(const LineThermalSpec& s) {
+  CNTI_EXPECTS(s.length_m > 0, "length must be positive");
+  CNTI_EXPECTS(s.cross_section_m2 > 0, "cross-section must be positive");
+  CNTI_EXPECTS(s.thermal_conductivity > 0, "k must be positive");
+  CNTI_EXPECTS(s.resistance_per_m >= 0, "resistance must be non-negative");
+  CNTI_EXPECTS(s.substrate_coupling >= 0, "coupling must be non-negative");
+}
+}  // namespace
+
+SelfHeatResult solve_self_heating(const LineThermalSpec& spec,
+                                  double current_a, int nodes) {
+  validate(spec);
+  CNTI_EXPECTS(nodes >= 3, "need at least 3 nodes");
+  const int n = nodes;
+  const double dx = spec.length_m / (n - 1);
+  const double ka = spec.thermal_conductivity * spec.cross_section_m2;
+  const double i2 = current_a * current_a;
+
+  SelfHeatResult out;
+  out.x_m.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.x_m[static_cast<std::size_t>(i)] = i * dx;
+  std::vector<double> temp(static_cast<std::size_t>(n), spec.ambient_k);
+
+  // Picard: freeze r(T), solve the linear conduction problem, repeat.
+  const int max_picard = 100;
+  int it = 0;
+  for (; it < max_picard; ++it) {
+    // Interior unknowns 1..n-2.
+    const std::size_t m = static_cast<std::size_t>(n - 2);
+    std::vector<double> sub(m - 1, -ka / (dx * dx));
+    std::vector<double> sup(m - 1, -ka / (dx * dx));
+    std::vector<double> diag(m, 2.0 * ka / (dx * dx) +
+                                    spec.substrate_coupling);
+    std::vector<double> rhs(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double t_here = temp[i + 1];
+      const double r_t = spec.resistance_per_m *
+                         (1.0 + spec.resistance_tcr *
+                                    (t_here - spec.ambient_k));
+      rhs[i] = i2 * std::max(0.0, r_t) +
+               spec.substrate_coupling * spec.ambient_k;
+    }
+    // Dirichlet ends at ambient fold into the first/last rows.
+    rhs[0] += ka / (dx * dx) * spec.ambient_k;
+    rhs[m - 1] += ka / (dx * dx) * spec.ambient_k;
+
+    const std::vector<double> sol =
+        numerics::solve_tridiagonal(sub, diag, sup, rhs);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      delta = std::max(delta, std::abs(sol[i] - temp[i + 1]));
+      temp[i + 1] = sol[i];
+    }
+    const double peak = *std::max_element(temp.begin(), temp.end());
+    if (!std::isfinite(peak) || peak > spec.ambient_k + 5000.0) {
+      out.thermal_runaway = true;
+      break;
+    }
+    if (delta < 1e-6) break;
+  }
+  out.picard_iterations = it + 1;
+  out.temperature_k = temp;
+  out.peak_temperature_k = *std::max_element(temp.begin(), temp.end());
+  out.peak_rise_k = out.peak_temperature_k - spec.ambient_k;
+
+  // Converged electrical resistance and dissipated power.
+  double r_total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double r_t = spec.resistance_per_m *
+                       (1.0 + spec.resistance_tcr *
+                                  (temp[static_cast<std::size_t>(i)] -
+                                   spec.ambient_k));
+    r_total += std::max(0.0, r_t) * dx * ((i == 0 || i == n - 1) ? 0.5 : 1.0);
+  }
+  out.hot_resistance_ohm = r_total;
+  out.total_power_w = i2 * r_total;
+  return out;
+}
+
+double analytic_peak_rise(const LineThermalSpec& spec, double current_a) {
+  validate(spec);
+  const double p = current_a * current_a * spec.resistance_per_m;
+  return p * spec.length_m * spec.length_m /
+         (8.0 * spec.thermal_conductivity * spec.cross_section_m2);
+}
+
+double thermal_ampacity(const LineThermalSpec& spec, double t_max_k,
+                        int nodes) {
+  validate(spec);
+  CNTI_EXPECTS(t_max_k > spec.ambient_k, "t_max must exceed ambient");
+  const auto overshoot = [&](double current) {
+    const SelfHeatResult r = solve_self_heating(spec, current, nodes);
+    if (r.thermal_runaway) return 1e6;
+    return r.peak_temperature_k - t_max_k;
+  };
+  // Bracket: start from the analytic estimate.
+  double hi = std::sqrt((t_max_k - spec.ambient_k) * 8.0 *
+                        spec.thermal_conductivity * spec.cross_section_m2 /
+                        (std::max(spec.resistance_per_m, 1e-30) *
+                         spec.length_m * spec.length_m));
+  if (!std::isfinite(hi) || hi <= 0) hi = 1e-3;
+  double lo = hi * 1e-3;
+  while (overshoot(lo) > 0 && lo > 1e-15) lo *= 0.1;
+  while (overshoot(hi) < 0 && hi < 1e3) hi *= 2.0;
+  return numerics::find_root_brent(overshoot, lo, hi,
+                                   {.x_tolerance = 1e-12});
+}
+
+}  // namespace cnti::thermal

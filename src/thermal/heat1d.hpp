@@ -1,0 +1,56 @@
+// Steady-state 1-D electro-thermal solver for an interconnect line:
+//   k A T'' - g (T - T_amb) + I^2 r(T) = 0,  T(0) = T(L) = T_amb,
+// with r(T) the temperature-dependent per-length electrical resistance and
+// g the thermal coupling to the substrate per unit length. Backs the
+// paper's Sec. IV.B thermal studies (self-heating of MWCNT interconnects).
+#pragma once
+
+#include <vector>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace cnti::thermal {
+
+/// Thermal and electrical description of a uniform line.
+struct LineThermalSpec {
+  double length_m = 1e-6;
+  double cross_section_m2 = 4.4e-17;     ///< e.g. 7.5 nm MWCNT disc.
+  double thermal_conductivity = 3000.0;  ///< Axial k [W/(m K)].
+  double ambient_k = phys::kRoomTemperature;
+  /// Electrical resistance per length at ambient [Ohm/m].
+  double resistance_per_m = 1e9;
+  /// Temperature coefficient of the electrical resistance [1/K].
+  double resistance_tcr = 0.0;
+  /// Thermal conductance to the substrate per unit length [W/(m K)].
+  double substrate_coupling = 0.0;
+};
+
+/// Solution of the self-heating problem at a given current.
+struct SelfHeatResult {
+  std::vector<double> x_m;
+  std::vector<double> temperature_k;
+  double peak_temperature_k = 0.0;
+  double peak_rise_k = 0.0;
+  double total_power_w = 0.0;
+  /// Total electrical resistance at the converged temperature [Ohm].
+  double hot_resistance_ohm = 0.0;
+  bool thermal_runaway = false;
+  int picard_iterations = 0;
+};
+
+/// Solves the nonlinear problem by Picard iteration over r(T).
+/// `nodes` sets the FD resolution.
+SelfHeatResult solve_self_heating(const LineThermalSpec& spec,
+                                  double current_a, int nodes = 201);
+
+/// Analytic peak rise for constant heating and no substrate coupling:
+/// dT = I^2 r L^2 / (8 k A) — validation reference and quick estimate.
+double analytic_peak_rise(const LineThermalSpec& spec, double current_a);
+
+/// Ampacity: the current at which the peak temperature reaches t_max_k
+/// (thermal-runaway currents count as exceeding) [A].
+double thermal_ampacity(const LineThermalSpec& spec, double t_max_k,
+                        int nodes = 101);
+
+}  // namespace cnti::thermal

@@ -1,0 +1,57 @@
+#include "thermal/sthm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cnti::thermal {
+
+SthmScan simulate_sthm_scan(const SelfHeatResult& truth,
+                            const SthmProbe& probe, numerics::Rng& rng) {
+  CNTI_EXPECTS(!truth.x_m.empty(), "empty temperature profile");
+  CNTI_EXPECTS(probe.scan_step_m > 0, "scan step must be positive");
+  CNTI_EXPECTS(probe.spatial_resolution_m > 0,
+               "probe resolution must be positive");
+  SthmScan scan;
+  const double x_end = truth.x_m.back();
+  const double sigma = probe.spatial_resolution_m;
+
+  for (double x = 0.0; x <= x_end + 1e-15; x += probe.scan_step_m) {
+    // Discrete Gaussian convolution over the truth profile.
+    double weight_sum = 0.0, acc = 0.0;
+    for (std::size_t i = 0; i < truth.x_m.size(); ++i) {
+      const double d = truth.x_m[i] - x;
+      const double w = std::exp(-0.5 * d * d / (sigma * sigma));
+      weight_sum += w;
+      acc += w * truth.temperature_k[i];
+    }
+    scan.x_m.push_back(x);
+    scan.temperature_k.push_back(acc / weight_sum +
+                                 rng.normal(0.0, probe.temperature_noise_k));
+  }
+  return scan;
+}
+
+double extract_thermal_conductivity(const SthmScan& scan,
+                                    const LineThermalSpec& geometry,
+                                    double current_a) {
+  CNTI_EXPECTS(scan.temperature_k.size() >= 5, "scan too short");
+  // Robust peak estimate: average the top 5% of pixels (noise rejection).
+  std::vector<double> sorted = scan.temperature_k;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t top = std::max<std::size_t>(1, sorted.size() / 20);
+  double peak = 0.0;
+  for (std::size_t i = sorted.size() - top; i < sorted.size(); ++i) {
+    peak += sorted[i];
+  }
+  peak /= static_cast<double>(top);
+  const double rise = peak - geometry.ambient_k;
+  CNTI_EXPECTS(rise > 0, "no measurable self-heating in the scan");
+
+  // Invert the parabolic conduction profile (contact-sunk line):
+  // dT_peak = I^2 r L^2 / (8 k A).
+  const double p = current_a * current_a * geometry.resistance_per_m;
+  return p * geometry.length_m * geometry.length_m /
+         (8.0 * rise * geometry.cross_section_m2);
+}
+
+}  // namespace cnti::thermal

@@ -1,0 +1,40 @@
+// Scanning thermal microscopy (SThM) virtual metrology (paper Sec. IV.B):
+// a resistively heated probe maps the temperature of an operating MWCNT
+// interconnect; convolution with the probe kernel plus instrument noise
+// produces the "measured" profile, from which thermal conductivity is
+// re-extracted — reproducing the analysis chain with known ground truth.
+#pragma once
+
+#include <vector>
+
+#include "numerics/rng.hpp"
+#include "thermal/heat1d.hpp"
+
+namespace cnti::thermal {
+
+/// SThM instrument description.
+struct SthmProbe {
+  double spatial_resolution_m = 20e-9;  ///< Gaussian kernel sigma.
+  double temperature_noise_k = 0.05;    ///< Per-pixel rms noise.
+  double scan_step_m = 10e-9;
+};
+
+/// A simulated SThM line scan.
+struct SthmScan {
+  std::vector<double> x_m;
+  std::vector<double> temperature_k;
+};
+
+/// Convolves the true temperature profile with the probe kernel and adds
+/// noise.
+SthmScan simulate_sthm_scan(const SelfHeatResult& truth,
+                            const SthmProbe& probe, numerics::Rng& rng);
+
+/// Extracts the thermal conductivity from a measured scan of a line with
+/// known geometry and dissipated power, inverting the parabolic profile:
+/// k = P L / (8 A dT_peak) per unit heating. Returns the estimate [W/(m K)].
+double extract_thermal_conductivity(const SthmScan& scan,
+                                    const LineThermalSpec& geometry,
+                                    double current_a);
+
+}  // namespace cnti::thermal

@@ -1,0 +1,317 @@
+// Tests for the atomistic substrate: SWCNT geometry, zone-folded bands,
+// Landauer transport, NEGF cross-validation, and the calibrated doping
+// model (paper Fig. 8 anchors).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atomistic/bandstructure.hpp"
+#include "atomistic/doping.hpp"
+#include "atomistic/landauer.hpp"
+#include "atomistic/negf.hpp"
+#include "atomistic/swcnt_geometry.hpp"
+#include "common/units.hpp"
+
+namespace ca = cnti::atomistic;
+using cnti::phys::kConductanceQuantum;
+
+namespace {
+
+TEST(Chirality, DiameterOfKnownTubes) {
+  // (7,7) armchair: d ~ 0.95 nm (the paper's SWCNT(7,7) is "about 1 nm").
+  EXPECT_NEAR(cnti::units::to_nm(ca::Chirality(7, 7).diameter()), 0.949,
+              0.01);
+  // (10,10): d ~ 1.356 nm.
+  EXPECT_NEAR(cnti::units::to_nm(ca::Chirality(10, 10).diameter()), 1.356,
+              0.01);
+  // (17,0) zigzag: d ~ 1.331 nm.
+  EXPECT_NEAR(cnti::units::to_nm(ca::Chirality(17, 0).diameter()), 1.331,
+              0.01);
+}
+
+TEST(Chirality, MetallicityRule) {
+  EXPECT_TRUE(ca::Chirality(7, 7).is_metallic());
+  EXPECT_TRUE(ca::Chirality(9, 0).is_metallic());
+  EXPECT_TRUE(ca::Chirality(7, 4).is_metallic());
+  EXPECT_FALSE(ca::Chirality(10, 0).is_metallic());
+  EXPECT_FALSE(ca::Chirality(8, 6).is_metallic());
+}
+
+TEST(Chirality, UnitCellCounts) {
+  // Armchair (n,n): d_R = 3n, N = 2n, 4n atoms.
+  const ca::Chirality a(7, 7);
+  EXPECT_EQ(a.d_r(), 21);
+  EXPECT_EQ(a.hexagons_per_cell(), 14);
+  EXPECT_EQ(a.atoms_per_cell(), 28);
+  // Zigzag (n,0): d_R = n, N = 2n, 4n atoms.
+  const ca::Chirality z(10, 0);
+  EXPECT_EQ(z.d_r(), 10);
+  EXPECT_EQ(z.hexagons_per_cell(), 20);
+  EXPECT_EQ(z.atoms_per_cell(), 40);
+}
+
+TEST(Chirality, TranslationLengths) {
+  // Armchair translation length = a (0.246 nm); zigzag = sqrt(3) a.
+  EXPECT_NEAR(cnti::units::to_nm(ca::Chirality(7, 7).translation_length()),
+              0.246, 1e-3);
+  EXPECT_NEAR(cnti::units::to_nm(ca::Chirality(10, 0).translation_length()),
+              0.426, 1e-3);
+}
+
+TEST(Chirality, RejectsInvalidIndices) {
+  EXPECT_THROW(ca::Chirality(0, 0), cnti::PreconditionError);
+  EXPECT_THROW(ca::Chirality(5, 6), cnti::PreconditionError);
+}
+
+TEST(BandStructure, MetallicTubesAreGapless) {
+  for (const auto& ch : {ca::Chirality(7, 7), ca::Chirality(9, 0),
+                         ca::Chirality(12, 0), ca::Chirality(10, 10)}) {
+    ca::BandStructure bands(ch);
+    EXPECT_NEAR(bands.band_gap(), 0.0, 2e-3) << ch.label();
+  }
+}
+
+TEST(BandStructure, SemiconductingGapScalesInverseDiameter) {
+  // E_g ~ 2 gamma0 a_cc / d ~ 0.77 eV nm / d.
+  for (const auto& ch : {ca::Chirality(10, 0), ca::Chirality(13, 0),
+                         ca::Chirality(17, 0)}) {
+    ca::BandStructure bands(ch);
+    const double d_nm = cnti::units::to_nm(ch.diameter());
+    const double expected = 2.0 * 2.7 * 0.142 / d_nm;
+    EXPECT_NEAR(bands.band_gap(), expected, 0.12 * expected) << ch.label();
+  }
+}
+
+TEST(BandStructure, MetallicTubesHaveTwoModesAtFermi) {
+  for (const auto& ch : {ca::Chirality(7, 7), ca::Chirality(9, 0),
+                         ca::Chirality(10, 10), ca::Chirality(15, 0)}) {
+    ca::BandStructure bands(ch);
+    EXPECT_EQ(bands.count_modes(0.02), 2) << ch.label();
+  }
+}
+
+TEST(BandStructure, SemiconductingTubesHaveNoModesInGap) {
+  ca::BandStructure bands(ca::Chirality(10, 0));
+  EXPECT_EQ(bands.count_modes(0.0), 0);
+  EXPECT_EQ(bands.count_modes(0.2), 0);  // inside the ~0.95 eV gap
+}
+
+TEST(BandStructure, ModeStaircaseIncreasesAwayFromFermi) {
+  ca::BandStructure bands(ca::Chirality(10, 10));
+  const int m0 = bands.count_modes(0.05);
+  const int m1 = bands.count_modes(1.2);
+  const int m2 = bands.count_modes(2.2);
+  EXPECT_EQ(m0, 2);
+  EXPECT_GT(m1, m0);
+  EXPECT_GT(m2, m1);
+}
+
+TEST(BandStructure, ArmchairFirstVanHoveMatchesAnalytic) {
+  // First non-crossing subband edge of (n,n) at gamma0 |sin(pi/n)|.
+  ca::BandStructure bands(ca::Chirality(10, 10));
+  const auto vh = bands.van_hove_energies();
+  // Edges 0 (two crossing subbands) then the first finite edge.
+  double first_finite = 0.0;
+  for (double e : vh) {
+    if (e > 0.05) {
+      first_finite = e;
+      break;
+    }
+  }
+  EXPECT_NEAR(first_finite, 2.7 * std::sin(M_PI / 10.0), 0.02);
+}
+
+TEST(Landauer, PaperEq1PristineConductance) {
+  // Paper Fig. 8: G_bal of (7,7) is 0.155 mS = 2 G0.
+  ca::BandStructure bands(ca::Chirality(7, 7));
+  const double g = ca::ballistic_conductance(bands, 0.0, 300.0);
+  EXPECT_NEAR(cnti::units::to_mS(g), 0.155, 0.006);
+  EXPECT_NEAR(ca::conducting_channels(bands, 0.0, 300.0), 2.0, 0.05);
+}
+
+TEST(Landauer, NcCloseToTwoRegardlessOfDiameterAndChirality) {
+  // Paper Sec. III.A: "the value of Nc is close to 2 regardless of the
+  // diameter and chirality" for metallic tubes.
+  for (const auto& ch : {ca::Chirality(5, 5), ca::Chirality(9, 0),
+                         ca::Chirality(10, 10), ca::Chirality(18, 0),
+                         ca::Chirality(15, 15)}) {
+    ca::BandStructure bands(ch);
+    const double nc = ca::conducting_channels(bands, 0.0, 300.0);
+    EXPECT_NEAR(nc, 2.0, 0.35) << ch.label();
+  }
+}
+
+TEST(Landauer, SemiconductingConductanceSuppressed) {
+  ca::BandStructure bands(ca::Chirality(10, 0));
+  const double g = ca::ballistic_conductance(bands, 0.0, 300.0);
+  EXPECT_LT(g, 0.01 * kConductanceQuantum);
+}
+
+TEST(Landauer, FermiDerivativeNormalized) {
+  // integral of -df/dE over all E equals 1.
+  double acc = 0.0;
+  const double kt = 0.02585;
+  const int n = 2001;
+  const double lo = -0.5, hi = 0.5;
+  const double de = (hi - lo) / (n - 1);
+  for (int i = 0; i < n; ++i) {
+    acc += ca::fermi_derivative(lo + i * de, 0.0, 300.0) * de;
+  }
+  EXPECT_NEAR(acc, 1.0, 1e-6);
+  EXPECT_NEAR(ca::fermi_derivative(0.0, 0.0, 300.0), 1.0 / (4.0 * kt), 0.01);
+}
+
+TEST(Landauer, MetallicChannelAverageIncreasesWithDiameter) {
+  const double n1 = ca::average_metallic_channels(1e-9, 300.0);
+  const double n10 = ca::average_metallic_channels(10e-9, 300.0);
+  const double n30 = ca::average_metallic_channels(30e-9, 300.0);
+  EXPECT_NEAR(n1, 2.0, 0.01);  // small tube: exactly the 2 crossing modes
+  EXPECT_GT(n10, n1);
+  EXPECT_GT(n30, n10);
+}
+
+TEST(Landauer, MixedChannelsMatchNaeemiMeindlForm) {
+  // Naeemi & Meindl (EDL 2006): statistical average N_c ~ 3.87e-4 d T + 0.2
+  // for d T > ~4300 nm K. Check at d = 20, 30 nm, T = 300 K within 15%.
+  for (double d_nm : {20.0, 30.0}) {
+    const double nc = ca::average_mixed_channels(d_nm * 1e-9, 300.0);
+    const double ref = 3.87e-4 * d_nm * 300.0 + 0.2;
+    EXPECT_NEAR(nc, ref, 0.15 * ref) << d_nm;
+  }
+}
+
+// --- NEGF ---
+
+TEST(Negf, TubeHamiltonianIsThreeCoordinated) {
+  // Constructor enforces 3-coordination; just exercise a chiral tube where
+  // the lattice bookkeeping is hardest.
+  ca::TubeHamiltonian h(ca::Chirality(4, 2));
+  EXPECT_EQ(h.atoms_per_cell(), ca::Chirality(4, 2).atoms_per_cell());
+}
+
+TEST(Negf, SurfaceGreenFunctionMatches1dChainAnalytic) {
+  // Single-orbital chain, H00 = 0, hop t = -1: retarded surface GF obeys
+  // g = 1 / (z - t^2 g); inside the band Im(g) = -sqrt(4 t^2 - E^2)/(2 t^2).
+  ca::MatrixC h00(1, 1), hop(1, 1);
+  hop(0, 0) = std::complex<double>(-1.0, 0.0);
+  const std::complex<double> z(0.5, 1e-9);
+  const ca::MatrixC g = ca::surface_green_function(z, h00, hop);
+  const std::complex<double> gs = g(0, 0);
+  const std::complex<double> residual = gs * (z - gs) - 1.0;
+  EXPECT_LT(std::abs(residual), 1e-6);
+  EXPECT_LT(gs.imag(), 0.0);  // retarded
+}
+
+TEST(Negf, PristineTransmissionEqualsModeCount) {
+  // The key cross-validation: NEGF transmission of a pristine device must
+  // equal the zone-folding mode count at every energy (away from edges).
+  const ca::Chirality ch(5, 5);
+  const ca::TubeHamiltonian h(ch);
+  const ca::BandStructure bands(ch);
+  ca::NegfSolver solver(h, 2);
+  for (double e : {0.0, 0.4, 1.0, 1.6, 2.4}) {
+    const double t = solver.transmission(e);
+    const int m = bands.count_modes(e);
+    EXPECT_NEAR(t, m, 0.02) << "E = " << e;
+  }
+}
+
+TEST(Negf, ZigzagPristineTransmissionEqualsModeCount) {
+  const ca::Chirality ch(9, 0);
+  const ca::TubeHamiltonian h(ch);
+  const ca::BandStructure bands(ch);
+  ca::NegfSolver solver(h, 1);
+  for (double e : {0.05, 0.9, 1.5}) {
+    EXPECT_NEAR(solver.transmission(e), bands.count_modes(e), 0.02)
+        << "E = " << e;
+  }
+}
+
+TEST(Negf, VacancyReducesTransmission) {
+  const ca::Chirality ch(5, 5);
+  const ca::TubeHamiltonian h(ch);
+  ca::NegfSolver solver(h, 3);
+  ca::CellPerturbation p;
+  p.onsite_shift_ev.assign(h.atoms_per_cell(), 0.0);
+  p.onsite_shift_ev[0] = 1e3;  // vacancy
+  solver.set_perturbation(1, p);
+  const double t = solver.transmission(0.3);
+  EXPECT_LT(t, 1.999);
+  EXPECT_GT(t, 0.5);  // a single vacancy does not block a metallic tube
+}
+
+TEST(Negf, UniformPotentialShiftsSpectrum) {
+  // A rigid device potential U shifts the transmission: T_U(E) ~ T_0(E - U)
+  // up to lead-matching corrections; check inside the first plateau.
+  const ca::Chirality ch(5, 5);
+  const ca::TubeHamiltonian h(ch);
+  ca::NegfSolver shifted(h, 2);
+  shifted.set_device_potential(-0.3);
+  // At E = 0, a pristine (5,5) has 2 modes; with U = -0.3 still 2 modes.
+  EXPECT_NEAR(shifted.transmission(0.0), 2.0, 0.05);
+}
+
+TEST(Negf, ConductanceMatchesLandauerAtRoomTemperature) {
+  const ca::Chirality ch(5, 5);
+  const ca::TubeHamiltonian h(ch);
+  ca::NegfSolver solver(h, 1);
+  const double g = solver.conductance(0.0, 300.0);
+  EXPECT_NEAR(g / kConductanceQuantum, 2.0, 0.08);
+}
+
+// --- Doping ---
+
+TEST(Doping, PaperDftAnchorsReproduced) {
+  // Pristine (7,7): 0.155 mS; iodine-doped: ~0.387 mS with dEf ~ -0.6 eV.
+  const ca::BandStructure bands(ca::Chirality(7, 7));
+  ca::ChargeTransferDoping doping(ca::DopantSpecies::kIodineInternal, 1.0);
+  // Saturated iodine: Fermi shift approaches -0.6 eV (x0.95 stability).
+  EXPECT_NEAR(doping.stable_fermi_shift_ev(), -0.56, 0.03);
+  const double nc = doping.effective_channels(bands, 300.0);
+  const double g_ms = cnti::units::to_mS(nc * kConductanceQuantum);
+  EXPECT_NEAR(g_ms, 0.387, 0.045);
+}
+
+TEST(Doping, UndopedIsPristine) {
+  const ca::BandStructure bands(ca::Chirality(7, 7));
+  ca::ChargeTransferDoping doping(ca::DopantSpecies::kIodineInternal, 0.0);
+  EXPECT_DOUBLE_EQ(doping.fermi_shift_ev(), 0.0);
+  EXPECT_NEAR(doping.effective_channels(bands, 300.0), 2.0, 0.05);
+}
+
+TEST(Doping, InternalMoreStableThanExternal) {
+  // Paper Sec. II.A: internal doping is more stable than external.
+  const auto internal =
+      ca::dopant_properties(ca::DopantSpecies::kIodineInternal);
+  const auto external =
+      ca::dopant_properties(ca::DopantSpecies::kIodineExternal);
+  EXPECT_GT(internal.stability_factor, external.stability_factor);
+}
+
+TEST(Doping, FermiShiftSaturates) {
+  ca::ChargeTransferDoping low(ca::DopantSpecies::kIodineInternal, 0.005);
+  ca::ChargeTransferDoping high(ca::DopantSpecies::kIodineInternal, 0.5);
+  EXPECT_LT(std::abs(low.fermi_shift_ev()),
+            std::abs(high.fermi_shift_ev()));
+  EXPECT_LT(std::abs(high.fermi_shift_ev()), 0.6 + 1e-12);
+}
+
+TEST(Doping, ChannelsPerShellSimpleSpansPaperRange) {
+  // The paper sweeps N_c per shell from 2 (pristine) to ~10 (heavy doping).
+  ca::ChargeTransferDoping none(ca::DopantSpecies::kIodineInternal, 0.0);
+  EXPECT_NEAR(none.channels_per_shell_simple(), 2.0, 1e-9);
+  ca::ChargeTransferDoping sat(ca::DopantSpecies::kIodineInternal, 1.0);
+  EXPECT_GT(sat.channels_per_shell_simple(), 4.0);
+}
+
+TEST(Doping, DefectMfpEstimateIsFiniteAndPositive) {
+  const auto res = ca::estimate_defect_mfp(ca::Chirality(5, 5),
+                                           /*defect_probability=*/0.02,
+                                           /*energy_ev=*/0.3, /*seed=*/99,
+                                           /*max_cells=*/12, /*samples=*/2);
+  EXPECT_NEAR(res.ballistic_modes, 2.0, 0.05);
+  EXPECT_GT(res.mfp_m, 0.0);
+  EXPECT_LT(res.mfp_m, 1e-6);
+}
+
+}  // namespace

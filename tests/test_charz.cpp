@@ -1,0 +1,166 @@
+// Tests for the characterization module: TLM round-trip, IV / Fig. 2d
+// doping response, EM stress statistics, test-chip wafer characterization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "charz/em_test.hpp"
+#include "charz/iv.hpp"
+#include "charz/testchip.hpp"
+#include "charz/tlm.hpp"
+
+namespace cz = cnti::charz;
+namespace ca = cnti::atomistic;
+
+namespace {
+
+TEST(Tlm, NoiselessRoundTripIsExact) {
+  cz::TlmGroundTruth truth;
+  truth.contact_resistance_kohm = 18.0;
+  truth.resistance_per_um_kohm = 5.5;
+  truth.measurement_noise_fraction = 0.0;
+  cnti::numerics::Rng rng(1);
+  const auto data =
+      cz::generate_tlm_data(truth, {0.5, 1.0, 2.0, 3.0, 5.0}, rng);
+  const auto fit = cz::extract_tlm(data);
+  EXPECT_NEAR(fit.contact_resistance_kohm, 18.0, 1e-9);
+  EXPECT_NEAR(fit.resistance_per_um_kohm, 5.5, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Tlm, NoisyRoundTripWithinErrorBars) {
+  cz::TlmGroundTruth truth;  // 2% noise
+  cnti::numerics::Rng rng(2);
+  const auto data = cz::generate_tlm_data(
+      truth, {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0}, rng);
+  const auto fit = cz::extract_tlm(data);
+  EXPECT_NEAR(fit.contact_resistance_kohm, truth.contact_resistance_kohm,
+              4.0 * fit.contact_stderr_kohm +
+                  0.1 * truth.contact_resistance_kohm);
+  EXPECT_NEAR(fit.resistance_per_um_kohm, truth.resistance_per_um_kohm,
+              4.0 * fit.slope_stderr_kohm +
+                  0.1 * truth.resistance_per_um_kohm);
+}
+
+TEST(Tlm, RequiresThreeStructures) {
+  EXPECT_THROW(cz::extract_tlm({{1.0, 10.0}, {2.0, 20.0}}),
+               cnti::PreconditionError);
+}
+
+TEST(Iv, OhmicAtLowBiasSaturatesAtHighBias) {
+  cz::CntDeviceSpec dev;
+  const auto iv = cz::sweep_iv(dev, nullptr, 3.0, 301);
+  // Slope near zero ~ 1/R.
+  const double r_kohm = cz::device_resistance_kohm(dev, nullptr);
+  const auto& mid = iv[150];  // V ~ 0
+  const auto& midp = iv[155];
+  const double g_meas =
+      (midp.current_ua - mid.current_ua) / (midp.voltage_v - mid.voltage_v);
+  EXPECT_NEAR(g_meas, 1e3 / r_kohm, 0.1 * 1e3 / r_kohm);
+  // Saturation: current at 3 V well below the linear extrapolation.
+  EXPECT_LT(iv.back().current_ua, 0.8 * 3.0 / r_kohm * 1e3);
+  // Odd symmetry.
+  EXPECT_NEAR(iv.front().current_ua, -iv.back().current_ua, 1e-9);
+}
+
+TEST(Iv, BreakdownKillsTheDevice) {
+  cz::CntDeviceSpec dev;
+  dev.breakdown_v = 2.0;
+  const auto iv = cz::sweep_iv(dev, nullptr, 4.0, 401);
+  EXPECT_DOUBLE_EQ(iv.back().current_ua, 0.0);
+}
+
+TEST(Iv, Fig2dDopingLowersResistance) {
+  // PtCl4 doping drops the side-contacted MWCNT resistance (Fig. 2d):
+  // expect roughly a 1.5-4x improvement at saturation doping.
+  cz::CntDeviceSpec dev;
+  dev.contact_resistance_kohm = 10.0;
+  const ca::ChargeTransferDoping doping(ca::DopantSpecies::kPtCl4External,
+                                        1.0);
+  const double ratio = cz::doping_resistance_ratio(dev, doping);
+  EXPECT_LT(ratio, 0.7);
+  EXPECT_GT(ratio, 0.1);
+}
+
+TEST(Iv, DopedDeviceCarriesMoreCurrent) {
+  cz::CntDeviceSpec dev;
+  const ca::ChargeTransferDoping doping(
+      ca::DopantSpecies::kIodineInternal, 1.0);
+  const auto pristine = cz::sweep_iv(dev, nullptr, 1.0, 101);
+  const auto doped = cz::sweep_iv(dev, &doping, 1.0, 101);
+  EXPECT_GT(doped.back().current_ua, pristine.back().current_ua);
+}
+
+TEST(EmTest, CuPopulationFailsLognormally) {
+  cz::EmStressConditions cond;
+  const auto res = cz::run_em_stress(cz::LineTechnology::kCu, cond);
+  EXPECT_FALSE(res.immortal);
+  EXPECT_GT(res.ttf_hours.median, 0.0);
+  // Lognormal: mean > median.
+  EXPECT_GT(res.ttf_hours.mean, res.ttf_hours.median);
+  EXPECT_GT(res.use_median_years, 0.1);
+}
+
+TEST(EmTest, CompositeOutlivesCu) {
+  cz::EmStressConditions cond;
+  cnti::materials::CompositeSpec comp;
+  comp.cnt_volume_fraction = 0.4;
+  const auto cu = cz::run_em_stress(cz::LineTechnology::kCu, cond);
+  const auto cc =
+      cz::run_em_stress(cz::LineTechnology::kCuCntComposite, cond, comp);
+  EXPECT_GT(cc.ttf_hours.median, cu.ttf_hours.median);
+}
+
+TEST(EmTest, PureCntIsImmortalBelowBreakdown) {
+  cz::EmStressConditions cond;  // 2.5e10 A/m^2 << 1e13
+  const auto res = cz::run_em_stress(cz::LineTechnology::kPureCnt, cond);
+  EXPECT_TRUE(res.immortal);
+}
+
+TEST(TestChip, StandardLayoutHasAllStructureKinds) {
+  const auto layout = cz::standard_test_layout();
+  int lines = 0, combs = 0, chains = 0;
+  for (const auto& s : layout) {
+    switch (s.kind) {
+      case cz::StructureKind::kSingleLine: ++lines; break;
+      case cz::StructureKind::kCombFingers: ++combs; break;
+      case cz::StructureKind::kViaChain: ++chains; break;
+    }
+  }
+  EXPECT_GE(lines, 12);  // width x length matrix + angle
+  EXPECT_GE(combs, 2);
+  EXPECT_GE(chains, 2);
+}
+
+TEST(TestChip, LineResistanceScalesWithGeometry) {
+  const auto layout = cz::standard_test_layout();
+  cz::TesterSpec tester;
+  tester.resistance_noise_fraction = 0.0;
+  cnti::numerics::Rng rng(5);
+  const auto meas = cz::measure_die(layout, 0.0, tester, rng);
+  // Find two line structures differing only in length 10x.
+  double r10 = 0.0, r100 = 0.0;
+  for (const auto& m : meas) {
+    if (m.structure == "line_w100_l10") r10 = m.value;
+    if (m.structure == "line_w100_l100") r100 = m.value;
+  }
+  ASSERT_GT(r10, 0.0);
+  EXPECT_NEAR(r100 / r10, 10.0, 0.1);
+}
+
+TEST(TestChip, WaferCharacterizationYieldsAndSummarizes) {
+  cnti::numerics::Rng rng(41);
+  cnti::process::WaferSpec wspec;
+  cnti::process::GrowthRecipe nominal;
+  const cnti::process::WaferMap wafer(wspec, nominal, rng);
+  const auto layout = cz::standard_test_layout();
+  cz::TesterSpec tester;
+  const auto result = cz::characterize_wafer(wafer, layout, tester);
+  EXPECT_EQ(result.structure_names.size(), layout.size());
+  EXPECT_GT(result.die_yield, 0.5);
+  for (const auto& s : result.value_summary) {
+    EXPECT_GT(s.mean, 0.0);
+  }
+}
+
+}  // namespace

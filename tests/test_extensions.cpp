@@ -1,0 +1,188 @@
+// Tests for the extension features the paper's conclusion calls for:
+// repeater design-space exploration, electro-thermal co-simulation, and
+// coupled-line crosstalk analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/crosstalk.hpp"
+#include "core/mwcnt_line.hpp"
+#include "core/repeater.hpp"
+#include "thermal/electrothermal.hpp"
+
+namespace cc = cnti::core;
+namespace th = cnti::thermal;
+namespace cir = cnti::circuit;
+
+namespace {
+
+// --- Repeater insertion ---
+
+cc::LineRlc long_cnt_line(double nc) {
+  return cc::make_paper_mwcnt(10, nc, /*contact=*/50e3).rlc();
+}
+
+TEST(Repeater, RepeatersHelpLongLines) {
+  const auto plan = cc::optimize_repeaters(long_cnt_line(2), 5e-3);
+  EXPECT_GT(plan.count, 1);
+  EXPECT_LT(plan.total_delay_s, plan.unrepeated_delay_s);
+}
+
+TEST(Repeater, ShortLinesNeedNoRepeaters) {
+  const auto plan = cc::optimize_repeaters(long_cnt_line(2), 5e-6);
+  EXPECT_EQ(plan.count, 1);
+  EXPECT_DOUBLE_EQ(plan.total_delay_s, plan.unrepeated_delay_s);
+}
+
+TEST(Repeater, DelayFormulaMatchesElmoreByHand) {
+  cc::LineRlc line;
+  line.series_resistance_ohm = 0.0;
+  line.resistance_per_m = 1e9;
+  line.capacitance_per_m = 100e-12;
+  cc::RepeaterLibrary lib;
+  lib.unit_resistance_ohm = 10e3;
+  lib.unit_input_cap_f = 0.1e-15;
+  lib.unit_output_cap_f = 0.0;
+  // One segment, size 1: Elmore = Rd*(Cl+CL) + Rl*(Cl/2+CL).
+  const double l = 100e-6;
+  const double rl = 1e9 * l, cl = 100e-12 * l;
+  const double expected = 10e3 * (cl + 0.1e-15) + rl * (cl / 2 + 0.1e-15);
+  EXPECT_NEAR(cc::repeated_line_delay(line, l, 1, 1.0, lib), expected,
+              1e-15);
+}
+
+TEST(Repeater, ContactResistancePenalizesRepeatersOnCnt) {
+  // Each repeater re-pays the CNT contact resistance, so heavily
+  // contact-dominated lines want fewer repeaters.
+  cc::RepeaterLibrary lib;
+  const auto cheap_contacts =
+      cc::optimize_repeaters(cc::make_paper_mwcnt(10, 2, 1e3).rlc(), 2e-3,
+                             lib);
+  const auto costly_contacts =
+      cc::optimize_repeaters(cc::make_paper_mwcnt(10, 2, 500e3).rlc(),
+                             2e-3, lib);
+  EXPECT_GE(cheap_contacts.count, costly_contacts.count);
+}
+
+TEST(Repeater, DopingReducesRepeaterDemand) {
+  // Doped line has lower distributed resistance -> fewer/lighter
+  // repeaters for the same length.
+  const auto pristine = cc::optimize_repeaters(long_cnt_line(2), 5e-3);
+  const auto doped = cc::optimize_repeaters(long_cnt_line(10), 5e-3);
+  EXPECT_LE(doped.count, pristine.count);
+  EXPECT_LT(doped.total_delay_s, pristine.total_delay_s);
+}
+
+TEST(Repeater, RejectsInvalidPlans) {
+  EXPECT_THROW(cc::repeated_line_delay(long_cnt_line(2), 1e-3, 0, 1.0, {}),
+               cnti::PreconditionError);
+  EXPECT_THROW(
+      cc::repeated_line_delay(long_cnt_line(2), 1e-3, 1, 0.5, {}),
+      cnti::PreconditionError);
+}
+
+// --- Electro-thermal co-simulation ---
+
+th::LineThermalSpec et_line() {
+  th::LineThermalSpec s;
+  s.length_m = 1e-6;
+  s.cross_section_m2 = M_PI * 7.5e-9 * 7.5e-9 / 4.0;
+  s.thermal_conductivity = 3000.0;
+  s.resistance_per_m = 2e10;  // 20 kOhm
+  s.resistance_tcr = 1.5e-3;
+  s.substrate_coupling = 0.05;
+  return s;
+}
+
+TEST(ElectroThermal, LowBiasIsOhmic) {
+  const auto op = th::solve_operating_point(et_line(), 0.01);
+  EXPECT_FALSE(op.runaway);
+  EXPECT_NEAR(op.current_a, 0.01 / 20e3, 1e-8);
+  EXPECT_NEAR(op.peak_temperature_k, 300.0, 0.5);
+}
+
+TEST(ElectroThermal, SelfHeatingDroopsTheIv) {
+  // With positive TCR, the hot resistance exceeds the cold one, so the
+  // measured current falls below the cold-ohmic extrapolation.
+  const auto op = th::solve_operating_point(et_line(), 2.0);
+  EXPECT_FALSE(op.runaway);
+  EXPECT_LT(op.current_a, 2.0 / 20e3);
+  EXPECT_GT(op.resistance_ohm, 20e3);
+  EXPECT_GT(op.peak_temperature_k, 320.0);
+}
+
+TEST(ElectroThermal, SweepIsMonotoneUntilBreakdown) {
+  const auto iv = th::sweep_electrothermal_iv(et_line(), 3.0, 31);
+  ASSERT_GE(iv.size(), 5u);
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].runaway) break;
+    EXPECT_GE(iv[i].current_a, iv[i - 1].current_a - 1e-12);
+    EXPECT_GE(iv[i].peak_temperature_k,
+              iv[i - 1].peak_temperature_k - 1e-9);
+  }
+}
+
+TEST(ElectroThermal, BreakdownVoltageBrackets) {
+  const double vbd = th::breakdown_voltage(et_line(), 20.0, 873.0);
+  ASSERT_GT(vbd, 0.0);
+  if (vbd < 20.0) {
+    const auto below = th::solve_operating_point(et_line(), 0.95 * vbd);
+    EXPECT_LT(below.peak_temperature_k, 873.0);
+  }
+}
+
+TEST(ElectroThermal, HigherKthSurvivesHigherBias) {
+  auto low_k = et_line();
+  auto high_k = et_line();
+  low_k.thermal_conductivity = 385.0;   // Cu-class
+  high_k.thermal_conductivity = 10000.0;
+  const double v_lo = th::breakdown_voltage(low_k, 50.0);
+  const double v_hi = th::breakdown_voltage(high_k, 50.0);
+  EXPECT_GT(v_hi, v_lo);
+}
+
+// --- Crosstalk ---
+
+cir::CrosstalkConfig xt_base() {
+  cir::CrosstalkConfig cfg;
+  cfg.victim = cc::make_paper_mwcnt(10, 2, 20e3).rlc();
+  cfg.aggressor = cfg.victim;
+  cfg.coupling_cap_per_m = 30e-12;
+  cfg.length_m = 50e-6;
+  cfg.segments = 10;
+  return cfg;
+}
+
+TEST(Crosstalk, AggressorCouplesNoiseIntoVictim) {
+  const auto res = cir::analyze_crosstalk(xt_base(), 1200);
+  EXPECT_GT(res.peak_noise_v, 0.01);   // visible noise bump
+  EXPECT_LT(res.peak_noise_v, 1.0);    // below full swing
+  EXPECT_GT(res.aggressor_delay_s, 0.0);
+}
+
+TEST(Crosstalk, NoCouplingNoNoise) {
+  auto cfg = xt_base();
+  cfg.coupling_cap_per_m = 0.0;
+  const auto res = cir::analyze_crosstalk(cfg, 800);
+  EXPECT_LT(std::abs(res.peak_noise_v), 1e-6);
+}
+
+TEST(Crosstalk, StrongerCouplingMoreNoise) {
+  auto weak = xt_base();
+  weak.coupling_cap_per_m = 10e-12;
+  auto strong = xt_base();
+  strong.coupling_cap_per_m = 60e-12;
+  EXPECT_GT(cir::analyze_crosstalk(strong, 1200).peak_noise_v,
+            cir::analyze_crosstalk(weak, 1200).peak_noise_v);
+}
+
+TEST(Crosstalk, StifferVictimHolderReducesNoise) {
+  auto stiff = xt_base();
+  stiff.victim_driver_ohm = 500.0;
+  auto weak = xt_base();
+  weak.victim_driver_ohm = 50e3;
+  EXPECT_LT(cir::analyze_crosstalk(stiff, 1200).peak_noise_v,
+            cir::analyze_crosstalk(weak, 1200).peak_noise_v);
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+// Tests for AC analysis, DC sweeps, DOS and the Raman quality metric —
+// the second-wave analysis features built on the core engines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atomistic/dos.hpp"
+#include "charz/raman.hpp"
+#include "circuit/ac.hpp"
+#include "circuit/builders.hpp"
+#include "circuit/dc_sweep.hpp"
+#include "core/mwcnt_line.hpp"
+
+namespace cir = cnti::circuit;
+namespace ca = cnti::atomistic;
+namespace cz = cnti::charz;
+namespace cc = cnti::core;
+namespace cp = cnti::process;
+
+namespace {
+
+// --- AC analysis ---
+
+cir::Circuit rc_lowpass(cir::NodeId* out) {
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  *out = ckt.node("out");
+  ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+  ckt.add_resistor("r1", in, *out, 1e3);
+  ckt.add_capacitor("c1", *out, 0, 1e-12);  // f3db = 159 MHz
+  return ckt;
+}
+
+TEST(Ac, RcLowPassPoleAtOneOverTwoPiRc) {
+  cir::NodeId out = 0;
+  const auto ckt = rc_lowpass(&out);
+  const auto freqs = cir::log_frequency_grid(1e6, 1e11, 40);
+  const auto res = cir::ac_analysis(ckt, "vin", out, freqs);
+  // Near-DC gain 1 (first grid point is 1 MHz, so |H| ~ 0.99998).
+  EXPECT_NEAR(std::abs(res.transfer.front()), 1.0, 1e-4);
+  // -3 dB at 1/(2 pi R C) = 159.2 MHz.
+  EXPECT_NEAR(cir::bandwidth_3db(res), 1.0 / (2.0 * M_PI * 1e3 * 1e-12),
+              0.02 * 159.2e6);
+  // -20 dB/decade rolloff well past the pole.
+  const std::size_t n = res.transfer.size();
+  const double slope_db =
+      res.magnitude_db(n - 1) - res.magnitude_db(n - 5);
+  const double decades = std::log10(res.frequency_hz[n - 1] /
+                                    res.frequency_hz[n - 5]);
+  EXPECT_NEAR(slope_db / decades, -20.0, 1.0);
+  // Phase approaches -90 degrees.
+  EXPECT_NEAR(res.phase_deg(n - 1), -90.0, 3.0);
+}
+
+TEST(Ac, SeriesRlcResonance) {
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto mid = ckt.node("mid");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+  ckt.add_resistor("r1", in, mid, 10.0);
+  ckt.add_inductor("l1", mid, out, 1e-9);
+  ckt.add_capacitor("c1", out, 0, 1e-12);
+  // f0 = 1/(2 pi sqrt(LC)) ~ 5.03 GHz; peak |H| = Q = sqrt(L/C)/R ~ 3.16.
+  const auto freqs = cir::log_frequency_grid(1e8, 1e11, 60);
+  const auto res = cir::ac_analysis(ckt, "vin", out, freqs);
+  double peak = 0.0, f_peak = 0.0;
+  for (std::size_t i = 0; i < res.transfer.size(); ++i) {
+    if (std::abs(res.transfer[i]) > peak) {
+      peak = std::abs(res.transfer[i]);
+      f_peak = res.frequency_hz[i];
+    }
+  }
+  EXPECT_NEAR(f_peak, 5.03e9, 0.25e9);
+  EXPECT_NEAR(peak, std::sqrt(1e-9 / 1e-12) / 10.0, 0.3);
+}
+
+TEST(Ac, InputImpedanceOfDivider) {
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto mid = ckt.node("mid");
+  ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+  ckt.add_resistor("r1", in, mid, 1e3);
+  ckt.add_resistor("r2", mid, 0, 2e3);
+  const auto z = cir::input_impedance(ckt, "vin", 1e6);
+  EXPECT_NEAR(z.real(), 3e3, 1.0);
+  EXPECT_NEAR(z.imag(), 0.0, 1.0);
+}
+
+TEST(Ac, CntLineBandwidthImprovesWithDoping) {
+  // Distributed MWCNT line driven by a source: the doped line (lower R)
+  // has a higher 3 dB bandwidth.
+  const auto bandwidth_of = [](double nc) {
+    cir::Circuit ckt;
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+    cir::add_distributed_line(ckt, "ln", in, out,
+                              cc::make_paper_mwcnt(10, nc, 100e3).rlc(),
+                              200e-6, 12);
+    ckt.add_capacitor("cl", out, 0, 1e-15);
+    const auto freqs = cir::log_frequency_grid(1e6, 1e12, 20);
+    return cir::bandwidth_3db(cir::ac_analysis(ckt, "vin", out, freqs));
+  };
+  const double bw2 = bandwidth_of(2);
+  const double bw10 = bandwidth_of(10);
+  ASSERT_GT(bw2, 0.0);
+  EXPECT_GT(bw10, bw2);
+}
+
+TEST(Ac, KineticInductanceShapesHighFrequencyResponse) {
+  // Same RC line with and without the CNT kinetic inductance: the
+  // response must differ at high frequency (where wL ~ R_segment).
+  const auto line = cc::make_paper_mwcnt(10, 2, 0.0).rlc();
+  const auto build = [&](bool with_l) {
+    cir::Circuit ckt;
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+    const int segs = 10;
+    const auto parts = cc::discretize_line(line, 10e-6, segs);
+    cir::NodeId prev = in;
+    for (int s = 0; s < segs; ++s) {
+      const auto mid = ckt.node("m" + std::to_string(s));
+      const auto nxt =
+          (s == segs - 1) ? out : ckt.node("n" + std::to_string(s));
+      ckt.add_resistor("r" + std::to_string(s), prev, mid,
+                       parts[static_cast<std::size_t>(s)].resistance_ohm);
+      if (with_l) {
+        ckt.add_inductor("l" + std::to_string(s), mid, nxt,
+                         line.inductance_per_m * 10e-6 / segs);
+      } else {
+        ckt.add_resistor("rl" + std::to_string(s), mid, nxt, 1e-3);
+      }
+      ckt.add_capacitor("c" + std::to_string(s), nxt, 0,
+                        parts[static_cast<std::size_t>(s)].capacitance_f);
+      prev = nxt;
+    }
+    return ckt;
+  };
+  auto rc = build(false);
+  auto rlc = build(true);
+  const std::vector<double> freqs = {1e9, 1e11, 5e11};
+  const auto h_rc = cir::ac_analysis(rc, "vin", rc.node("out"), freqs);
+  const auto h_rlc = cir::ac_analysis(rlc, "vin", rlc.node("out"), freqs);
+  // Low frequency: identical.
+  EXPECT_NEAR(std::abs(h_rc.transfer[0]), std::abs(h_rlc.transfer[0]),
+              1e-3);
+  // High frequency: the kinetic inductance reshapes the response (the
+  // ladder turns into a transmission line with inductive peaking above
+  // its LC resonance) — require a clear deviation from the pure-RC case.
+  const double ratio = std::abs(h_rc.transfer[2]) /
+                       (std::abs(h_rlc.transfer[2]) + 1e-30);
+  EXPECT_TRUE(ratio > 1.3 || ratio < 0.77) << "ratio = " << ratio;
+}
+
+TEST(Ac, RejectsNonlinearCircuits) {
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+  ckt.add_mosfet("m1", ckt.node("d"), in, 0, cir::MosfetParams{});
+  EXPECT_THROW(cir::ac_analysis(ckt, "vin", in, {1e9}),
+               cnti::PreconditionError);
+}
+
+// --- DC sweep ---
+
+TEST(DcSweep, InverterVtc) {
+  cir::Technology45nm tech;
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  const auto vdd = ckt.node("vdd");
+  ckt.add_vsource("vs", vdd, 0, cir::DcWave{tech.vdd_v});
+  ckt.add_vsource("vi", in, 0, cir::DcWave{0.0});
+  cir::add_inverter(ckt, "inv", in, out, vdd, tech);
+  const auto vtc = cir::dc_sweep(ckt, "vi", 0.0, 1.0, 51, out);
+  // Monotone falling.
+  for (std::size_t i = 1; i < vtc.output_v.size(); ++i) {
+    EXPECT_LE(vtc.output_v[i], vtc.output_v[i - 1] + 1e-9);
+  }
+  // Rails at the ends, gain > 1 somewhere (restoring logic).
+  EXPECT_NEAR(vtc.output_v.front(), tech.vdd_v, 1e-2);
+  EXPECT_NEAR(vtc.output_v.back(), 0.0, 1e-2);
+  EXPECT_GT(vtc.max_gain(), 1.0);
+  // Switching threshold near mid-rail.
+  const double vm = vtc.input_at_output(tech.vdd_v / 2.0);
+  EXPECT_GT(vm, 0.3);
+  EXPECT_LT(vm, 0.7);
+}
+
+TEST(DcSweep, RequiresDcSource) {
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  ckt.add_vsource("vp", in, 0, cir::PulseWave{});
+  ckt.add_resistor("r", in, 0, 1e3);
+  EXPECT_THROW(cir::dc_sweep(ckt, "vp", 0, 1, 5, in),
+               cnti::PreconditionError);
+}
+
+// --- DOS ---
+
+TEST(Dos, MetallicTubeHasFiniteDosAtFermi) {
+  const ca::BandStructure bands(ca::Chirality(7, 7));
+  const auto dos = ca::compute_dos(bands, 2.0, 400, 8001);
+  EXPECT_GT(dos.at(0.0), 0.0);
+  // Van Hove peak near the first subband edge (~1.17 eV) towers over the
+  // metallic plateau.
+  EXPECT_GT(dos.at(1.17), 3.0 * dos.at(0.5));
+}
+
+TEST(Dos, SemiconductingTubeHasGap) {
+  const ca::BandStructure bands(ca::Chirality(10, 0));
+  const auto dos = ca::compute_dos(bands, 2.0, 400, 8001);
+  EXPECT_NEAR(dos.at(0.0), 0.0, 1e-9);   // inside the gap
+  EXPECT_GT(dos.at(0.6), 0.0);           // beyond the band edge
+}
+
+TEST(Dos, ElectronHoleSymmetric) {
+  const ca::BandStructure bands(ca::Chirality(9, 0));
+  const auto dos = ca::compute_dos(bands, 2.5, 500, 8001);
+  for (double e : {0.5, 1.0, 1.8}) {
+    EXPECT_NEAR(dos.at(e), dos.at(-e), 0.15 * dos.at(e) + 1e-6);
+  }
+}
+
+TEST(Dos, ChargeTransferGrowsWithFermiShift) {
+  const ca::BandStructure bands(ca::Chirality(7, 7));
+  const auto dos = ca::compute_dos(bands, 2.0, 400, 8001);
+  const double q1 = ca::transferred_charge_per_cell(dos, -0.3);
+  const double q2 = ca::transferred_charge_per_cell(dos, -0.6);
+  EXPECT_GT(q1, 0.0);
+  EXPECT_GT(q2, q1);
+}
+
+// --- Raman ---
+
+TEST(Raman, CleanerGrowthLowersDOverG) {
+  cp::GrowthRecipe cold;
+  cold.temperature_c = 400.0;
+  cp::GrowthRecipe hot = cold;
+  hot.temperature_c = 650.0;
+  const auto sig_cold = cz::predict_raman(cp::evaluate_recipe(cold));
+  const auto sig_hot = cz::predict_raman(cp::evaluate_recipe(hot));
+  EXPECT_GT(sig_cold.d_over_g, sig_hot.d_over_g);
+  EXPECT_GT(sig_cold.g_width_cm1, sig_hot.g_width_cm1);
+}
+
+TEST(Raman, RbmTracksDiameter) {
+  cp::GrowthRecipe thin;
+  thin.catalyst_thickness_nm = 0.5;  // ~3.8 nm tubes
+  cp::GrowthRecipe thick = thin;
+  thick.catalyst_thickness_nm = 2.0;  // ~15 nm tubes
+  const auto sig_thin = cz::predict_raman(cp::evaluate_recipe(thin));
+  const auto sig_thick = cz::predict_raman(cp::evaluate_recipe(thick));
+  EXPECT_GT(sig_thin.rbm_cm1, sig_thick.rbm_cm1);
+}
+
+TEST(Raman, MetrologyRoundTrip) {
+  cp::GrowthRecipe recipe;
+  const auto quality = cp::evaluate_recipe(recipe);
+  const auto sig = cz::predict_raman(quality);
+  EXPECT_NEAR(cz::defect_spacing_from_raman(sig.d_over_g),
+              quality.defect_spacing_um,
+              1e-9 * quality.defect_spacing_um);
+}
+
+}  // namespace

@@ -1,0 +1,262 @@
+// Cross-module integration tests: the full pipelines a user of the
+// platform actually runs — atomistic -> materials -> compact -> TCAD ->
+// circuit, process -> electrical, and the SPICE bridge between TCAD and
+// the MNA engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atomistic/negf.hpp"
+#include "charz/tlm.hpp"
+#include "circuit/builders.hpp"
+#include "circuit/crosstalk.hpp"
+#include "circuit/measure.hpp"
+#include "circuit/spice_io.hpp"
+#include "common/units.hpp"
+#include "core/multiscale.hpp"
+#include "core/mwcnt_line.hpp"
+#include "materials/cnt_mfp.hpp"
+#include "process/variability.hpp"
+#include "tcad/field_solver.hpp"
+#include "tcad/netlist_export.hpp"
+
+namespace ca = cnti::atomistic;
+namespace cc = cnti::core;
+namespace cir = cnti::circuit;
+namespace ct = cnti::tcad;
+namespace cz = cnti::charz;
+namespace cp = cnti::process;
+using cnti::units::from_um;
+
+namespace {
+
+TEST(Integration, MultiscaleWithTcadAndMnaHooks) {
+  // Full paper platform: TCAD-extracted C_E + MNA delay, vs. the
+  // analytic/Elmore default — same order, same doped-vs-pristine verdict.
+  cc::MultiscaleHooks hooks;
+  hooks.extract_capacitance = [](const cc::WireEnvironment& env) {
+    // Wire as a square box of the same cross-section over a plane.
+    const double side = 2.0 * env.radius_m;
+    const double h = env.center_height_m - env.radius_m;
+    const double domain = 20.0 * side;
+    ct::Structure s(
+        ct::Grid3D::uniform(domain, 10.0 * side, 6.0 * (h + side), 21, 11,
+                            13),
+        env.eps_r);
+    s.add_conductor("plane", {0, domain, 0, 10.0 * side, 0, (h + side) / 2});
+    s.add_conductor("wire",
+                    {domain / 2 - side / 2, domain / 2 + side / 2, 0,
+                     10.0 * side, (h + side) / 2 + h,
+                     (h + side) / 2 + h + side});
+    const auto caps = ct::extract_capacitance(s);
+    return -caps.matrix(1, 0) / (10.0 * side);  // coupling per metre
+  };
+  hooks.simulate_delay = [](const cc::DriverLineLoad& cfg) {
+    cir::Fig11Options opt;
+    opt.line = cfg.line;
+    opt.length_m = cfg.length_m;
+    opt.segments = 12;
+    return cir::measure_fig11_delay(opt, 800);
+  };
+
+  cc::MultiscaleInput in;
+  in.length_um = 200.0;
+  const auto analytic = cc::run_multiscale_flow(in);
+  const auto numeric = cc::run_multiscale_flow(in, hooks);
+  EXPECT_EQ(numeric.delay_method, "hook");
+  // TCAD C_E within 2x of the cylinder formula (box-vs-cylinder + grid).
+  EXPECT_GT(numeric.electrostatic_cap_af_per_um,
+            0.5 * analytic.electrostatic_cap_af_per_um);
+  EXPECT_LT(numeric.electrostatic_cap_af_per_um,
+            2.0 * analytic.electrostatic_cap_af_per_um);
+  // Delays agree within a factor ~3 (Elmore vs. nonlinear driver).
+  EXPECT_GT(numeric.delay_ps, 0.3 * analytic.delay_ps);
+  EXPECT_LT(numeric.delay_ps, 3.0 * analytic.delay_ps);
+
+  cc::MultiscaleInput doped = in;
+  doped.dopant_concentration = 1.0;
+  const auto doped_numeric = cc::run_multiscale_flow(doped, hooks);
+  EXPECT_LT(doped_numeric.delay_ps, numeric.delay_ps);
+}
+
+TEST(Integration, NegfDefectMfpFeedsMaterialsModel) {
+  // Atomistic defect scattering -> materials MFP -> compact resistance.
+  const auto est = ca::estimate_defect_mfp(ca::Chirality(5, 5),
+                                           /*defect_probability=*/0.01,
+                                           /*energy_ev=*/0.3, /*seed=*/7,
+                                           /*max_cells=*/16, /*samples=*/3);
+  ASSERT_GT(est.mfp_m, 0.0);
+
+  // Feed as defect spacing into the compact model: shorter MFP => higher R.
+  cc::MwcntSpec clean;
+  clean.outer_diameter_m = 10e-9;
+  cc::MwcntSpec dirty = clean;
+  dirty.defect_spacing_m = est.mfp_m;
+  const double l = from_um(10);
+  EXPECT_GT(cc::MwcntLine(dirty).resistance(l),
+            cc::MwcntLine(clean).resistance(l));
+}
+
+TEST(Integration, TcadNetlistDrivesCircuitSimulation) {
+  // Extract a 3-conductor structure, export SPICE, parse it back, attach
+  // a source and verify the coupled node responds in a transient.
+  ct::Structure s(ct::Grid3D::uniform(0.5e-6, 0.5e-6, 0.3e-6, 11, 11, 9),
+                  2.5);
+  s.add_conductor("agg", {0.1e-6, 0.16e-6, 0.05e-6, 0.45e-6, 0.12e-6,
+                          0.2e-6});
+  s.add_conductor("vic", {0.24e-6, 0.3e-6, 0.05e-6, 0.45e-6, 0.12e-6,
+                          0.2e-6});
+  s.add_conductor("plane", {0, 0.5e-6, 0, 0.5e-6, 0, 0.04e-6});
+  const auto caps = ct::extract_capacitance(s);
+  const std::string netlist =
+      ct::export_spice_netlist(s, caps, "integration");
+  auto parsed = cir::parse_spice(netlist);
+  cir::Circuit& ckt = parsed.circuit;
+
+  // Ground the plane, drive the aggressor, load the victim.
+  const auto agg = ckt.node("agg");
+  const auto vic = ckt.node("vic");
+  const auto plane = ckt.node("plane");
+  ckt.add_resistor("rgnd", plane, 0, 1.0);
+  cir::PulseWave pulse;
+  pulse.v2 = 1.0;
+  pulse.delay_s = 5e-12;
+  pulse.rise_s = 2e-12;
+  pulse.width_s = 1.0;
+  pulse.period_s = 2.0;
+  const auto src = ckt.node("src");
+  ckt.add_vsource("vs", src, 0, pulse);
+  ckt.add_resistor("rdrv", src, agg, 1e3);
+  ckt.add_resistor("rhold", vic, 0, 10e3);
+
+  cir::TransientOptions opt;
+  opt.t_stop_s = 200e-12;
+  opt.dt_s = 0.05e-12;
+  const auto res = cir::simulate_transient(ckt, opt);
+  const double peak = cir::peak_voltage(res, vic);
+  EXPECT_GT(peak, 1e-4);  // coupling observed
+  EXPECT_LT(peak, 0.5);   // but attenuated
+}
+
+TEST(Integration, TcadCouplingFeedsCrosstalkAnalysis) {
+  // Fig. 10 extraction -> per-length coupling -> coupled-line transient.
+  ct::Fig10Options opt;
+  opt.line_length_nm = 280.0;
+  auto fig = ct::build_fig10_structure(opt);
+  const auto caps = ct::extract_capacitance(fig.structure);
+  const double cc_per_m =
+      -caps.matrix(fig.m1_victim, fig.m1_left) /
+      (opt.line_length_nm * 1e-9);
+  ASSERT_GT(cc_per_m, 0.0);
+
+  cir::CrosstalkConfig cfg;
+  cfg.victim = cc::make_paper_mwcnt(10, 2, 20e3).rlc();
+  cfg.aggressor = cfg.victim;
+  cfg.coupling_cap_per_m = cc_per_m;
+  cfg.length_m = 20e-6;
+  cfg.segments = 8;
+  const auto xt = cir::analyze_crosstalk(cfg, 900);
+  EXPECT_GT(xt.peak_noise_v, 0.0);
+  EXPECT_LT(xt.peak_noise_v, cfg.vdd_v);
+}
+
+TEST(Integration, GrowthToTlmCharacterizationLoop) {
+  // Grow a population, express its median electrical behaviour as TLM
+  // ground truth, extract, and verify the loop closes.
+  cp::GrowthRecipe recipe;
+  recipe.temperature_c = 500.0;
+  const auto quality = cp::evaluate_recipe(recipe);
+  cnti::numerics::Rng rng(17);
+
+  // Median single-device resistance at two lengths gives slope/intercept.
+  auto median_r = [&](double l_um) {
+    std::vector<double> rs;
+    for (int i = 0; i < 400; ++i) {
+      const double r = cp::sample_device_resistance_kohm(
+          quality, l_um, /*channels_if_doped=*/6.0,
+          /*contact_kohm=*/30.0, rng);
+      if (r > 0) rs.push_back(r);
+    }
+    return cnti::numerics::summarize(rs).median;
+  };
+  const double r1 = median_r(1.0);
+  const double r4 = median_r(4.0);
+  const double slope = (r4 - r1) / 3.0;
+  const double intercept = r1 - slope;
+  ASSERT_GT(slope, 0.0);
+
+  cz::TlmGroundTruth truth;
+  truth.contact_resistance_kohm = intercept / 2.0;
+  truth.resistance_per_um_kohm = slope;
+  truth.measurement_noise_fraction = 0.03;
+  const auto data = cz::generate_tlm_data(
+      truth, {0.5, 1.0, 2.0, 3.0, 4.0, 5.0}, rng);
+  const auto fit = cz::extract_tlm(data);
+  EXPECT_NEAR(fit.resistance_per_um_kohm, slope, 0.25 * slope);
+  EXPECT_NEAR(fit.contact_resistance_kohm, intercept / 2.0,
+              0.35 * intercept / 2.0 + 1.0);
+}
+
+TEST(Integration, SpiceRoundTripPreservesTransient) {
+  // Build a driver+line circuit, write SPICE, re-parse, and compare the
+  // transient waveforms point by point.
+  cir::Circuit original;
+  const auto in = original.node("in");
+  const auto out = original.node("out");
+  cir::PulseWave pulse;
+  pulse.v2 = 1.0;
+  pulse.delay_s = 10e-12;
+  pulse.rise_s = 5e-12;
+  pulse.fall_s = 5e-12;
+  pulse.width_s = 200e-12;
+  pulse.period_s = 500e-12;
+  original.add_vsource("vin", in, 0, pulse);
+  const auto line = cc::make_paper_mwcnt(10, 2, 100e3).rlc();
+  cir::add_distributed_line(original, "ln", in, out, line, 50e-6, 8);
+  original.add_capacitor("cl", out, 0, 1e-15);
+
+  cir::TransientOptions topt;
+  topt.t_stop_s = 500e-12;
+  topt.dt_s = 0.5e-12;
+  const auto text = cir::write_spice(original, "roundtrip", topt);
+  auto parsed = cir::parse_spice(text);
+  ASSERT_TRUE(parsed.tran.has_value());
+
+  const auto r1 = cir::simulate_transient(original, topt);
+  const auto r2 = cir::simulate_transient(parsed.circuit, *parsed.tran);
+  const auto& v1 = r1.voltage(out);
+  const auto& v2 = r2.voltage(parsed.circuit.node("out"));
+  ASSERT_EQ(v1.size(), v2.size());
+  for (std::size_t i = 0; i < v1.size(); i += 100) {
+    EXPECT_NEAR(v1[i], v2[i], 1e-6);
+  }
+}
+
+TEST(Integration, DopedVariabilityImprovesCircuitYield) {
+  // Process spread -> delay spread: doped population has a tighter delay
+  // distribution through the Elmore map.
+  cp::VariabilityConfig cfg;
+  cfg.samples = 800;
+  cfg.length_um = 5.0;
+  cfg.contact_median_kohm = 50.0;
+  const auto pristine = cp::run_resistance_mc(cfg);
+  cfg.dopant_concentration = 1.0;
+  const auto doped = cp::run_resistance_mc(cfg);
+
+  const auto delay_of = [](double r_kohm) {
+    cc::DriverLineLoad d;
+    d.line.series_resistance_ohm = r_kohm * 1e3;
+    d.line.resistance_per_m = 1.0;  // folded into the lumped term
+    d.line.capacitance_per_m = 50e-12;
+    d.length_m = from_um(5.0);
+    return cc::elmore_delay(d);
+  };
+  // CV of delay tracks CV of resistance through the linear map.
+  const double spread_p = delay_of(pristine.resistance_kohm.p95) /
+                          delay_of(pristine.resistance_kohm.p05);
+  const double spread_d = delay_of(doped.resistance_kohm.p95) /
+                          delay_of(doped.resistance_kohm.p05);
+  EXPECT_LT(spread_d, spread_p);
+}
+
+}  // namespace

@@ -1,0 +1,314 @@
+// Unit tests for the numerics substrate: dense LU, sparse CG/BiCGSTAB,
+// tridiagonal, quadrature, roots, least squares, interpolation, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "numerics/interp.hpp"
+#include "numerics/leastsq.hpp"
+#include "numerics/matrix.hpp"
+#include "numerics/quadrature.hpp"
+#include "numerics/rng.hpp"
+#include "numerics/roots.hpp"
+#include "numerics/solvers.hpp"
+#include "numerics/sparse.hpp"
+#include "numerics/stats.hpp"
+
+namespace cn = cnti::numerics;
+
+namespace {
+
+TEST(Matrix, MultiplyIdentity) {
+  cn::MatrixD a(3, 3);
+  int v = 1;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  const cn::MatrixD i3 = cn::MatrixD::identity(3);
+  const cn::MatrixD b = a * i3;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(b(i, j), a(i, j));
+}
+
+TEST(Matrix, LuSolvesRandomSystem) {
+  cn::Rng rng(42);
+  const std::size_t n = 20;
+  cn::MatrixD a(n, n);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = rng.uniform(-2, 2);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+    a(i, i) += 5.0;  // diagonally dominant -> well conditioned
+  }
+  const std::vector<double> b = a * x_true;
+  const std::vector<double> x = cn::solve_dense(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Matrix, LuDeterminantMatchesKnown) {
+  cn::MatrixD a(2, 2);
+  a(0, 0) = 3;  a(0, 1) = 1;
+  a(1, 0) = 4;  a(1, 1) = 2;
+  cn::LuFactorization<double> lu(a);
+  EXPECT_NEAR(lu.determinant(), 2.0, 1e-12);
+}
+
+TEST(Matrix, LuThrowsOnSingular) {
+  cn::MatrixD a(2, 2);
+  a(0, 0) = 1;  a(0, 1) = 2;
+  a(1, 0) = 2;  a(1, 1) = 4;
+  EXPECT_THROW(cn::LuFactorization<double>{a}, cnti::NumericalError);
+}
+
+TEST(Matrix, ComplexInverseRoundTrip) {
+  using C = std::complex<double>;
+  cn::Rng rng(7);
+  const std::size_t n = 12;
+  cn::MatrixC a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = C(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    }
+    a(i, i) += C(4.0, 1.0);
+  }
+  const cn::MatrixC ainv = cn::inverse(a);
+  const cn::MatrixC prod = a * ainv;
+  const cn::MatrixC err = prod - cn::MatrixC::identity(n);
+  EXPECT_LT(err.norm(), 1e-10);
+}
+
+TEST(Matrix, AdjointConjugates) {
+  using C = std::complex<double>;
+  cn::MatrixC a(2, 2);
+  a(0, 1) = C(1.0, 2.0);
+  const cn::MatrixC ad = a.adjoint();
+  EXPECT_DOUBLE_EQ(ad(1, 0).real(), 1.0);
+  EXPECT_DOUBLE_EQ(ad(1, 0).imag(), -2.0);
+}
+
+TEST(Sparse, BuilderSumsDuplicates) {
+  cn::SparseBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 1, 1.0);
+  const cn::SparseMatrix m = b.build();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_EQ(m.nnz(), 2u);
+}
+
+cn::SparseMatrix laplacian_1d(std::size_t n) {
+  cn::SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, 2.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < n) b.add(i, i + 1, -1.0);
+  }
+  return b.build();
+}
+
+TEST(Solvers, CgSolvesLaplacian) {
+  const std::size_t n = 100;
+  const auto a = laplacian_1d(n);
+  cn::Rng rng(3);
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-1, 1);
+  const auto b = a * x_true;
+  const auto res = cn::conjugate_gradient(a, b, {.max_iterations = 2000,
+                                                 .tolerance = 1e-12});
+  ASSERT_TRUE(res.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(res.x[i], x_true[i], 1e-7);
+}
+
+TEST(Solvers, CgZeroRhsGivesZero) {
+  const auto a = laplacian_1d(10);
+  const auto res = cn::conjugate_gradient(a, std::vector<double>(10, 0.0));
+  EXPECT_TRUE(res.converged);
+  for (double v : res.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Solvers, BicgstabSolvesNonsymmetric) {
+  const std::size_t n = 50;
+  cn::SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, 4.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < n) b.add(i, i + 1, -2.0);  // non-symmetric
+  }
+  const auto a = b.build();
+  std::vector<double> x_true(n, 1.0);
+  const auto rhs = a * x_true;
+  const auto res = cn::bicgstab(a, rhs, {.max_iterations = 2000,
+                                         .tolerance = 1e-12});
+  ASSERT_TRUE(res.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(res.x[i], 1.0, 1e-8);
+}
+
+TEST(Solvers, TridiagonalMatchesDense) {
+  const std::size_t n = 8;
+  std::vector<double> sub(n - 1, -1.0), diag(n, 3.0), sup(n - 1, -0.5);
+  std::vector<double> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = static_cast<double>(i + 1);
+  const auto x = cn::solve_tridiagonal(sub, diag, sup, rhs);
+
+  cn::MatrixD a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 3.0;
+    if (i > 0) a(i, i - 1) = -1.0;
+    if (i + 1 < n) a(i, i + 1) = -0.5;
+  }
+  const auto x_dense = cn::solve_dense(a, rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_dense[i], 1e-12);
+}
+
+TEST(Quadrature, AdaptiveSimpsonPolynomial) {
+  const auto f = [](double x) { return 3.0 * x * x; };
+  EXPECT_NEAR(cn::integrate_adaptive(f, 0.0, 2.0), 8.0, 1e-10);
+}
+
+TEST(Quadrature, AdaptiveSimpsonGaussian) {
+  const auto f = [](double x) { return std::exp(-x * x); };
+  EXPECT_NEAR(cn::integrate_adaptive(f, -6.0, 6.0, 1e-12),
+              std::sqrt(M_PI), 1e-9);
+}
+
+TEST(Quadrature, Gauss16Exact) {
+  const auto f = [](double x) { return x * x * x + 2.0 * x; };
+  EXPECT_NEAR(cn::integrate_gauss16(f, -1.0, 3.0), 28.0, 1e-10);
+}
+
+TEST(Quadrature, TrapezoidTabulated) {
+  std::vector<double> y = {0.0, 1.0, 2.0, 3.0};
+  EXPECT_NEAR(cn::integrate_trapezoid(y, 1.0), 4.5, 1e-14);
+}
+
+TEST(Roots, BrentFindsCosRoot) {
+  const double r = cn::find_root_brent([](double x) { return std::cos(x); },
+                                       1.0, 2.0);
+  EXPECT_NEAR(r, M_PI / 2.0, 1e-10);
+}
+
+TEST(Roots, BrentRequiresBracket) {
+  EXPECT_THROW(cn::find_root_brent([](double x) { return x * x + 1.0; },
+                                   -1.0, 1.0),
+               cnti::PreconditionError);
+}
+
+TEST(Roots, AutoBracketExpands) {
+  const double r = cn::find_root_auto_bracket(
+      [](double x) { return x - 100.0; }, 0.0, 1.0);
+  EXPECT_NEAR(r, 100.0, 1e-8);
+}
+
+TEST(LeastSq, ExactLineRecovered) {
+  std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double v : x) y.push_back(2.5 + 1.5 * v);
+  const auto fit = cn::fit_line(x, y);
+  EXPECT_NEAR(fit.intercept, 2.5, 1e-12);
+  EXPECT_NEAR(fit.slope, 1.5, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LeastSq, NoisyLineWithinErrorBars) {
+  cn::Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = i * 0.1;
+    x.push_back(xi);
+    y.push_back(1.0 + 0.5 * xi + rng.normal(0.0, 0.05));
+  }
+  const auto fit = cn::fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 4.0 * fit.slope_stderr + 1e-3);
+  EXPECT_NEAR(fit.intercept, 1.0, 4.0 * fit.intercept_stderr + 1e-2);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LeastSq, WeightedFitUsesWeights) {
+  // Two clusters; the heavily weighted one should dominate the intercept.
+  std::vector<double> x = {0, 0, 1, 1};
+  std::vector<double> y = {0.0, 10.0, 1.0, 11.0};
+  std::vector<double> w = {100.0, 0.01, 100.0, 0.01};
+  const auto fit = cn::fit_line_weighted(x, y, w);
+  EXPECT_NEAR(fit.intercept, 0.0, 0.05);
+  EXPECT_NEAR(fit.slope, 1.0, 0.05);
+}
+
+TEST(LeastSq, LinearModelQuadratic) {
+  // Fit y = b0 + b1 x + b2 x^2 exactly.
+  std::vector<double> xs = {-2, -1, 0, 1, 2, 3};
+  cn::MatrixD a(xs.size(), 3);
+  std::vector<double> y(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = xs[i];
+    a(i, 2) = xs[i] * xs[i];
+    y[i] = 4.0 - 2.0 * xs[i] + 0.5 * xs[i] * xs[i];
+  }
+  const auto beta = cn::fit_linear_model(a, y);
+  EXPECT_NEAR(beta[0], 4.0, 1e-10);
+  EXPECT_NEAR(beta[1], -2.0, 1e-10);
+  EXPECT_NEAR(beta[2], 0.5, 1e-10);
+}
+
+TEST(Interp, LinearInterpolationAndClamp) {
+  cn::LinearInterpolator f({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(-1.0), 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(f(5.0), 0.0);    // clamped
+}
+
+TEST(Interp, FirstCrossingInterpolates) {
+  std::vector<double> t = {0, 1, 2, 3};
+  std::vector<double> y = {0, 0, 1, 1};
+  EXPECT_NEAR(cn::first_crossing_time(t, y, 0.5, /*rising=*/true), 1.5,
+              1e-12);
+  EXPECT_LT(cn::first_crossing_time(t, y, 0.5, /*rising=*/false), 0.0);
+}
+
+TEST(Stats, SummaryKnownSample) {
+  const auto s = cn::summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, HistogramCountsAll) {
+  cn::Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back(rng.uniform(0, 1));
+  const auto h = cn::histogram(sample, 0.0, 1.0, 10);
+  std::size_t total = 0;
+  for (auto c : h.counts) total += c;
+  EXPECT_EQ(total, sample.size());
+}
+
+TEST(Rng, DeterministicBySeed) {
+  cn::Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  cn::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal_truncated(5.0, 3.0, 4.0, 6.0);
+    EXPECT_GE(v, 4.0);
+    EXPECT_LE(v, 6.0);
+  }
+}
+
+TEST(Rng, LognormalMedianApproximatelyCorrect) {
+  cn::Rng rng(13);
+  std::vector<double> s;
+  for (int i = 0; i < 20000; ++i) s.push_back(rng.lognormal_median(7.5, 0.2));
+  const auto sum = cn::summarize(s);
+  EXPECT_NEAR(sum.median, 7.5, 0.1);
+}
+
+}  // namespace

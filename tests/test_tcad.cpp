@@ -1,0 +1,181 @@
+// Tests for the TCAD field solver: analytic parallel-plate / coaxial
+// checks, Maxwell matrix properties, resistance of known shapes, current
+// hot-spots, and the Fig. 10 benchmark structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/spice_io.hpp"
+#include "common/constants.hpp"
+#include "common/units.hpp"
+#include "tcad/field_solver.hpp"
+#include "tcad/netlist_export.hpp"
+#include "tcad/structure.hpp"
+
+namespace ct = cnti::tcad;
+using cnti::phys::kEpsilon0;
+
+namespace {
+
+TEST(Grid, UniformSpacingAndIndexing) {
+  const auto g = ct::Grid3D::uniform(1e-6, 2e-6, 3e-6, 11, 21, 31);
+  EXPECT_EQ(g.nx(), 11u);
+  EXPECT_NEAR(g.dx(0), 0.1e-6, 1e-12);
+  EXPECT_NEAR(g.dy(0), 0.1e-6, 1e-12);
+  EXPECT_NEAR(g.dz(0), 0.1e-6, 1e-12);
+  EXPECT_EQ(g.node_index(0, 0, 0), 0u);
+  EXPECT_EQ(g.node_index(10, 20, 30), g.node_count() - 1);
+  EXPECT_EQ(g.cell_count(), 10u * 20u * 30u);
+}
+
+TEST(Grid, RejectsNonMonotoneAxes) {
+  EXPECT_THROW(ct::Grid3D({0.0, 1.0, 0.5}, {0.0, 1.0}, {0.0, 1.0}),
+               cnti::PreconditionError);
+}
+
+TEST(Structure, PaintAndQueryMaterials) {
+  ct::Structure s(ct::Grid3D::uniform(1e-6, 1e-6, 1e-6, 11, 11, 11), 1.0);
+  s.paint_dielectric({0, 1e-6, 0, 1e-6, 0, 0.5e-6}, 3.9);
+  // Cell at bottom is oxide, top is background.
+  EXPECT_NEAR(s.cell_permittivity(0, 0, 0), 3.9 * kEpsilon0, 1e-15);
+  EXPECT_NEAR(s.cell_permittivity(0, 0, 9), 1.0 * kEpsilon0, 1e-15);
+}
+
+TEST(Structure, NodeConductorMapping) {
+  ct::Structure s(ct::Grid3D::uniform(1e-6, 1e-6, 1e-6, 11, 11, 11), 1.0);
+  const int c =
+      s.add_conductor("c0", {0, 0.2e-6, 0, 0.2e-6, 0, 0.2e-6}, 1e7);
+  EXPECT_EQ(s.node_conductor(0, 0, 0), c);
+  EXPECT_EQ(s.node_conductor(2, 2, 2), c);  // surface node
+  EXPECT_EQ(s.node_conductor(5, 5, 5), -1);
+}
+
+TEST(FieldSolver, ParallelPlateCapacitance) {
+  // Two plates spanning the x-y cross-section, separated in z by d:
+  // C = eps A / d. Use eps_r = 2.5, A = 1 um^2, d = 0.2 um.
+  ct::Structure s(ct::Grid3D::uniform(1e-6, 1e-6, 0.4e-6, 9, 9, 21), 2.5);
+  const int bot = s.add_conductor("bot", {0, 1e-6, 0, 1e-6, 0, 0.1e-6});
+  (void)bot;
+  s.add_conductor("top", {0, 1e-6, 0, 1e-6, 0.3e-6, 0.4e-6});
+  const auto caps = ct::extract_capacitance(s);
+  const double c_expected = 2.5 * kEpsilon0 * 1e-12 / 0.2e-6;
+  // Coupling capacitance = -C_01; fringing is absent because the plates
+  // span the whole domain cross-section (Neumann side walls).
+  EXPECT_NEAR(-caps.matrix(0, 1), c_expected, 0.02 * c_expected);
+  EXPECT_NEAR(-caps.matrix(1, 0), c_expected, 0.02 * c_expected);
+}
+
+TEST(FieldSolver, MaxwellMatrixSymmetricDiagonallyDominant) {
+  ct::Structure s(ct::Grid3D::uniform(0.6e-6, 0.6e-6, 0.4e-6, 13, 13, 9),
+                  2.5);
+  s.add_conductor("a", {0.1e-6, 0.2e-6, 0.1e-6, 0.5e-6, 0.15e-6, 0.25e-6});
+  s.add_conductor("b", {0.3e-6, 0.4e-6, 0.1e-6, 0.5e-6, 0.15e-6, 0.25e-6});
+  s.add_conductor("plane", {0, 0.6e-6, 0, 0.6e-6, 0, 0.05e-6});
+  const auto caps = ct::extract_capacitance(s);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(caps.matrix(i, i), 0.0);
+    double off_sum = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      EXPECT_LT(caps.matrix(i, j), 1e-21);  // off-diagonals <= 0
+      EXPECT_NEAR(caps.matrix(i, j), caps.matrix(j, i),
+                  0.02 * std::abs(caps.matrix(i, j)) + 1e-20);
+      off_sum += -caps.matrix(i, j);
+    }
+    EXPECT_GE(caps.matrix(i, i), off_sum - 1e-20);
+  }
+}
+
+TEST(FieldSolver, BarResistanceMatchesRhoLOverA) {
+  // Uniform bar 1 x 0.1 x 0.1 um, kappa = 1e7 S/m, current along x:
+  // R = L / (kappa A) = 1e-6 / (1e7 * 1e-14) = 10 Ohm.
+  ct::Structure s(ct::Grid3D::uniform(1e-6, 0.1e-6, 0.1e-6, 41, 5, 5), 1.0);
+  const int bar =
+      s.add_conductor("bar", {0, 1e-6, 0, 0.1e-6, 0, 0.1e-6}, 1e7);
+  const auto res = ct::extract_resistance(
+      s, bar, {0, 1e-12, 0, 0.1e-6, 0, 0.1e-6},
+      {1e-6 - 1e-12, 1e-6, 0, 0.1e-6, 0, 0.1e-6});
+  EXPECT_NEAR(res.resistance_ohm, 10.0, 0.2);
+  // Uniform bar: |J| = kappa * E = 1e7 * (1 V / 1e-6 m) = 1e13 A/m^2.
+  EXPECT_NEAR(res.max_current_density, 1e13, 0.05e13);
+}
+
+TEST(FieldSolver, NotchCreatesCurrentHotspot) {
+  // A bar necked down in the middle: hot-spot must sit in the neck and
+  // J_max must exceed the uniform-bar value.
+  ct::Structure s(ct::Grid3D::uniform(1e-6, 0.2e-6, 0.1e-6, 41, 9, 5), 1.0);
+  const int bar =
+      s.add_conductor("bar", {0, 0.45e-6, 0, 0.2e-6, 0, 0.1e-6}, 1e7);
+  // Neck: half the width.
+  s.add_conductor_box(bar, {0.45e-6, 0.55e-6, 0, 0.1e-6, 0, 0.1e-6});
+  s.add_conductor_box(bar, {0.55e-6, 1e-6, 0, 0.2e-6, 0, 0.1e-6});
+  const auto res = ct::extract_resistance(
+      s, bar, {0, 1e-12, 0, 0.2e-6, 0, 0.1e-6},
+      {1e-6 - 1e-12, 1e-6, 0, 0.2e-6, 0, 0.1e-6});
+  EXPECT_GT(res.resistance_ohm, 5.0);  // more than the unnotched bar
+  EXPECT_GE(res.hotspot_x, 0.4e-6);
+  EXPECT_LE(res.hotspot_x, 0.6e-6);
+  EXPECT_LE(res.hotspot_y, 0.12e-6);  // inside the neck
+}
+
+TEST(FieldSolver, TerminalsMustTouchConductor) {
+  ct::Structure s(ct::Grid3D::uniform(1e-6, 0.1e-6, 0.1e-6, 11, 3, 3), 1.0);
+  const int bar =
+      s.add_conductor("bar", {0, 0.4e-6, 0, 0.1e-6, 0, 0.1e-6}, 1e7);
+  // Terminal B beyond the bar: no current path.
+  EXPECT_THROW(ct::extract_resistance(
+                   s, bar, {0, 1e-12, 0, 0.1e-6, 0, 0.1e-6},
+                   {1e-6 - 1e-12, 1e-6, 0, 0.1e-6, 0, 0.1e-6}),
+               cnti::PreconditionError);
+}
+
+TEST(Fig10, CrosstalkCapacitancesExtracted) {
+  ct::Fig10Options opt;
+  opt.line_length_nm = 280.0;  // keep the test grid modest
+  opt.grid_step_nm = 14.0;
+  auto fig = ct::build_fig10_structure(opt);
+  const auto caps = ct::extract_capacitance(fig.structure);
+  // Victim couples to both aggressors (cross-talk), aggressor-aggressor
+  // coupling is far weaker (screened by the victim between them).
+  const double c_va = -caps.matrix(fig.m1_victim, fig.m1_left);
+  const double c_vb = -caps.matrix(fig.m1_victim, fig.m1_right);
+  const double c_aa = -caps.matrix(fig.m1_left, fig.m1_right);
+  EXPECT_GT(c_va, 0.0);
+  EXPECT_NEAR(c_va, c_vb, 0.25 * c_va);  // near-symmetric layout
+  EXPECT_LT(c_aa, 0.5 * c_va);
+  // Everything couples to the ground plane.
+  EXPECT_GT(-caps.matrix(fig.m1_left, fig.ground_plane), 0.0);
+}
+
+TEST(Fig10, ViaPathResistanceAndHotspot) {
+  ct::Fig10Options opt;
+  opt.line_length_nm = 280.0;
+  auto fig = ct::build_fig10_structure(opt);
+  const auto res = ct::extract_resistance(fig.structure, fig.m1_victim,
+                                          fig.via_terminal_top,
+                                          fig.victim_terminal_end);
+  EXPECT_GT(res.resistance_ohm, 1.0);
+  EXPECT_LT(res.resistance_ohm, 1e4);
+  EXPECT_GT(res.max_current_density, 0.0);
+}
+
+TEST(NetlistExport, SpiceRoundTripOfExtractedNetwork) {
+  // Neumann outer boundaries conserve charge, so with N conductors the
+  // star network is pure coupling caps (ground caps vanish identically).
+  ct::Structure s(ct::Grid3D::uniform(0.6e-6, 0.6e-6, 0.4e-6, 13, 13, 9),
+                  2.5);
+  s.add_conductor("a", {0.1e-6, 0.2e-6, 0.1e-6, 0.5e-6, 0.15e-6, 0.25e-6});
+  s.add_conductor("b", {0.3e-6, 0.4e-6, 0.1e-6, 0.5e-6, 0.15e-6, 0.25e-6});
+  s.add_conductor("plane", {0, 0.6e-6, 0, 0.6e-6, 0, 0.05e-6});
+  const auto caps = ct::extract_capacitance(s);
+  const std::string text =
+      ct::export_spice_netlist(s, caps, "extracted parasitics");
+  const auto parsed = cnti::circuit::parse_spice(text);
+  // Coupling caps: a-b, a-plane, b-plane.
+  EXPECT_EQ(parsed.circuit.capacitors().size(), 3u);
+  double c_total = 0.0;
+  for (const auto& c : parsed.circuit.capacitors()) c_total += c.farads;
+  EXPECT_GT(c_total, 0.0);
+}
+
+}  // namespace

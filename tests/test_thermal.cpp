@@ -1,0 +1,154 @@
+// Tests for the thermal module: 1-D electro-thermal solver vs. analytic
+// reference, CNT-vs-Cu self-heating advantage, ampacity, SThM metrology
+// round-trip, and EM reliability models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "thermal/em.hpp"
+#include "thermal/heat1d.hpp"
+#include "numerics/stats.hpp"
+#include "thermal/sthm.hpp"
+
+namespace th = cnti::thermal;
+
+namespace {
+
+th::LineThermalSpec cnt_line() {
+  th::LineThermalSpec s;
+  s.length_m = 1e-6;
+  s.cross_section_m2 = M_PI * 7.5e-9 * 7.5e-9 / 4.0;
+  s.thermal_conductivity = 3000.0;
+  s.resistance_per_m = 20e3 / 1e-6;  // 20 kOhm over 1 um
+  return s;
+}
+
+TEST(Heat1d, MatchesAnalyticParabolicProfile) {
+  const auto spec = cnt_line();
+  const double i = 5e-6;
+  const auto sol = th::solve_self_heating(spec, i, 401);
+  EXPECT_FALSE(sol.thermal_runaway);
+  EXPECT_NEAR(sol.peak_rise_k, th::analytic_peak_rise(spec, i),
+              0.01 * th::analytic_peak_rise(spec, i) + 1e-6);
+  // Peak sits at the midpoint; ends stay at ambient.
+  EXPECT_NEAR(sol.temperature_k.front(), spec.ambient_k, 1e-9);
+  EXPECT_NEAR(sol.temperature_k.back(), spec.ambient_k, 1e-9);
+  const std::size_t mid = sol.temperature_k.size() / 2;
+  EXPECT_NEAR(sol.temperature_k[mid], sol.peak_temperature_k, 1e-6);
+}
+
+TEST(Heat1d, SubstrateCouplingCoolsTheLine) {
+  auto spec = cnt_line();
+  const auto adiabatic = th::solve_self_heating(spec, 5e-6);
+  spec.substrate_coupling = 1.0;  // W/(m K) through the dielectric
+  const auto coupled = th::solve_self_heating(spec, 5e-6);
+  EXPECT_LT(coupled.peak_rise_k, adiabatic.peak_rise_k);
+}
+
+TEST(Heat1d, CntRunsCoolerThanCuAtSameLoad) {
+  // Same geometry and electrical resistance; only k differs
+  // (3000 vs 385 W/mK — the paper's thermal advantage).
+  auto cnt = cnt_line();
+  auto cu = cnt;
+  cu.thermal_conductivity = cnti::cuconst::kThermalConductivity;
+  const double i = 10e-6;
+  const auto r_cnt = th::solve_self_heating(cnt, i);
+  const auto r_cu = th::solve_self_heating(cu, i);
+  EXPECT_LT(r_cnt.peak_rise_k, r_cu.peak_rise_k);
+  EXPECT_NEAR(r_cu.peak_rise_k / r_cnt.peak_rise_k, 3000.0 / 385.0, 0.5);
+}
+
+TEST(Heat1d, TcrFeedbackRaisesTemperature) {
+  auto spec = cnt_line();
+  const auto cold = th::solve_self_heating(spec, 20e-6);
+  spec.resistance_tcr = 2e-3;
+  const auto hot = th::solve_self_heating(spec, 20e-6);
+  EXPECT_GT(hot.peak_rise_k, cold.peak_rise_k);
+  EXPECT_GT(hot.hot_resistance_ohm, cold.hot_resistance_ohm);
+}
+
+TEST(Heat1d, AmpacityInvertsTheSolver) {
+  const auto spec = cnt_line();
+  const double i_max = th::thermal_ampacity(spec, spec.ambient_k + 80.0);
+  const auto check = th::solve_self_heating(spec, i_max);
+  EXPECT_NEAR(check.peak_temperature_k, spec.ambient_k + 80.0, 0.5);
+}
+
+TEST(Heat1d, RejectsBadInput) {
+  th::LineThermalSpec bad = cnt_line();
+  bad.thermal_conductivity = -1.0;
+  EXPECT_THROW(th::solve_self_heating(bad, 1e-6), cnti::PreconditionError);
+}
+
+TEST(Sthm, ProbeBlursButPreservesPeak) {
+  const auto spec = cnt_line();
+  const auto truth = th::solve_self_heating(spec, 10e-6, 401);
+  cnti::numerics::Rng rng(3);
+  th::SthmProbe probe;
+  probe.temperature_noise_k = 0.0;  // isolate the blur
+  probe.spatial_resolution_m = 20e-9;
+  const auto scan = th::simulate_sthm_scan(truth, probe, rng);
+  double scan_peak = 0.0;
+  for (double t : scan.temperature_k) scan_peak = std::max(scan_peak, t);
+  EXPECT_LT(scan_peak, truth.peak_temperature_k + 1e-9);
+  EXPECT_GT(scan_peak, truth.peak_temperature_k -
+                           0.1 * truth.peak_rise_k);
+}
+
+TEST(Sthm, ThermalConductivityRoundTrip) {
+  // Simulate the measurement chain and re-extract k within ~15%.
+  const auto spec = cnt_line();
+  const double i = 10e-6;
+  const auto truth = th::solve_self_heating(spec, i, 401);
+  cnti::numerics::Rng rng(11);
+  th::SthmProbe probe;
+  probe.spatial_resolution_m = 10e-9;
+  probe.temperature_noise_k = 0.02;
+  const auto scan = th::simulate_sthm_scan(truth, probe, rng);
+  const double k = th::extract_thermal_conductivity(scan, spec, i);
+  EXPECT_NEAR(k, spec.thermal_conductivity,
+              0.15 * spec.thermal_conductivity);
+}
+
+TEST(Em, BlackScalingLaws) {
+  th::BlackParams p;
+  // n = 2: doubling j quarters the lifetime.
+  const double t1 = th::black_mttf_s(1e10, 378.0, p);
+  const double t2 = th::black_mttf_s(2e10, 378.0, p);
+  EXPECT_NEAR(t1 / t2, 4.0, 0.01);
+  // Hotter is shorter.
+  EXPECT_GT(th::black_mttf_s(1e10, 350.0, p),
+            th::black_mttf_s(1e10, 420.0, p));
+  // Reference point: ~10 years at 2 MA/cm^2, 378 K.
+  EXPECT_NEAR(th::black_mttf_s(2e10, 378.0, p) / 3.15e7, 10.0, 0.5);
+}
+
+TEST(Em, CntImmunityThreshold) {
+  EXPECT_TRUE(th::cnt_em_immune(1e12));   // below 1e9 A/cm^2
+  EXPECT_FALSE(th::cnt_em_immune(2e13));  // above breakdown
+}
+
+TEST(Em, LognormalSamplesCenterOnMedian) {
+  cnti::numerics::Rng rng(5);
+  th::BlackParams p;
+  const double median = th::black_mttf_s(2e10, 378.0, p);
+  std::vector<double> s;
+  for (int i = 0; i < 4000; ++i) {
+    s.push_back(th::sample_ttf_s(2e10, 378.0, rng, p));
+  }
+  const auto sum = cnti::numerics::summarize(s);
+  EXPECT_NEAR(sum.median, median, 0.05 * median);
+}
+
+TEST(Em, AccelerationFactorConsistency) {
+  th::BlackParams p;
+  const double f =
+      th::em_acceleration_factor(2.5e10, 573.0, 1e10, 378.0, p);
+  EXPECT_GT(f, 1.0);  // use conditions are milder than stress
+  EXPECT_NEAR(f, th::black_mttf_s(1e10, 378.0, p) /
+                     th::black_mttf_s(2.5e10, 573.0, p),
+              1e-9 * f);
+}
+
+}  // namespace
