@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Verify that every public header under src/ is self-contained: each must
+# compile on its own as the first include of a translation unit.
+set -u
+cd "$(dirname "$0")/.."
+cxx="${CXX:-c++}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail=0
+for h in $(find src -name '*.hpp' | sort); do
+  rel="${h#src/}"
+  printf '#include "%s"\nint main() { return 0; }\n' "$rel" > "$tmp/check.cpp"
+  if ! "$cxx" -std=c++20 -Isrc -fsyntax-only "$tmp/check.cpp" 2> "$tmp/err.txt"; then
+    echo "NOT SELF-CONTAINED: $h"
+    sed -n 1,5p "$tmp/err.txt"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "all headers self-contained"
+fi
+exit "$fail"

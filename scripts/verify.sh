@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the whole test suite.
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j

@@ -1,5 +1,6 @@
 #include "atomistic/landauer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -38,11 +39,16 @@ double ballistic_conductance(const BandStructure& bands, double mu_ev,
                              double temperature_k) {
   CNTI_EXPECTS(temperature_k > 0, "temperature must be positive");
   const double kt = kt_ev(temperature_k);
-  const double lo = mu_ev - 10.0 * kt;
-  const double hi = mu_ev + 10.0 * kt;
-  // M(E) is a staircase; a dense trapezoid over +-10 kT resolves the steps
-  // against the smooth thermal window without adaptive-refinement stalls.
-  const int n = 601;
+  // The thermal window must reach past the band edges of semiconducting
+  // tubes, or activated conduction across the gap is lost entirely.
+  const double half = 10.0 * kt + 0.5 * bands.band_gap();
+  const double lo = mu_ev - half;
+  const double hi = mu_ev + half;
+  // M(E) is a staircase; a dense trapezoid resolves the steps against the
+  // smooth thermal window without adaptive-refinement stalls. Keep the
+  // grid density of the +-10 kT metallic case as the window widens.
+  const int n = static_cast<int>(
+      std::min(4001.0, std::max(601.0, std::ceil(60.0 * half / kt))));
   const double de = (hi - lo) / (n - 1);
   double acc = 0.0;
   for (int i = 0; i < n; ++i) {

@@ -304,6 +304,32 @@ TEST(Doping, ChannelsPerShellSimpleSpansPaperRange) {
   EXPECT_GT(sat.channels_per_shell_simple(), 4.0);
 }
 
+TEST(Landauer, FermiDerivativeIsEvenInEnergy) {
+  for (double e : {0.05, 0.1, 0.3}) {
+    EXPECT_NEAR(ca::fermi_derivative(e, 0.0, 300.0),
+                ca::fermi_derivative(-e, 0.0, 300.0), 1e-12);
+  }
+}
+
+TEST(Landauer, SemiconductingConductanceThermallyActivated) {
+  // Carriers must be excited across the ~0.95 eV gap of (10,0), so the
+  // conductance grows steeply with temperature.
+  ca::BandStructure bands(ca::Chirality(10, 0));
+  const double g300 = ca::ballistic_conductance(bands, 0.0, 300.0);
+  const double g500 = ca::ballistic_conductance(bands, 0.0, 500.0);
+  EXPECT_GT(g500, g300);
+}
+
+TEST(Doping, FermiShiftMonotoneInConcentration) {
+  double prev = 0.0;
+  for (double c : {0.01, 0.05, 0.2, 0.6, 1.0}) {
+    ca::ChargeTransferDoping d(ca::DopantSpecies::kIodineInternal, c);
+    const double shift = std::abs(d.fermi_shift_ev());
+    EXPECT_GT(shift, prev) << "c = " << c;
+    prev = shift;
+  }
+}
+
 TEST(Doping, DefectMfpEstimateIsFiniteAndPositive) {
   const auto res = ca::estimate_defect_mfp(ca::Chirality(5, 5),
                                            /*defect_probability=*/0.02,

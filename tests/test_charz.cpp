@@ -117,6 +117,27 @@ TEST(EmTest, PureCntIsImmortalBelowBreakdown) {
   EXPECT_TRUE(res.immortal);
 }
 
+TEST(EmTest, HotterStressShortensLifetime) {
+  cz::EmStressConditions cold;
+  cold.temperature_k = 520.0;
+  cz::EmStressConditions hot = cold;
+  hot.temperature_k = 640.0;
+  const auto rc = cz::run_em_stress(cz::LineTechnology::kCu, cold);
+  const auto rh = cz::run_em_stress(cz::LineTechnology::kCu, hot);
+  EXPECT_GT(rc.ttf_hours.median, rh.ttf_hours.median);
+}
+
+TEST(Tlm, StderrVanishesWithoutNoise) {
+  cz::TlmGroundTruth truth;
+  truth.measurement_noise_fraction = 0.0;
+  cnti::numerics::Rng rng(7);
+  const auto data =
+      cz::generate_tlm_data(truth, {0.5, 1.0, 2.0, 4.0, 8.0}, rng);
+  const auto fit = cz::extract_tlm(data);
+  EXPECT_NEAR(fit.contact_stderr_kohm, 0.0, 1e-9);
+  EXPECT_NEAR(fit.slope_stderr_kohm, 0.0, 1e-9);
+}
+
 TEST(TestChip, StandardLayoutHasAllStructureKinds) {
   const auto layout = cz::standard_test_layout();
   int lines = 0, combs = 0, chains = 0;

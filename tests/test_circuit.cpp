@@ -105,6 +105,42 @@ TEST(Dc, InductorIsDcShort) {
   EXPECT_NEAR(dc.inductor_currents[0], 1e-3, 1e-9);
 }
 
+TEST(Dc, SuperpositionHoldsInLinearNetwork) {
+  // Two sources driving a resistive bridge: the response to both equals
+  // the sum of the responses with each source alone (other one zeroed).
+  const auto solve_with = [](double v1, double v2) {
+    cir::Circuit ckt;
+    const auto a = ckt.node("a");
+    const auto b = ckt.node("b");
+    const auto mid = ckt.node("mid");
+    ckt.add_vsource("v1", a, 0, cir::DcWave{v1});
+    ckt.add_vsource("v2", b, 0, cir::DcWave{v2});
+    ckt.add_resistor("r1", a, mid, 1e3);
+    ckt.add_resistor("r2", b, mid, 2.2e3);
+    ckt.add_resistor("r3", mid, 0, 4.7e3);
+    const auto dc = cir::solve_dc(ckt);
+    return dc.node_voltages[mid];
+  };
+  const double both = solve_with(1.5, -0.7);
+  const double only1 = solve_with(1.5, 0.0);
+  const double only2 = solve_with(0.0, -0.7);
+  EXPECT_NEAR(both, only1 + only2, 1e-9);
+}
+
+TEST(Dc, LinearScalingOfSourceScalesAllVoltages) {
+  const auto solve_with = [](double v) {
+    cir::Circuit ckt;
+    const auto in = ckt.node("in");
+    const auto mid = ckt.node("mid");
+    ckt.add_vsource("v1", in, 0, cir::DcWave{v});
+    ckt.add_resistor("r1", in, mid, 3.3e3);
+    ckt.add_resistor("r2", mid, 0, 6.8e3);
+    return cir::solve_dc(ckt).node_voltages[mid];
+  };
+  EXPECT_NEAR(solve_with(2.0), 2.0 * solve_with(1.0), 1e-9);
+  EXPECT_NEAR(solve_with(-1.0), -solve_with(1.0), 1e-9);
+}
+
 // NMOS square-law sanity through a drain-current measurement circuit.
 double nmos_drain_current(double vgs, double vds) {
   cir::Circuit ckt;

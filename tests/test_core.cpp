@@ -221,6 +221,27 @@ TEST(LineModel, DopingGainGrowsWithLength) {
   EXPECT_LT(ratio_at(500.0), ratio_at(100.0));
 }
 
+TEST(MwcntResistance, SeriesAdditivityUpToOneQuantumTerm) {
+  // Eq. 4 with ideal contacts: R(L) = Rq/(Nc Ns) * (1 + L/lambda), so
+  // R(L1) + R(L2) = R(L1+L2) + Rq/(Nc Ns) — splitting a line in two costs
+  // exactly one extra quantum term.
+  const cc::MwcntLine line = cc::make_paper_mwcnt(10, 2, 0.0);
+  const double l1 = from_um(120), l2 = from_um(380);
+  const double quantum =
+      cnti::phys::kResistanceQuantum / line.total_channels();
+  EXPECT_NEAR(line.resistance(l1) + line.resistance(l2),
+              line.resistance(l1 + l2) + quantum, 1e-6 * quantum);
+}
+
+TEST(Electrostatics, CapacitanceLinearInPermittivity) {
+  // Laplace is linear in eps: doubling eps_r doubles the capacitance.
+  const double c1 = cc::wire_over_plane_capacitance(from_nm(5), from_nm(25),
+                                                    2.0);
+  const double c2 = cc::wire_over_plane_capacitance(from_nm(5), from_nm(25),
+                                                    4.0);
+  EXPECT_NEAR(c2, 2.0 * c1, 1e-12 * c1);
+}
+
 TEST(Via, SingleCntViaMatchesTubeModel) {
   cc::ViaSpec via;
   cc::MwcntSpec tube;

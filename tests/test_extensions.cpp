@@ -176,6 +176,25 @@ TEST(Crosstalk, StrongerCouplingMoreNoise) {
             cir::analyze_crosstalk(weak, 1200).peak_noise_v);
 }
 
+TEST(Crosstalk, LongerCoupledRunMoreNoise) {
+  auto short_run = xt_base();
+  short_run.length_m = 20e-6;
+  auto long_run = xt_base();
+  long_run.length_m = 80e-6;
+  EXPECT_GT(cir::analyze_crosstalk(long_run, 1200).peak_noise_v,
+            cir::analyze_crosstalk(short_run, 1200).peak_noise_v);
+}
+
+TEST(ElectroThermal, SubstrateCouplingRaisesBreakdownVoltage) {
+  auto adiabatic = et_line();
+  auto coupled = et_line();
+  adiabatic.substrate_coupling = 0.0;
+  coupled.substrate_coupling = 1.0;
+  const double v_ad = th::breakdown_voltage(adiabatic, 50.0);
+  const double v_cp = th::breakdown_voltage(coupled, 50.0);
+  EXPECT_GT(v_cp, v_ad);
+}
+
 TEST(Crosstalk, StifferVictimHolderReducesNoise) {
   auto stiff = xt_base();
   stiff.victim_driver_ohm = 500.0;

@@ -154,6 +154,34 @@ TEST(Ac, KineticInductanceShapesHighFrequencyResponse) {
   EXPECT_TRUE(ratio > 1.3 || ratio < 0.77) << "ratio = " << ratio;
 }
 
+TEST(Ac, NearDcMatchesResistiveDivider) {
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto mid = ckt.node("mid");
+  ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+  ckt.add_resistor("r1", in, mid, 1e3);
+  ckt.add_resistor("r2", mid, 0, 2e3);
+  const auto res = cir::ac_analysis(ckt, "vin", mid, {1.0});
+  EXPECT_NEAR(std::abs(res.transfer[0]), 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(res.phase_deg(0), 0.0, 1e-3);
+}
+
+TEST(Ac, HeavierLoadLowersBandwidthInversely) {
+  const auto bw_with_cap = [](double c) {
+    cir::Circuit ckt;
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+    ckt.add_resistor("r1", in, out, 1e3);
+    ckt.add_capacitor("c1", out, 0, c);
+    const auto freqs = cir::log_frequency_grid(1e6, 1e11, 80);
+    return cir::bandwidth_3db(cir::ac_analysis(ckt, "vin", out, freqs));
+  };
+  const double bw1 = bw_with_cap(1e-12);
+  const double bw4 = bw_with_cap(4e-12);
+  EXPECT_NEAR(bw1 / bw4, 4.0, 0.3);
+}
+
 TEST(Ac, RejectsNonlinearCircuits) {
   cir::Circuit ckt;
   const auto in = ckt.node("in");

@@ -16,6 +16,7 @@
 #include "core/multiscale.hpp"
 #include "core/mwcnt_line.hpp"
 #include "materials/cnt_mfp.hpp"
+#include "numerics/interp.hpp"
 #include "process/variability.hpp"
 #include "tcad/field_solver.hpp"
 #include "tcad/netlist_export.hpp"
@@ -95,6 +96,35 @@ TEST(Integration, NegfDefectMfpFeedsMaterialsModel) {
   const double l = from_um(10);
   EXPECT_GT(cc::MwcntLine(dirty).resistance(l),
             cc::MwcntLine(clean).resistance(l));
+}
+
+TEST(Integration, ExtractedPlateCapacitorSetsRcTimeConstant) {
+  // Field-solver capacitance feeds a circuit RC: the transient charging
+  // curve must follow exp(-t/RC) with the extracted C.
+  ct::Structure s(ct::Grid3D::uniform(1e-6, 1e-6, 0.4e-6, 9, 9, 21), 2.5);
+  s.add_conductor("bot", {0, 1e-6, 0, 1e-6, 0, 0.1e-6});
+  s.add_conductor("top", {0, 1e-6, 0, 1e-6, 0.3e-6, 0.4e-6});
+  const auto caps = ct::extract_capacitance(s);
+  const double c = -caps.matrix(0, 1);
+  ASSERT_GT(c, 0.0);
+
+  const double r = 1e6;
+  const double tau = r * c;
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  cir::PwlWave step;
+  step.points = {{0.0, 0.0}, {tau * 1e-4, 1.0}};
+  ckt.add_vsource("v1", in, 0, step);
+  ckt.add_resistor("r1", in, out, r);
+  ckt.add_capacitor("c1", out, 0, c);
+  cir::TransientOptions topt;
+  topt.t_stop_s = 3.0 * tau;
+  topt.dt_s = tau / 500.0;
+  const auto res = cir::simulate_transient(ckt, topt);
+  const cnti::numerics::LinearInterpolator v(res.time(), res.voltage(out));
+  EXPECT_NEAR(v(tau), 1.0 - std::exp(-1.0), 5e-3);
+  EXPECT_NEAR(v(2.0 * tau), 1.0 - std::exp(-2.0), 5e-3);
 }
 
 TEST(Integration, TcadNetlistDrivesCircuitSimulation) {

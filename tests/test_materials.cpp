@@ -110,6 +110,22 @@ TEST(CntMfp, OpticalPhononOnlyAboveThreshold) {
   EXPECT_LT(cm::optical_mfp(1e-9, 1.0, 1e-6), 1e-6);  // high bias
 }
 
+TEST(CntMfp, AcousticInverseTemperatureScalingExact) {
+  // lambda_ap = k d (300 K / T): doubling T halves the mfp exactly.
+  EXPECT_NEAR(cm::acoustic_mfp(7.5e-9, 600.0),
+              0.5 * cm::acoustic_mfp(7.5e-9, 300.0), 1e-15);
+}
+
+TEST(CntMfp, MatthiessenNeverExceedsShortestMechanism) {
+  cm::MfpSpec spec;
+  spec.diameter_m = 7.5e-9;
+  spec.defect_spacing_m = 0.3e-6;
+  spec.bias_v = 0.5;
+  const double eff = cm::effective_mfp(spec);
+  EXPECT_LE(eff, cm::acoustic_mfp(spec.diameter_m, spec.temperature_k));
+  EXPECT_LE(eff, spec.defect_spacing_m);
+}
+
 TEST(Composite, PureCuMatchesMatrixConductivity) {
   cm::CompositeSpec spec;
   spec.cnt_volume_fraction = 0.0;

@@ -110,6 +110,20 @@ TEST(Error, ExpectsCarriesContext) {
   }
 }
 
+TEST(SpiceIo, FullSuffixLadder) {
+  EXPECT_DOUBLE_EQ(cir::parse_spice_number("4t"), 4e12);
+  EXPECT_DOUBLE_EQ(cir::parse_spice_number("5g"), 5e9);
+  EXPECT_DOUBLE_EQ(cir::parse_spice_number("3m"), 3e-3);
+  EXPECT_DOUBLE_EQ(cir::parse_spice_number("2n"), 2e-9);
+  EXPECT_DOUBLE_EQ(cir::parse_spice_number("7p"), 7e-12);
+}
+
+TEST(Units, ScaleFactorsExact) {
+  EXPECT_DOUBLE_EQ(u::from_ps(1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(u::to_mS(1e-3), 1.0);
+  EXPECT_DOUBLE_EQ(u::from_nm(1e3), u::from_um(1.0));
+}
+
 TEST(SpiceIo, WriterEnforcesTypePrefix) {
   cir::Circuit ckt;
   const auto a = ckt.node("a");

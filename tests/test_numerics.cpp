@@ -311,4 +311,180 @@ TEST(Rng, LognormalMedianApproximatelyCorrect) {
   EXPECT_NEAR(sum.median, 7.5, 0.1);
 }
 
+// ---------------------------------------------------------------------------
+// Property-style regression tests: random systems drawn via cn::Rng, with
+// invariants (residual bounds, symmetry, consistency across solvers) asserted
+// rather than single hand-picked answers.
+// ---------------------------------------------------------------------------
+
+// Random symmetric diagonally dominant matrix with positive diagonal -> SPD.
+cn::SparseMatrix random_spd(std::size_t n, cn::Rng& rng) {
+  std::vector<std::vector<std::pair<std::size_t, double>>> off(n);
+  std::vector<double> row_abs(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!rng.bernoulli(std::min(1.0, 6.0 / static_cast<double>(n)))) {
+        continue;
+      }
+      const double v = rng.uniform(-1.0, 1.0);
+      off[i].push_back({j, v});
+      row_abs[i] += std::abs(v);
+      row_abs[j] += std::abs(v);
+    }
+  }
+  cn::SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, row_abs[i] + rng.uniform(0.5, 2.0));
+    for (const auto& [j, v] : off[i]) {
+      b.add(i, j, v);
+      b.add(j, i, v);
+    }
+  }
+  return b.build();
+}
+
+TEST(SolverProperties, CgResidualBoundOnRandomSpdSystems) {
+  cn::Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 30 + 10 * static_cast<std::size_t>(trial);
+    const auto a = random_spd(n, rng);
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.uniform(-3, 3);
+    const auto b = a * x_true;
+    const auto res = cn::conjugate_gradient(
+        a, b, {.max_iterations = 4 * n, .tolerance = 1e-11});
+    ASSERT_TRUE(res.converged) << "trial " << trial << " n=" << n;
+    // The reported residual must match a recomputation from scratch.
+    const auto ax = a * res.x;
+    double rnorm = 0.0, bnorm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      rnorm += (b[i] - ax[i]) * (b[i] - ax[i]);
+      bnorm += b[i] * b[i];
+    }
+    const double rel = std::sqrt(rnorm) / std::sqrt(bnorm);
+    EXPECT_LT(rel, 1e-10) << "trial " << trial;
+    EXPECT_NEAR(rel, res.residual, 1e-10) << "trial " << trial;
+  }
+}
+
+TEST(SolverProperties, BicgstabResidualBoundOnRandomSystems) {
+  cn::Rng rng(515);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 25 + 5 * static_cast<std::size_t>(trial);
+    // Random diagonally dominant, deliberately non-symmetric.
+    cn::SparseBuilder builder(n, n);
+    std::vector<double> row_abs(n, 0.0);
+    std::vector<std::vector<std::pair<std::size_t, double>>> off(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j || !rng.bernoulli(std::min(1.0, 4.0 / n))) continue;
+        const double v = rng.uniform(-1.0, 1.0);
+        off[i].push_back({j, v});
+        row_abs[i] += std::abs(v);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      builder.add(i, i, row_abs[i] + rng.uniform(1.0, 2.0));
+      for (const auto& [j, v] : off[i]) builder.add(i, j, v);
+    }
+    const auto a = builder.build();
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.uniform(-2, 2);
+    const auto b = a * x_true;
+    const auto res =
+        cn::bicgstab(a, b, {.max_iterations = 6 * n, .tolerance = 1e-11});
+    ASSERT_TRUE(res.converged) << "trial " << trial << " n=" << n;
+    const auto ax = a * res.x;
+    double rnorm = 0.0, bnorm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      rnorm += (b[i] - ax[i]) * (b[i] - ax[i]);
+      bnorm += b[i] * b[i];
+    }
+    EXPECT_LT(std::sqrt(rnorm) / std::sqrt(bnorm), 1e-10) << "trial " << trial;
+  }
+}
+
+TEST(SolverProperties, CgWarmStartNeverNeedsMoreWorkFromSolution) {
+  cn::Rng rng(99);
+  const auto a = random_spd(200, rng);
+  std::vector<double> x_true(200);
+  for (auto& v : x_true) v = rng.uniform(-1, 1);
+  const auto b = a * x_true;
+  const auto cold = cn::conjugate_gradient(a, b, {.tolerance = 1e-11});
+  ASSERT_TRUE(cold.converged);
+  // Re-solving seeded with the converged answer must converge immediately.
+  const auto warm =
+      cn::conjugate_gradient(a, b, {.tolerance = 1e-10}, cold.x);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, 2u);
+}
+
+TEST(SolverProperties, SparseMatvecMatchesDense) {
+  cn::Rng rng(777);
+  const std::size_t n = 40;
+  const auto s = random_spd(n, rng);
+  cn::MatrixD d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = s.at(i, j);
+  }
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const auto ys = s * x;
+  const auto yd = d * x;
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(SolverProperties, RandomSpdIsSymmetricWithPositiveDiagonal) {
+  cn::Rng rng(31337);
+  const auto a = random_spd(60, rng);
+  for (std::size_t i = 0; i < 60; ++i) {
+    EXPECT_GT(a.at(i, i), 0.0);
+    for (std::size_t j = i + 1; j < 60; ++j) {
+      EXPECT_DOUBLE_EQ(a.at(i, j), a.at(j, i));
+    }
+  }
+}
+
+TEST(SolverProperties, CgAndDenseLuAgreeOnSameSystem) {
+  cn::Rng rng(424242);
+  const std::size_t n = 35;
+  const auto a = random_spd(n, rng);
+  cn::MatrixD d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = a.at(i, j);
+  }
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const auto cg = cn::conjugate_gradient(a, b, {.tolerance = 1e-12});
+  ASSERT_TRUE(cg.converged);
+  const auto lu = cn::solve_dense(d, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(cg.x[i], lu[i], 1e-8);
+}
+
+TEST(SolverProperties, TridiagonalMatchesCgOnSpdBand) {
+  cn::Rng rng(8);
+  const std::size_t n = 64;
+  std::vector<double> sub(n - 1), diag(n), sup(n - 1), rhs(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    sub[i] = rng.uniform(-1.0, -0.2);
+    sup[i] = sub[i];  // symmetric band
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double neighbors = (i > 0 ? std::abs(sub[i - 1]) : 0.0) +
+                             (i + 1 < n ? std::abs(sup[i]) : 0.0);
+    diag[i] = neighbors + rng.uniform(0.5, 1.5);
+    rhs[i] = rng.uniform(-1, 1);
+  }
+  const auto x_thomas = cn::solve_tridiagonal(sub, diag, sup, rhs);
+  cn::SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, diag[i]);
+    if (i > 0) b.add(i, i - 1, sub[i - 1]);
+    if (i + 1 < n) b.add(i, i + 1, sup[i]);
+  }
+  const auto cg = cn::conjugate_gradient(b.build(), rhs, {.tolerance = 1e-13});
+  ASSERT_TRUE(cg.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_thomas[i], cg.x[i], 1e-9);
+}
+
 }  // namespace

@@ -68,6 +68,25 @@ TEST(Cvd, SampledTubesFollowTheQuality) {
   EXPECT_NEAR(static_cast<double>(filled) / n, q.via_fill_yield, 0.03);
 }
 
+TEST(Cvd, ThickerCatalystGrowsFatterTubes) {
+  cp::GrowthRecipe thin;
+  thin.catalyst_thickness_nm = 0.5;
+  cp::GrowthRecipe thick = thin;
+  thick.catalyst_thickness_nm = 2.0;
+  EXPECT_GT(cp::evaluate_recipe(thick).mean_diameter_nm,
+            cp::evaluate_recipe(thin).mean_diameter_nm);
+}
+
+TEST(Chirality, SamplingDeterministicBySeed) {
+  cnti::numerics::Rng a(77), b(77);
+  for (int i = 0; i < 20; ++i) {
+    const auto ca_ = cp::sample_chirality(1.2, a);
+    const auto cb = cp::sample_chirality(1.2, b);
+    EXPECT_EQ(ca_.n(), cb.n());
+    EXPECT_EQ(ca_.m(), cb.m());
+  }
+}
+
 TEST(Cvd, RejectsUnphysicalRecipes) {
   cp::GrowthRecipe bad;
   bad.temperature_c = 50.0;

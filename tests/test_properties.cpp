@@ -89,9 +89,9 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{9, 0}, std::pair{10, 0}, std::pair{13, 0},
                       std::pair{6, 3}, std::pair{7, 4}, std::pair{8, 2},
                       std::pair{9, 6}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.first) + "m" +
-             std::to_string(info.param.second);
+    [](const auto& p) {
+      return "n" + std::to_string(p.param.first) + "m" +
+             std::to_string(p.param.second);
     });
 
 // ---------------------------------------------------------------------------
@@ -132,10 +132,22 @@ INSTANTIATE_TEST_SUITE_P(SmallTubes, NegfEquivalence,
                          ::testing::Values(std::pair{4, 4}, std::pair{6, 6},
                                            std::pair{9, 0},
                                            std::pair{6, 3}),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param.first) +
-                                  "m" + std::to_string(info.param.second);
+                         [](const auto& p) {
+                           return "n" + std::to_string(p.param.first) +
+                                  "m" + std::to_string(p.param.second);
                          });
+
+TEST(NegfSymmetry, TransmissionElectronHoleSymmetric) {
+  // Nearest-neighbour tight binding on the bipartite CNT lattice is
+  // particle-hole symmetric, so pristine transmission is even in energy.
+  const ca::Chirality ch(5, 5);
+  const ca::TubeHamiltonian h(ch);
+  ca::NegfSolver solver(h, 1);
+  for (double e : {0.3, 0.9, 1.5}) {
+    EXPECT_NEAR(solver.transmission(e), solver.transmission(-e), 0.03)
+        << "E = " << e;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // MWCNT compact-model scaling laws over (D, L).

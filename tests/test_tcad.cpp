@@ -86,6 +86,22 @@ TEST(FieldSolver, MaxwellMatrixSymmetricDiagonallyDominant) {
   }
 }
 
+TEST(FieldSolver, CapacitanceLinearInUniformPermittivity) {
+  // Laplace is linear in eps: doubling the background eps_r must double
+  // every entry of the Maxwell matrix.
+  const auto extract_with = [](double eps_r) {
+    ct::Structure s(ct::Grid3D::uniform(1e-6, 1e-6, 0.4e-6, 9, 9, 21),
+                    eps_r);
+    s.add_conductor("bot", {0, 1e-6, 0, 1e-6, 0, 0.1e-6});
+    s.add_conductor("top", {0, 1e-6, 0, 1e-6, 0.3e-6, 0.4e-6});
+    return ct::extract_capacitance(s);
+  };
+  const auto c1 = extract_with(2.0);
+  const auto c2 = extract_with(4.0);
+  const double ref = std::abs(c1.matrix(0, 1));
+  EXPECT_NEAR(c2.matrix(0, 1), 2.0 * c1.matrix(0, 1), 1e-4 * ref);
+}
+
 TEST(FieldSolver, BarResistanceMatchesRhoLOverA) {
   // Uniform bar 1 x 0.1 x 0.1 um, kappa = 1e7 S/m, current along x:
   // R = L / (kappa A) = 1e-6 / (1e7 * 1e-14) = 10 Ohm.

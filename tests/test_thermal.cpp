@@ -75,6 +75,24 @@ TEST(Heat1d, AmpacityInvertsTheSolver) {
   EXPECT_NEAR(check.peak_temperature_k, spec.ambient_k + 80.0, 0.5);
 }
 
+TEST(Heat1d, AnalyticPeakRiseQuadraticInCurrent) {
+  // Joule heating ~ I^2 R: without TCR feedback the analytic peak rise is
+  // exactly quadratic in the drive current.
+  const auto spec = cnt_line();
+  const double r1 = th::analytic_peak_rise(spec, 2e-6);
+  const double r2 = th::analytic_peak_rise(spec, 4e-6);
+  EXPECT_NEAR(r2, 4.0 * r1, 1e-9 * r2);
+}
+
+TEST(Heat1d, AmpacityMonotoneInAllowedRise) {
+  const auto spec = cnt_line();
+  const double i40 = th::thermal_ampacity(spec, spec.ambient_k + 40.0);
+  const double i80 = th::thermal_ampacity(spec, spec.ambient_k + 80.0);
+  const double i160 = th::thermal_ampacity(spec, spec.ambient_k + 160.0);
+  EXPECT_LT(i40, i80);
+  EXPECT_LT(i80, i160);
+}
+
 TEST(Heat1d, RejectsBadInput) {
   th::LineThermalSpec bad = cnt_line();
   bad.thermal_conductivity = -1.0;
