@@ -73,15 +73,22 @@ void BM_RecipeEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_RecipeEvaluation);
 
+// Die generation on the deterministic pool: Arg is the thread count
+// (identical wafers at any width), with a denser 5 mm pitch so there is
+// enough per-die work to scale.
 void BM_WaferMap(benchmark::State& state) {
   process::WaferSpec wspec;
+  wspec.die_pitch_mm = 5.0;
   process::GrowthRecipe nominal;
+  const int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     numerics::Rng rng(1);
-    benchmark::DoNotOptimize(process::WaferMap(wspec, nominal, rng));
+    benchmark::DoNotOptimize(
+        process::WaferMap(wspec, nominal, rng, threads));
   }
 }
-BENCHMARK(BM_WaferMap)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WaferMap)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

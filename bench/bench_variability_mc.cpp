@@ -1,9 +1,13 @@
 // Reproduces the paper's variability claim (Sec. II.A / III.C): CVD CNTs
 // suffer chirality and defect variability; doping makes every shell
 // conduct and collapses the resistance spread. Monte Carlo over growth,
-// chirality and contact distributions.
+// chirality and contact distributions — run as a parallel parameter sweep
+// on the deterministic thread pool (results are bit-identical at any
+// thread count; see docs/PARALLELISM.md).
 #include "bench_common.hpp"
 
+#include "core/sweep_engine.hpp"
+#include "numerics/thread_pool.hpp"
 #include "process/variability.hpp"
 
 namespace {
@@ -15,53 +19,107 @@ void print_reproduction() {
       "Sec. II.A / III.C — resistance variability, pristine vs. doped",
       "3000-sample MC per row: growth sampling (diameter/walls/defects), "
       "per-shell chirality lottery (1/3 metallic), lognormal contacts.");
+  std::cout << "Sweep engine: "
+            << numerics::ThreadPool::default_thread_count()
+            << " default threads (CNTI_THREADS overrides)\n\n";
+
+  // 0.01 is sub-saturation doping (dE_F ~ -0.2 eV); 1.0 is saturated.
+  const core::SweepGrid grid({{"length_um", {0.5, 1.0, 5.0}},
+                              {"doping", {0.0, 0.01, 1.0}}});
+  const auto results = core::run_sweep(
+      grid, [](const core::SweepPoint& p) {
+        process::VariabilityConfig cfg;
+        cfg.samples = 3000;
+        cfg.length_um = p.at("length_um");
+        cfg.dopant_concentration = p.at("doping");
+        cfg.threads = 1;  // the sweep already fans out across points
+        return process::run_resistance_mc(cfg);
+      });
 
   Table t({"L [um]", "doping", "median R [kOhm]", "CV = sigma/mu",
            "P95/P05", "open frac.", "tail > 3x median"});
-  for (double l : {0.5, 1.0, 5.0}) {
-    // 0.01 is sub-saturation doping (dE_F ~ -0.2 eV); 1.0 is saturated.
-    for (double conc : {0.0, 0.01, 1.0}) {
-      process::VariabilityConfig cfg;
-      cfg.samples = 3000;
-      cfg.length_um = l;
-      cfg.dopant_concentration = conc;
-      const auto r = process::run_resistance_mc(cfg);
-      t.add_row({Table::num(l, 3),
-                 conc == 0.0 ? "pristine"
-                             : "iodine c=" + Table::num(conc, 2),
-                 Table::num(r.resistance_kohm.median, 4),
-                 Table::num(r.resistance_kohm.cv(), 3),
-                 Table::num(r.resistance_kohm.p95 / r.resistance_kohm.p05,
-                            3),
-                 Table::num(r.open_fraction, 3),
-                 Table::num(r.tail_fraction, 3)});
-    }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto p = grid.point(i);
+    const auto& r = results[i];
+    t.add_row({Table::num(p.at("length_um"), 3),
+               p.at("doping") == 0.0
+                   ? "pristine"
+                   : "iodine c=" + Table::num(p.at("doping"), 2),
+               Table::num(r.resistance_kohm.median, 4),
+               Table::num(r.resistance_kohm.cv(), 3),
+               Table::num(r.resistance_kohm.p95 / r.resistance_kohm.p05,
+                          3),
+               Table::num(r.open_fraction, 3),
+               Table::num(r.tail_fraction, 3)});
   }
   t.print(std::cout);
 
   std::cout << "\nGrowth-temperature ablation (pristine, L = 1 um):\n";
+  const core::SweepGrid ablation(
+      {{"t_c", {400.0, 450.0, 550.0, 650.0}}});
+  const auto ab_results = core::run_sweep(
+      ablation, [](const core::SweepPoint& p) {
+        process::VariabilityConfig cfg;
+        cfg.samples = 3000;
+        cfg.recipe.temperature_c = p.at("t_c");
+        cfg.threads = 1;
+        return process::run_resistance_mc(cfg);
+      });
   Table g({"T growth [C]", "median R [kOhm]", "CV"});
-  for (double temp : {400.0, 450.0, 550.0, 650.0}) {
-    process::VariabilityConfig cfg;
-    cfg.samples = 3000;
-    cfg.recipe.temperature_c = temp;
-    const auto r = process::run_resistance_mc(cfg);
-    g.add_row({Table::num(temp, 4),
-               Table::num(r.resistance_kohm.median, 4),
-               Table::num(r.resistance_kohm.cv(), 3)});
+  for (std::size_t i = 0; i < ablation.size(); ++i) {
+    g.add_row({Table::num(ablation.point(i).at("t_c"), 4),
+               Table::num(ab_results[i].resistance_kohm.median, 4),
+               Table::num(ab_results[i].resistance_kohm.cv(), 3)});
   }
   g.print(std::cout);
 }
 
+// Wall-clock scaling of the reworked MC: run with Arg pairs
+// {samples, threads}. The acceptance target is >= 3x at 8 threads for
+// 20000 samples versus the 1-thread run of the same code.
 void BM_VariabilityMc(benchmark::State& state) {
   process::VariabilityConfig cfg;
   cfg.samples = static_cast<int>(state.range(0));
+  cfg.threads = static_cast<int>(state.range(1));
   for (auto _ : state) {
     benchmark::DoNotOptimize(process::run_resistance_mc(cfg));
   }
 }
-BENCHMARK(BM_VariabilityMc)->Arg(500)->Arg(2000)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VariabilityMc)
+    ->Args({500, 1})
+    ->Args({2000, 1})
+    ->Args({20000, 1})
+    ->Args({20000, 2})
+    ->Args({20000, 4})
+    ->Args({20000, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_DesignSpaceSweep(benchmark::State& state) {
+  const core::SweepGrid grid({{"length_um", {0.5, 1.0, 5.0}},
+                              {"doping", {0.0, 0.01, 1.0}}});
+  core::SweepOptions opts;
+  opts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_sweep(
+        grid,
+        [](const core::SweepPoint& p) {
+          process::VariabilityConfig cfg;
+          cfg.samples = 1000;
+          cfg.length_um = p.at("length_um");
+          cfg.dopant_concentration = p.at("doping");
+          cfg.threads = 1;
+          return process::run_resistance_mc(cfg);
+        },
+        opts));
+  }
+}
+BENCHMARK(BM_DesignSpaceSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

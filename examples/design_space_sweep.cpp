@@ -1,0 +1,91 @@
+// Design-space sweep on the deterministic parallel engine: walk the
+// doping x length x growth-temperature grid of the variability Monte
+// Carlo (paper Sec. II.A / III.C) with core::run_sweep, and export the
+// map as CSV. The whole study is reproducible bit-for-bit at any thread
+// count (CNTI_THREADS, see docs/PARALLELISM.md).
+//
+//   $ CNTI_THREADS=8 ./examples/design_space_sweep   (writes design_space.csv)
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/sweep_engine.hpp"
+#include "numerics/thread_pool.hpp"
+#include "process/variability.hpp"
+
+int main() {
+  using namespace cnti;
+
+  std::cout << "CNT interconnect design-space sweep ("
+            << numerics::ThreadPool::default_thread_count()
+            << " default threads, CNTI_THREADS overrides)\n\n";
+
+  const core::SweepGrid grid({{"doping", {0.0, 1.0}},
+                              {"length_um", {0.5, 1.0, 2.0, 5.0}},
+                              {"t_growth_c", {420.0, 500.0, 620.0}}});
+  const auto results = core::run_sweep(
+      grid, [](const core::SweepPoint& p) {
+        process::VariabilityConfig cfg;
+        cfg.samples = 2000;
+        cfg.dopant_concentration = p.at("doping");
+        cfg.length_um = p.at("length_um");
+        cfg.recipe.temperature_c = p.at("t_growth_c");
+        cfg.threads = 1;  // the sweep itself is the parallel axis
+        return process::run_resistance_mc(cfg);
+      });
+
+  Table t({"doping", "L [um]", "T growth [C]", "median R [kOhm]", "CV",
+           "open frac."});
+  CsvWriter csv("design_space.csv",
+                {"doping", "length_um", "t_growth_c", "median_kohm", "cv",
+                 "open_fraction", "tail_fraction"});
+  // Best (lowest-spread) corner of the grid, found deterministically.
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto p = grid.point(i);
+    const auto& r = results[i];
+    t.add_row({Table::num(p.at("doping"), 2),
+               Table::num(p.at("length_um"), 3),
+               Table::num(p.at("t_growth_c"), 4),
+               Table::num(r.resistance_kohm.median, 4),
+               Table::num(r.resistance_kohm.cv(), 3),
+               Table::num(r.open_fraction, 3)});
+    csv.add_row({p.at("doping"), p.at("length_um"), p.at("t_growth_c"),
+                 r.resistance_kohm.median, r.resistance_kohm.cv(),
+                 r.open_fraction, r.tail_fraction});
+    if (r.resistance_kohm.cv() < results[best].resistance_kohm.cv()) {
+      best = i;
+    }
+  }
+  t.print(std::cout);
+
+  const auto bp = grid.point(best);
+  std::cout << "\nTightest corner of the grid: doping "
+            << Table::num(bp.at("doping"), 2)
+            << ", L = " << Table::num(bp.at("length_um"), 3)
+            << " um, T growth = " << Table::num(bp.at("t_growth_c"), 4)
+            << " C -> CV = "
+            << Table::num(results[best].resistance_kohm.cv(), 3)
+            << " (note: pristine rows exclude open devices, so short "
+               "pristine lines can look tight while yielding less).\n";
+
+  // The paper's Sec. III.C claim at matched conditions: doping versus
+  // pristine at L = 1 um, 420 C growth.
+  const auto cv_at = [&](double doping) {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto p = grid.point(i);
+      if (p.at("doping") == doping && p.at("length_um") == 1.0 &&
+          p.at("t_growth_c") == 420.0) {
+        return results[i].resistance_kohm.cv();
+      }
+    }
+    return 0.0;
+  };
+  std::cout << "At matched L = 1 um / 420 C: pristine CV = "
+            << Table::num(cv_at(0.0), 3) << " vs doped CV = "
+            << Table::num(cv_at(1.0), 3)
+            << " — doping tames the chirality/defect spread and removes "
+               "every open (Sec. III.C).\n";
+  std::cout << "Full map written to design_space.csv\n";
+  return 0;
+}

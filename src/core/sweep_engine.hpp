@@ -1,0 +1,128 @@
+// Generic deterministic parameter-sweep engine: the design-space benches
+// and examples all walk cartesian grids (doping x length x temperature,
+// growth T x catalyst, ...) point by point. SweepGrid names the axes,
+// run_sweep evaluates every point on the thread pool, and results come
+// back in flat-index order — so a sweep is bit-identical at any thread
+// count as long as the evaluator derives any randomness from the point's
+// flat index (see docs/PARALLELISM.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "numerics/thread_pool.hpp"
+
+namespace cnti::core {
+
+/// One named sweep dimension.
+struct SweepAxis {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// A point of the cartesian grid: its flat index plus one (name, value)
+/// pair per axis, in the grid's axis order. Self-contained value type —
+/// a point stays valid after its grid is destroyed.
+class SweepPoint {
+ public:
+  SweepPoint(std::vector<std::string> names, std::size_t flat_index,
+             std::vector<double> values)
+      : names_(std::move(names)),
+        flat_index_(flat_index),
+        values_(std::move(values)) {}
+
+  /// Row-major flat index (last axis fastest) — use as an RNG stream id.
+  std::size_t flat_index() const { return flat_index_; }
+
+  double operator[](std::size_t axis) const { return values_[axis]; }
+
+  /// Value along the axis called `name`.
+  double at(std::string_view name) const {
+    for (std::size_t a = 0; a < names_.size(); ++a) {
+      if (names_[a] == name) return values_[a];
+    }
+    CNTI_EXPECTS(false, "unknown sweep axis \"" + std::string(name) + "\"");
+    return 0.0;  // unreachable
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::size_t flat_index_;
+  std::vector<double> values_;
+};
+
+/// Cartesian product of the axes, enumerated row-major with the last axis
+/// varying fastest.
+class SweepGrid {
+ public:
+  explicit SweepGrid(std::vector<SweepAxis> axes) : axes_(std::move(axes)) {
+    CNTI_EXPECTS(!axes_.empty(), "sweep needs at least one axis");
+    size_ = 1;
+    for (const auto& axis : axes_) {
+      CNTI_EXPECTS(!axis.values.empty(),
+                   "sweep axis \"" + axis.name + "\" has no values");
+      size_ *= axis.values.size();
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  const std::vector<SweepAxis>& axes() const { return axes_; }
+
+  SweepPoint point(std::size_t flat_index) const {
+    CNTI_EXPECTS(flat_index < size_, "sweep point index out of range");
+    std::vector<std::string> names(axes_.size());
+    std::vector<double> values(axes_.size());
+    std::size_t rem = flat_index;
+    for (std::size_t a = axes_.size(); a-- > 0;) {
+      const auto& vals = axes_[a].values;
+      names[a] = axes_[a].name;
+      values[a] = vals[rem % vals.size()];
+      rem /= vals.size();
+    }
+    return SweepPoint(std::move(names), flat_index, std::move(values));
+  }
+
+ private:
+  std::vector<SweepAxis> axes_;
+  std::size_t size_ = 1;
+};
+
+struct SweepOptions {
+  /// 0 = CNTI_THREADS env / hardware default; otherwise a private pool of
+  /// exactly this many threads.
+  int threads = 0;
+  /// Points per chunk. Results are slot-indexed, so grain affects only
+  /// load balance, never values.
+  std::size_t grain = 1;
+};
+
+/// Evaluates `eval(const SweepPoint&)` at every grid point in parallel
+/// and returns the results in flat-index order. The result type must be
+/// default-constructible (each point writes its own pre-allocated slot).
+template <typename F>
+auto run_sweep(const SweepGrid& grid, F&& eval, SweepOptions options = {})
+    -> std::vector<std::invoke_result_t<F&, const SweepPoint&>> {
+  using Result = std::invoke_result_t<F&, const SweepPoint&>;
+  static_assert(std::is_default_constructible_v<Result>,
+                "sweep result type must be default-constructible");
+  CNTI_EXPECTS(options.threads >= 0, "threads must be >= 0");
+  std::vector<Result> results(grid.size());
+  numerics::parallel_chunks(
+      grid.size(), options.grain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = eval(grid.point(i));
+        }
+      },
+      options.threads);
+  return results;
+}
+
+}  // namespace cnti::core

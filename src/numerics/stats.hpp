@@ -55,6 +55,90 @@ inline Summary summarize(std::vector<double> sample) {
   return s;
 }
 
+/// Mergeable single-pass statistics accumulator for parallel reductions:
+/// moments via Welford's update, merged with the Chan et al. parallel
+/// formula; the raw samples are retained (in insertion order) so that
+/// percentile statistics survive the reduction. Merging chunk
+/// accumulators in ascending chunk order reproduces the same bits at any
+/// thread count, because the merge tree is then a pure function of the
+/// chunk decomposition.
+class Accumulator {
+ public:
+  Accumulator() = default;
+  explicit Accumulator(std::size_t reserve) { values_.reserve(reserve); }
+
+  void add(double v) {
+    values_.push_back(v);
+    ++count_;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+    if (count_ == 1) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+  }
+
+  /// Absorbs `other` (which represents samples *after* this one's).
+  void merge(const Accumulator& other) {
+    CNTI_EXPECTS(&other != this, "cannot merge an accumulator into itself");
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1).
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Samples in insertion (merge) order.
+  const std::vector<double>& values() const { return values_; }
+
+  /// Full Summary: moments from the streaming state, percentiles from a
+  /// sorted copy of the retained samples.
+  Summary summary() const {
+    CNTI_EXPECTS(count_ > 0, "empty accumulator");
+    Summary s;
+    s.count = count_;
+    s.mean = mean_;
+    s.stddev = std::sqrt(variance());
+    s.min = min_;
+    s.max = max_;
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    s.median = percentile_sorted(sorted, 0.5);
+    s.p05 = percentile_sorted(sorted, 0.05);
+    s.p95 = percentile_sorted(sorted, 0.95);
+    return s;
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> values_;
+};
+
 /// Histogram with uniform bins over [lo, hi].
 struct Histogram {
   double lo = 0.0;

@@ -5,6 +5,7 @@
 
 #include "common/constants.hpp"
 #include "common/units.hpp"
+#include "numerics/thread_pool.hpp"
 
 namespace cnti::process {
 
@@ -93,6 +94,24 @@ GrownTube sample_tube(const GrowthQuality& quality, numerics::Rng& rng) {
                                           0.15 * quality.expected_length_um));
   t.via_filled = rng.bernoulli(quality.via_fill_yield);
   return t;
+}
+
+std::vector<GrownTube> sample_tubes(const GrowthQuality& quality,
+                                    std::size_t count,
+                                    const numerics::Rng& base,
+                                    int threads) {
+  CNTI_EXPECTS(threads >= 0, "threads must be >= 0");
+  std::vector<GrownTube> tubes(count);
+  numerics::parallel_chunks(
+      count, 256,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          numerics::Rng rng = base.fork(i);
+          tubes[i] = sample_tube(quality, rng);
+        }
+      },
+      threads);
+  return tubes;
 }
 
 }  // namespace cnti::process

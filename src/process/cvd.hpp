@@ -6,7 +6,9 @@
 // the CMOS-compatible one that must work below 400 C (Sec. II.B).
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "numerics/rng.hpp"
@@ -52,5 +54,14 @@ struct GrownTube {
 };
 
 GrownTube sample_tube(const GrowthQuality& quality, numerics::Rng& rng);
+
+/// Batch sampling on the thread pool: tube i is drawn from the stream
+/// base.fork(i), so the batch is bit-identical at every thread count and
+/// for repeated calls with the same base seed (threads: 0 = CNTI_THREADS
+/// / hardware default).
+std::vector<GrownTube> sample_tubes(const GrowthQuality& quality,
+                                    std::size_t count,
+                                    const numerics::Rng& base,
+                                    int threads = 0);
 
 }  // namespace cnti::process

@@ -5,6 +5,7 @@
 
 #include "common/constants.hpp"
 #include "common/units.hpp"
+#include "numerics/thread_pool.hpp"
 
 namespace cnti::process {
 
@@ -49,8 +50,9 @@ double sample_device_resistance_kohm(const GrowthQuality& quality,
 VariabilityResult run_resistance_mc(const VariabilityConfig& config) {
   CNTI_EXPECTS(config.samples >= 10, "need at least 10 MC samples");
   CNTI_EXPECTS(config.length_um > 0, "length must be positive");
+  CNTI_EXPECTS(config.threads >= 0, "threads must be >= 0");
   const GrowthQuality quality = evaluate_recipe(config.recipe);
-  numerics::Rng rng(config.seed);
+  const numerics::Rng root(config.seed);
 
   double channels_if_doped = 0.0;
   if (config.dopant_concentration > 0.0) {
@@ -59,29 +61,56 @@ VariabilityResult run_resistance_mc(const VariabilityConfig& config) {
     channels_if_doped = doping.channels_per_shell_simple();
   }
 
-  std::vector<double> resistances;
-  resistances.reserve(static_cast<std::size_t>(config.samples));
+  // Fixed grain: the chunk decomposition (and therefore the accumulator
+  // merge tree) is a function of the sample count alone, never of the
+  // thread count — that is what makes the Summary bit-identical from 1 to
+  // N threads. Sample i always draws from the counter-based stream
+  // root.fork(i), independent of which thread or chunk runs it.
+  constexpr std::size_t kGrain = 512;
+  const std::size_t n = static_cast<std::size_t>(config.samples);
+  const std::size_t n_chunks = (n + kGrain - 1) / kGrain;
+  struct ChunkStats {
+    numerics::Accumulator acc;
+    int open = 0;
+  };
+  std::vector<ChunkStats> chunks(n_chunks);
+
+  numerics::parallel_chunks(
+      n, kGrain,
+      [&](std::size_t begin, std::size_t end) {
+        ChunkStats& local = chunks[begin / kGrain];
+        local.acc = numerics::Accumulator(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          numerics::Rng rng = root.fork(i);
+          const double contact_kohm = rng.lognormal_median(
+              config.contact_median_kohm, config.contact_sigma_log);
+          const double r = sample_device_resistance_kohm(
+              quality, config.length_um, channels_if_doped, contact_kohm,
+              rng);
+          if (r < 0) {
+            ++local.open;
+          } else {
+            local.acc.add(r);
+          }
+        }
+      },
+      config.threads);
+
+  numerics::Accumulator merged(n);
   int open_count = 0;
-  for (int i = 0; i < config.samples; ++i) {
-    const double contact_kohm = rng.lognormal_median(
-        config.contact_median_kohm, config.contact_sigma_log);
-    const double r = sample_device_resistance_kohm(
-        quality, config.length_um, channels_if_doped, contact_kohm, rng);
-    if (r < 0) {
-      ++open_count;
-    } else {
-      resistances.push_back(r);
-    }
+  for (const auto& c : chunks) {
+    merged.merge(c.acc);
+    open_count += c.open;
   }
-  CNTI_EXPECTS(!resistances.empty(), "every sampled device was open");
+  CNTI_EXPECTS(merged.count() > 0, "every sampled device was open");
 
   VariabilityResult out;
-  out.resistance_kohm = numerics::summarize(resistances);
+  out.resistance_kohm = merged.summary();
   out.open_fraction =
       static_cast<double>(open_count) / config.samples;
   const double threshold = 3.0 * out.resistance_kohm.median;
   int tail = 0;
-  for (double r : resistances) {
+  for (double r : merged.values()) {
     if (r > threshold) ++tail;
   }
   out.tail_fraction = static_cast<double>(tail) / config.samples;

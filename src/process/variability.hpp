@@ -24,6 +24,11 @@ struct VariabilityConfig {
   double contact_median_kohm = 50.0;
   double contact_sigma_log = 0.5;
   unsigned seed = 1234;
+  /// Execution width: 0 = CNTI_THREADS env / hardware default, otherwise
+  /// a private pool of exactly this many threads. Sample i always draws
+  /// from the forked stream (seed, i), so the statistics are bit-identical
+  /// at every thread count (see docs/PARALLELISM.md).
+  int threads = 0;
 };
 
 struct VariabilityResult {

@@ -1,17 +1,25 @@
 #include "process/wafer.hpp"
 
 #include <cmath>
+#include <cstdint>
+
+#include "numerics/thread_pool.hpp"
 
 namespace cnti::process {
 
 WaferMap::WaferMap(const WaferSpec& spec, const GrowthRecipe& nominal,
-                   numerics::Rng& rng) {
+                   const numerics::Rng& rng, int threads) {
   CNTI_EXPECTS(spec.diameter_mm > 0 && spec.die_pitch_mm > 0,
                "wafer geometry must be positive");
+  CNTI_EXPECTS(threads >= 0, "threads must be >= 0");
   const double r_max = spec.diameter_mm / 2.0 - spec.edge_exclusion_mm;
   const double pitch = spec.die_pitch_mm;
   const int n_half = static_cast<int>(std::ceil(r_max / pitch));
+  const int row = 2 * n_half + 1;
 
+  // Phase 1 (serial, cheap): enumerate the die grid and record each kept
+  // die's grid-cell index — the RNG stream id used in phase 2.
+  std::vector<std::uint64_t> cells;
   for (int iy = -n_half; iy <= n_half; ++iy) {
     for (int ix = -n_half; ix <= n_half; ++ix) {
       Die die;
@@ -19,19 +27,33 @@ WaferMap::WaferMap(const WaferSpec& spec, const GrowthRecipe& nominal,
       die.y_mm = iy * pitch;
       die.radius_mm = std::hypot(die.x_mm, die.y_mm);
       if (die.radius_mm > r_max) continue;
-
-      const double rho = die.radius_mm / (spec.diameter_mm / 2.0);
-      die.recipe = nominal;
-      die.recipe.temperature_c +=
-          -spec.radial_temperature_droop_c * rho * rho +
-          rng.normal(0.0, spec.temperature_noise_c);
-      die.recipe.catalyst_thickness_nm *=
-          1.0 + spec.radial_catalyst_skew * rho * rho;
-      die.quality = evaluate_recipe(die.recipe);
+      cells.push_back(static_cast<std::uint64_t>(iy + n_half) * row +
+                      static_cast<std::uint64_t>(ix + n_half));
       dies_.push_back(die);
     }
   }
   CNTI_EXPECTS(!dies_.empty(), "no dies fit on the wafer");
+
+  // Phase 2 (parallel): perturb each die's recipe from its own forked
+  // stream and evaluate the growth model. Each die writes only its own
+  // slot, so any grain / thread count yields the same wafer.
+  numerics::parallel_chunks(
+      dies_.size(), 16,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Die& die = dies_[i];
+          numerics::Rng die_rng = rng.fork(cells[i]);
+          const double rho = die.radius_mm / (spec.diameter_mm / 2.0);
+          die.recipe = nominal;
+          die.recipe.temperature_c +=
+              -spec.radial_temperature_droop_c * rho * rho +
+              die_rng.normal(0.0, spec.temperature_noise_c);
+          die.recipe.catalyst_thickness_nm *=
+              1.0 + spec.radial_catalyst_skew * rho * rho;
+          die.quality = evaluate_recipe(die.recipe);
+        }
+      },
+      threads);
 }
 
 numerics::Summary WaferMap::summarize(

@@ -31,11 +31,17 @@ struct Die {
   GrowthQuality quality;
 };
 
-/// A fully characterized wafer.
+/// A fully characterized wafer. Die generation runs on the thread pool:
+/// each die draws from the stream rng.fork(grid_cell_index), so the map
+/// is bit-identical at every thread count and independent of how much of
+/// `rng` the caller has already consumed (threads: 0 = CNTI_THREADS /
+/// hardware default, otherwise a private pool of that many threads).
+/// The rng is only forked, never advanced — two wafers built from the
+/// same rng and spec are identical; use distinct seeds for replicates.
 class WaferMap {
  public:
   WaferMap(const WaferSpec& spec, const GrowthRecipe& nominal,
-           numerics::Rng& rng);
+           const numerics::Rng& rng, int threads = 0);
 
   const std::vector<Die>& dies() const { return dies_; }
 

@@ -1,0 +1,91 @@
+// Golden regression pins for the stochastic physics hot paths that the
+// parallel execution subsystem reworks (run_resistance_mc, WaferMap).
+// Values were captured from the serial, seed-fixed implementation at the
+// PR-2 baseline. Tolerances are set from the statistical error of each
+// estimator (20000 MC samples / 169 dies), so a reseeding of the sample
+// streams passes but a physics change (dropped contact term, wrong MFP
+// combination, broken channel lottery) fails.
+#include <gtest/gtest.h>
+
+#include "numerics/rng.hpp"
+#include "process/variability.hpp"
+#include "process/wafer.hpp"
+
+namespace cp = cnti::process;
+
+namespace {
+
+cp::VariabilityResult run_mc(double doping_conc, double temperature_c) {
+  cp::VariabilityConfig cfg;
+  cfg.samples = 20000;
+  cfg.dopant_concentration = doping_conc;
+  cfg.recipe.temperature_c = temperature_c;
+  return cp::run_resistance_mc(cfg);
+}
+
+TEST(GoldenVariability, PristineDefaultRecipe) {
+  // Baseline capture: median=67.765, cv=0.831, p95=175.2, tail=0.0303,
+  // open=0.1735.
+  const auto r = run_mc(0.0, 450.0);
+  EXPECT_NEAR(r.resistance_kohm.median, 67.77, 0.025 * 67.77);
+  EXPECT_NEAR(r.resistance_kohm.cv(), 0.831, 0.08);
+  EXPECT_NEAR(r.resistance_kohm.p95, 175.2, 0.06 * 175.2);
+  EXPECT_NEAR(r.tail_fraction, 0.0303, 0.010);
+  EXPECT_NEAR(r.open_fraction, 0.1735, 0.012);
+}
+
+TEST(GoldenVariability, SaturatedIodineDoping) {
+  // Baseline capture: median=53.873, cv=0.514, tail=0.0114, open=0.
+  const auto r = run_mc(1.0, 450.0);
+  EXPECT_NEAR(r.resistance_kohm.median, 53.87, 0.025 * 53.87);
+  EXPECT_NEAR(r.resistance_kohm.cv(), 0.514, 0.06);
+  EXPECT_NEAR(r.tail_fraction, 0.0114, 0.008);
+  EXPECT_EQ(r.open_fraction, 0.0);  // every doped shell conducts
+}
+
+TEST(GoldenVariability, HotGrowthPristine) {
+  // Baseline capture: median=59.359, cv=0.638, open=0.1730. Hot growth
+  // heals defects, so the median sits below the 450 C pristine value while
+  // the chirality-lottery open fraction is unchanged.
+  const auto r = run_mc(0.0, 620.0);
+  EXPECT_NEAR(r.resistance_kohm.median, 59.36, 0.025 * 59.36);
+  EXPECT_NEAR(r.resistance_kohm.cv(), 0.638, 0.08);
+  EXPECT_NEAR(r.open_fraction, 0.1730, 0.012);
+}
+
+cp::WaferMap make_wafer(double noise_c) {
+  cnti::numerics::Rng rng(2018);
+  cp::WaferSpec spec;
+  spec.temperature_noise_c = noise_c;
+  cp::GrowthRecipe nominal;
+  nominal.catalyst = cp::Catalyst::kCo;
+  nominal.temperature_c = 400.0;
+  return cp::WaferMap(spec, nominal, rng);
+}
+
+TEST(GoldenWafer, NoiseFreeMapIsFullyDeterministic) {
+  // Diameter depends only on catalyst thickness and the deterministic
+  // radial skew, so with zero temperature noise the whole map is pinned
+  // exactly: 169 dies, uniformity 0.027340578, default yield 1.
+  const auto w = make_wafer(0.0);
+  EXPECT_EQ(w.dies().size(), 169u);
+  EXPECT_NEAR(w.diameter_uniformity(), 0.027340578, 1e-7);
+  EXPECT_DOUBLE_EQ(w.yield(), 1.0);
+}
+
+TEST(GoldenWafer, SeedFixedNoisyMapStatistics) {
+  // Baseline capture (seed 2018): growth-rate mean=0.1391, cv=0.177,
+  // yield at a 0.10 um/min floor = 0.9704.
+  const auto w = make_wafer(2.0);
+  EXPECT_EQ(w.dies().size(), 169u);
+  // Diameter uniformity is noise-independent, still exact.
+  EXPECT_NEAR(w.diameter_uniformity(), 0.027340578, 1e-7);
+  const auto rate = w.summarize([](const cp::GrowthQuality& q) {
+    return q.growth_rate_um_per_min;
+  });
+  EXPECT_NEAR(rate.mean, 0.1391, 0.010);
+  EXPECT_NEAR(rate.cv(), 0.177, 0.05);
+  EXPECT_NEAR(w.yield(0.10), 0.9704, 0.045);
+}
+
+}  // namespace

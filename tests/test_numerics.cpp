@@ -303,6 +303,36 @@ TEST(Rng, TruncatedNormalRespectsBounds) {
   }
 }
 
+TEST(Rng, TruncatedNormalThrowsWhenRejectionIsExhausted) {
+  // A [50, 51] window on a standard normal has ~1e-545 acceptance
+  // probability. The old behavior silently returned the clamped mean
+  // (50.0), biasing every downstream statistic; now it must report.
+  cn::Rng rng(9);
+  EXPECT_THROW(rng.normal_truncated(0.0, 1.0, 50.0, 51.0),
+               cnti::NumericalError);
+}
+
+TEST(Rng, SplitMix64KnownAnswerVector) {
+  // Reference outputs for splitmix64 from seed 0 (Vigna's test vector).
+  std::uint64_t state = 0;
+  EXPECT_EQ(cn::detail::splitmix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(cn::detail::splitmix64(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(cn::detail::splitmix64(state), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, ForkKeepsTheRootSeed) {
+  cn::Rng root(321);
+  EXPECT_EQ(root.seed(), 321u);
+  cn::Rng child = root.fork(2);
+  EXPECT_NE(child.seed(), root.seed());
+  // fork is deterministic and side-effect free on the parent.
+  cn::Rng again = root.fork(2);
+  EXPECT_EQ(child.seed(), again.seed());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(child.normal(), again.normal());
+  }
+}
+
 TEST(Rng, LognormalMedianApproximatelyCorrect) {
   cn::Rng rng(13);
   std::vector<double> s;
