@@ -1,6 +1,8 @@
 // Signal-integrity study of doped CNT interconnects using the extension
 // toolkit: AC bandwidth (where the kinetic inductance lives), coupled-line
-// crosstalk, and repeater planning for a multi-millimetre link.
+// crosstalk, repeater planning for a multi-millimetre link, and a 16-line
+// coupled bus (2000+ MNA unknowns) that only the sparse engine makes
+// tractable.
 //
 //   $ ./examples/signal_integrity_study
 #include <iostream>
@@ -71,8 +73,39 @@ int main() {
   }
   rp.print(std::cout);
 
+  // --- Wide coupled bus (sparse MNA engine). -----------------------------
+  // 16 parallel 100 um lines, nearest-neighbour coupled, 128 segments each:
+  // ~2100 MNA unknowns. The dense O(n^3) path needs minutes per handful of
+  // timesteps here; the sparse backend's pattern-frozen refactorization
+  // runs the full transient in about a second.
+  std::cout << "\n4) 16-line coupled bus, centre aggressor (sparse MNA):\n";
+  Table bus({"bus", "unknowns", "worst victim", "noise pristine [mV]",
+             "noise doped [mV]"});
+  {
+    const auto bus_noise = [&](double nc, int* unknowns, int* victim) {
+      circuit::BusConfig cfg;
+      cfg.line = core::make_paper_mwcnt(10, nc, 20e3).rlc();
+      cfg.coupling_cap_per_m = 30e-12;
+      cfg.length_m = 100e-6;
+      cfg.lines = 16;
+      cfg.segments = 128;  // kAuto routes this to the sparse backend
+      const auto r = circuit::analyze_bus_crosstalk(cfg, 600);
+      *unknowns = r.unknowns;
+      *victim = r.worst_victim;
+      return r.peak_noise_v * 1e3;
+    };
+    int unknowns = 0, victim = 0;
+    const double pristine = bus_noise(2, &unknowns, &victim);
+    const double doped = bus_noise(10, &unknowns, &victim);
+    bus.add_row({"16 x 128 seg", std::to_string(unknowns),
+                 "line " + std::to_string(victim), Table::num(pristine, 4),
+                 Table::num(doped, 4)});
+  }
+  bus.print(std::cout);
+
   std::cout << "\nDoping buys bandwidth, noise margin and repeater count "
                "simultaneously — the circuit-level case for the paper's "
-               "doping program.\n";
+               "doping program — and the sparse MNA engine extends the "
+               "analysis from line pairs to full buses.\n";
   return 0;
 }

@@ -8,6 +8,41 @@
 
 namespace cnti::circuit {
 
+namespace {
+
+/// Receiver input load terminating every line's far end [F].
+constexpr double kReceiverLoadF = 0.2e-15;
+
+/// Single rising edge at 5x the edge time, holding high for the rest of
+/// the analysis window.
+PulseWave single_edge_pulse(double vdd_v, double edge_time_s) {
+  PulseWave pulse;
+  pulse.v1 = 0.0;
+  pulse.v2 = vdd_v;
+  pulse.delay_s = 5.0 * edge_time_s;
+  pulse.rise_s = edge_time_s;
+  pulse.fall_s = edge_time_s;
+  pulse.width_s = 1.0;  // single edge within the window
+  pulse.period_s = 2.0;
+  return pulse;
+}
+
+/// Simulation window long enough for the aggressor edge to settle:
+/// 12 time constants of the total drive resistance into the total line
+/// (+ coupling) capacitance, floored at 20 edge times.
+TransientOptions settle_window(double r_total_ohm, double c_total_f,
+                               double edge_time_s, int time_steps,
+                               const MnaOptions& mna) {
+  const double tau = r_total_ohm * c_total_f;
+  TransientOptions opt;
+  opt.t_stop_s = std::max(20.0 * edge_time_s, 12.0 * tau);
+  opt.dt_s = opt.t_stop_s / time_steps;
+  opt.mna = mna;
+  return opt;
+}
+
+}  // namespace
+
 CrosstalkResult analyze_crosstalk(const CrosstalkConfig& cfg,
                                   int time_steps) {
   CNTI_EXPECTS(cfg.segments >= 2, "need at least two segments");
@@ -22,15 +57,8 @@ CrosstalkResult analyze_crosstalk(const CrosstalkConfig& cfg,
   const NodeId vic_drv = ckt.node("vic_drv");
 
   // Aggressor: pulse source behind its driver resistance.
-  PulseWave pulse;
-  pulse.v1 = 0.0;
-  pulse.v2 = cfg.vdd_v;
-  pulse.delay_s = 5.0 * cfg.edge_time_s;
-  pulse.rise_s = cfg.edge_time_s;
-  pulse.fall_s = cfg.edge_time_s;
-  pulse.width_s = 1.0;  // single edge within the window
-  pulse.period_s = 2.0;
-  ckt.add_vsource("vagg", agg_in, 0, pulse);
+  ckt.add_vsource("vagg", agg_in, 0,
+                  single_edge_pulse(cfg.vdd_v, cfg.edge_time_s));
   ckt.add_resistor("ragg", agg_in, agg_drv, cfg.aggressor_driver_ohm);
   // Victim: held at ground through its driver.
   ckt.add_resistor("rvic", 0, vic_drv, cfg.victim_driver_ohm);
@@ -74,30 +102,18 @@ CrosstalkResult analyze_crosstalk(const CrosstalkConfig& cfg,
     v_prev = vn;
     a_prev = an;
   }
-  if (rv_end > 0) {
-    ckt.add_resistor("rvc2", v_prev, vic_far, rv_end);
-  } else {
-    ckt.add_resistor("rvc2", v_prev, vic_far, 1.0);
-  }
-  if (ra_end > 0) {
-    ckt.add_resistor("rac2", a_prev, agg_far, ra_end);
-  } else {
-    ckt.add_resistor("rac2", a_prev, agg_far, 1.0);
-  }
+  ckt.add_resistor("rvc2", v_prev, vic_far, rv_end > 0 ? rv_end : 1.0);
+  ckt.add_resistor("rac2", a_prev, agg_far, ra_end > 0 ? ra_end : 1.0);
   // Receiver loads.
-  ckt.add_capacitor("clv", vic_far, 0, 0.2e-15);
-  ckt.add_capacitor("cla", agg_far, 0, 0.2e-15);
+  ckt.add_capacitor("clv", vic_far, 0, kReceiverLoadF);
+  ckt.add_capacitor("cla", agg_far, 0, kReceiverLoadF);
 
-  // Simulation window: enough for the aggressor edge to settle.
-  const double tau =
-      (cfg.aggressor_driver_ohm +
-       cfg.aggressor.series_resistance_ohm +
-       cfg.aggressor.resistance_per_m * cfg.length_m) *
-      (cfg.aggressor.capacitance_per_m +
-       cfg.coupling_cap_per_m) * cfg.length_m;
-  TransientOptions opt;
-  opt.t_stop_s = std::max(20.0 * cfg.edge_time_s, 12.0 * tau);
-  opt.dt_s = opt.t_stop_s / time_steps;
+  const TransientOptions opt = settle_window(
+      cfg.aggressor_driver_ohm + cfg.aggressor.series_resistance_ohm +
+          cfg.aggressor.resistance_per_m * cfg.length_m,
+      (cfg.aggressor.capacitance_per_m + cfg.coupling_cap_per_m) *
+          cfg.length_m,
+      cfg.edge_time_s, time_steps, cfg.mna);
   const TransientResult res = simulate_transient(ckt, opt);
 
   CrosstalkResult out;
@@ -111,6 +127,112 @@ CrosstalkResult analyze_crosstalk(const CrosstalkConfig& cfg,
   }
   out.aggressor_delay_s = numerics::first_crossing_time(
       t, res.voltage(agg_far), cfg.vdd_v / 2.0, /*rising=*/true);
+  return out;
+}
+
+BusCrosstalkResult analyze_bus_crosstalk(const BusConfig& cfg,
+                                         int time_steps) {
+  CNTI_EXPECTS(cfg.lines >= 2, "need at least two lines");
+  CNTI_EXPECTS(cfg.segments >= 2, "need at least two segments");
+  CNTI_EXPECTS(cfg.length_m > 0, "length must be positive");
+  CNTI_EXPECTS(cfg.coupling_cap_per_m >= 0, "coupling must be >= 0");
+  const int agg = cfg.aggressor < 0 ? cfg.lines / 2 : cfg.aggressor;
+  CNTI_EXPECTS(agg < cfg.lines, "aggressor index out of range");
+
+  Circuit ckt;
+  const std::size_t nl = static_cast<std::size_t>(cfg.lines);
+
+  // Aggressor stimulus behind its driver; victims held quiet.
+  const NodeId agg_in = ckt.node("bus_in");
+  ckt.add_vsource("vbus", agg_in, 0,
+                  single_edge_pulse(cfg.vdd_v, cfg.edge_time_s));
+
+  std::vector<NodeId> head(nl);
+  for (int l = 0; l < cfg.lines; ++l) {
+    const NodeId drv = ckt.node("drv" + std::to_string(l));
+    ckt.add_resistor("rdrv" + std::to_string(l), l == agg ? agg_in : 0, drv,
+                     cfg.driver_ohm);
+    head[static_cast<std::size_t>(l)] = drv;
+  }
+
+  const auto segs = core::discretize_line(cfg.line, cfg.length_m,
+                                          cfg.segments);
+  const double cc_per_seg =
+      cfg.coupling_cap_per_m * cfg.length_m / cfg.segments;
+  const double r_end = cfg.line.series_resistance_ohm / 2.0;
+  if (r_end > 0) {
+    for (int l = 0; l < cfg.lines; ++l) {
+      const NodeId n = ckt.node("c1_" + std::to_string(l));
+      ckt.add_resistor("rc1_" + std::to_string(l),
+                       head[static_cast<std::size_t>(l)], n, r_end);
+      head[static_cast<std::size_t>(l)] = n;
+    }
+  }
+
+  // Segment-major node creation keeps neighbour coupling close to the
+  // diagonal, so the sparse LU fill stays near-banded (bandwidth ~ lines,
+  // not ~ segments).
+  for (int s = 0; s < cfg.segments; ++s) {
+    std::vector<NodeId> cur(nl);
+    const std::string is = std::to_string(s);
+    for (int l = 0; l < cfg.lines; ++l) {
+      const std::string tag = std::to_string(l) + "_" + is;
+      const NodeId n = ckt.node("b" + tag);
+      ckt.add_resistor("r" + tag, head[static_cast<std::size_t>(l)], n,
+                       segs[static_cast<std::size_t>(s)].resistance_ohm);
+      ckt.add_capacitor("c" + tag, n, 0,
+                        segs[static_cast<std::size_t>(s)].capacitance_f);
+      cur[static_cast<std::size_t>(l)] = n;
+    }
+    if (cc_per_seg > 0) {
+      for (int l = 0; l + 1 < cfg.lines; ++l) {
+        ckt.add_capacitor("cc" + std::to_string(l) + "_" + is,
+                          cur[static_cast<std::size_t>(l)],
+                          cur[static_cast<std::size_t>(l + 1)], cc_per_seg);
+      }
+    }
+    head = cur;
+  }
+
+  std::vector<NodeId> far(nl);
+  for (int l = 0; l < cfg.lines; ++l) {
+    const NodeId n = ckt.node("far" + std::to_string(l));
+    ckt.add_resistor("rc2_" + std::to_string(l),
+                     head[static_cast<std::size_t>(l)], n,
+                     r_end > 0 ? r_end : 1.0);
+    ckt.add_capacitor("cl" + std::to_string(l), n, 0, kReceiverLoadF);
+    far[static_cast<std::size_t>(l)] = n;
+  }
+
+  // A middle line sees neighbour coupling on both sides.
+  const TransientOptions opt = settle_window(
+      cfg.driver_ohm + cfg.line.series_resistance_ohm +
+          cfg.line.resistance_per_m * cfg.length_m,
+      (cfg.line.capacitance_per_m + 2.0 * cfg.coupling_cap_per_m) *
+          cfg.length_m,
+      cfg.edge_time_s, time_steps, cfg.mna);
+  const TransientResult res = simulate_transient(ckt, opt);
+
+  BusCrosstalkResult out;
+  out.unknowns = ckt.node_count() + 1;  // + the aggressor source branch
+  // With zero coupling every victim waveform is exactly 0; report the
+  // first victim instead of leaving the -1 sentinel in a valid result.
+  out.worst_victim = agg == 0 ? 1 : 0;
+  const auto& t = res.time();
+  for (int l = 0; l < cfg.lines; ++l) {
+    if (l == agg) continue;
+    const auto& vn = res.voltage(far[static_cast<std::size_t>(l)]);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (std::abs(vn[i]) > std::abs(out.peak_noise_v)) {
+        out.peak_noise_v = vn[i];
+        out.peak_time_s = t[i];
+        out.worst_victim = l;
+      }
+    }
+  }
+  out.aggressor_delay_s = numerics::first_crossing_time(
+      t, res.voltage(far[static_cast<std::size_t>(agg)]), cfg.vdd_v / 2.0,
+      /*rising=*/true);
   return out;
 }
 

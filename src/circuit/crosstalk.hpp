@@ -25,6 +25,7 @@ struct CrosstalkConfig {
   double aggressor_driver_ohm = 5e3;
   double vdd_v = 1.0;
   double edge_time_s = 20e-12;
+  MnaOptions mna{};  ///< Linear backend routing for the transient.
 };
 
 struct CrosstalkResult {
@@ -36,5 +37,37 @@ struct CrosstalkResult {
 /// Builds the coupled ladder, runs the MNA transient, measures the noise.
 CrosstalkResult analyze_crosstalk(const CrosstalkConfig& config,
                                   int time_steps = 2500);
+
+/// Wide coupled bus: `lines` identical RC lines side by side, coupled
+/// nearest-neighbour segment-by-segment, one aggressor switching while
+/// every other line is held quiet by its driver. This is the bus-level
+/// scenario from the CNT-via/interconnect literature (Ting et al., Kreupl
+/// et al.) — thousands of unknowns, which is exactly the regime the sparse
+/// MNA backend exists for.
+struct BusConfig {
+  core::LineRlc line;                   ///< Per-line RC(L) model.
+  double coupling_cap_per_m = 20e-12;   ///< Neighbour coupling [F/m].
+  double length_m = 100e-6;
+  int lines = 16;
+  int segments = 64;
+  int aggressor = -1;                   ///< Switching line; -1 = centre.
+  double driver_ohm = 5e3;              ///< Every line's driver resistance.
+  double vdd_v = 1.0;
+  double edge_time_s = 20e-12;
+  MnaOptions mna{};                     ///< Backend routing (kAuto -> sparse).
+};
+
+struct BusCrosstalkResult {
+  double peak_noise_v = 0.0;       ///< Worst victim far-end noise.
+  double peak_time_s = 0.0;
+  int worst_victim = -1;           ///< Line index of the worst victim.
+  double aggressor_delay_s = 0.0;  ///< 50% delay of the aggressor far end.
+  int unknowns = 0;                ///< MNA system size actually solved.
+};
+
+/// Builds the N-line coupled bus, runs the MNA transient and scans every
+/// victim far end for the worst-case coupled noise.
+BusCrosstalkResult analyze_bus_crosstalk(const BusConfig& config,
+                                         int time_steps = 1500);
 
 }  // namespace cnti::circuit

@@ -30,7 +30,7 @@ double DcSweepResult::input_at_output(double level) const {
 
 DcSweepResult dc_sweep(Circuit ckt, const std::string& source_name,
                        double v_start, double v_stop, int points,
-                       NodeId observe) {
+                       NodeId observe, const MnaOptions& mna) {
   CNTI_EXPECTS(points >= 2, "need at least two sweep points");
   // Locate the source; the netlist is copied so we can mutate its wave.
   // (Circuit stores sources by value; we rebuild the wave per step.)
@@ -46,11 +46,15 @@ DcSweepResult dc_sweep(Circuit ckt, const std::string& source_name,
   DcSweepResult out;
   out.input_v.reserve(static_cast<std::size_t>(points));
   out.output_v.reserve(static_cast<std::size_t>(points));
+  // One solver for the whole sweep: only the source value changes per
+  // point, so the sparse backend's pattern and symbolic analysis are
+  // computed at the first point and reused for the rest.
+  DcSolver solver(ckt, mna);
   for (int i = 0; i < points; ++i) {
     const double v =
         v_start + (v_stop - v_start) * i / (points - 1);
     ckt.set_vsource_wave(src, DcWave{v});
-    const DcResult dc = solve_dc(ckt);
+    const DcResult dc = solver.solve();
     out.input_v.push_back(v);
     out.output_v.push_back(
         dc.node_voltages[static_cast<std::size_t>(observe)]);

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+
+#include "numerics/sparse.hpp"
+#include "numerics/sparse_lu.hpp"
 
 namespace cnti::circuit {
 
 namespace {
 
+using numerics::CsrAssembler;
 using numerics::LuFactorization;
 using numerics::MatrixD;
+using numerics::SparseLu;
 
 /// Always-on conductance from every node to ground; keeps matrices
 /// non-singular with floating gates/capacitive nodes.
@@ -90,23 +96,84 @@ struct Layout {
   static int nv(NodeId n) { return n - 1; }
 };
 
-/// Dense-stamp helpers that skip the ground row/column.
-void stamp_g(MatrixD& a, NodeId i, NodeId j, double g) {
+/// Dense linear backend: stamps into a MatrixD and factorizes from scratch
+/// on every solve (the historical engine; kept as the sparse path's oracle).
+class DenseBackend {
+ public:
+  explicit DenseBackend(int size) : n_(static_cast<std::size_t>(size)) {}
+
+  void begin() { a_ = MatrixD(n_, n_); }
+  void add(int r, int c, double v) {
+    a_(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+  }
+  void end() {}
+
+  std::vector<double> solve(const std::vector<double>& b) const {
+    return LuFactorization<double>(a_).solve(b);
+  }
+
+ private:
+  std::size_t n_;
+  MatrixD a_;
+};
+
+/// Sparse linear backend: the stamp stream freezes a CSR pattern on the
+/// first assembly (stamp-slot replay afterwards) and the SparseLu reuses
+/// its symbolic analysis across every subsequent factorization.
+class SparseBackend {
+ public:
+  explicit SparseBackend(int size)
+      : assembler_(static_cast<std::size_t>(size)) {}
+
+  void begin() { assembler_.begin(); }
+  void add(int r, int c, double v) {
+    assembler_.add(static_cast<std::size_t>(r), static_cast<std::size_t>(c),
+                   v);
+  }
+  void end() { assembler_.end(); }
+
+  std::vector<double> solve(const std::vector<double>& b) {
+    lu_.factorize(assembler_.matrix());
+    return lu_.solve(b);
+  }
+
+ private:
+  CsrAssembler assembler_;
+  SparseLu lu_;
+};
+
+/// Backend-generic stamp helpers that skip the ground row/column.
+template <typename Backend>
+void stamp_g(Backend& a, NodeId i, NodeId j, double g) {
   const int ri = Layout::nv(i), rj = Layout::nv(j);
-  if (ri >= 0) a(ri, ri) += g;
-  if (rj >= 0) a(rj, rj) += g;
+  if (ri >= 0) a.add(ri, ri, g);
+  if (rj >= 0) a.add(rj, rj, g);
   if (ri >= 0 && rj >= 0) {
-    a(ri, rj) -= g;
-    a(rj, ri) -= g;
+    a.add(ri, rj, -g);
+    a.add(rj, ri, -g);
   }
 }
 
-void stamp_entry(MatrixD& a, int row, int col, double v) {
-  if (row >= 0 && col >= 0) a(row, col) += v;
+template <typename Backend>
+void stamp_entry(Backend& a, int row, int col, double v) {
+  if (row >= 0 && col >= 0) a.add(row, col, v);
 }
 
 void stamp_rhs(std::vector<double>& b, int row, double v) {
   if (row >= 0) b[static_cast<std::size_t>(row)] += v;
+}
+
+/// Resolves kAuto against the system size.
+bool use_sparse(const MnaOptions& mna, int size) {
+  switch (mna.solver) {
+    case SolverKind::kDense:
+      return false;
+    case SolverKind::kSparse:
+      return true;
+    case SolverKind::kAuto:
+      return size >= mna.sparse_threshold;
+  }
+  return false;
 }
 
 /// Shared nonlinear-system assembly for DC and one transient step.
@@ -115,19 +182,19 @@ class Assembler {
   Assembler(const Circuit& ckt, const Layout& layout)
       : ckt_(ckt), layout_(layout) {}
 
-  /// Assemble Jacobian and rhs at candidate solution x.
+  /// Assemble Jacobian and rhs at candidate solution x into `backend`.
   /// `companion` adds reactive-element companion stamps (transient only).
-  template <typename CompanionFn>
+  /// The stamp stream below is a fixed sequence for a fixed circuit — the
+  /// sparse backend's pattern-frozen replay depends on that.
+  template <typename Backend, typename CompanionFn>
   void assemble(const std::vector<double>& x, double time_s, double gmin,
-                MatrixD& a, std::vector<double>& b,
+                Backend& a, std::vector<double>& b,
                 const CompanionFn& companion) const {
-    a = MatrixD(static_cast<std::size_t>(layout_.size),
-                static_cast<std::size_t>(layout_.size));
+    a.begin();
     b.assign(static_cast<std::size_t>(layout_.size), 0.0);
 
     for (int n = 1; n <= layout_.nodes; ++n) {
-      a(static_cast<std::size_t>(n - 1), static_cast<std::size_t>(n - 1)) +=
-          gmin + kGminFloor;
+      a.add(n - 1, n - 1, gmin + kGminFloor);
     }
     for (const auto& r : ckt_.resistors()) {
       stamp_g(a, r.a, r.b, 1.0 / r.ohms);
@@ -152,7 +219,8 @@ class Assembler {
       const double vs = voltage(x, m.source);
       const MosLin lin = eval_mosfet(m.params, vd, vg, vs);
       // Current enters drain, leaves source. Norton form:
-      // i(v) ~ i0 + sum dv_k * (v_k - v_k0).
+      // i(v) ~ i0 + sum dv_k * (v_k - v_k0). All four conductance stamps
+      // are issued even in cutoff (value 0) so the pattern is region-free.
       const double i0 =
           lin.ids - lin.d_vd * vd - lin.d_vg * vg - lin.d_vs * vs;
       const int rd = Layout::nv(m.drain), rs = Layout::nv(m.source);
@@ -166,23 +234,25 @@ class Assembler {
       stamp_rhs(b, rs, i0);
     }
     companion(a, b);
+    a.end();
   }
 
   static double voltage(const std::vector<double>& x, NodeId n) {
     return n == 0 ? 0.0 : x[static_cast<std::size_t>(n - 1)];
   }
 
-  /// Newton iteration until the update norm drops below tolerance.
-  template <typename CompanionFn>
-  std::vector<double> newton(std::vector<double> x, double time_s,
-                             double gmin, int max_iter, double tol,
-                             const CompanionFn& companion,
+  /// Newton iteration until the update norm drops below tolerance. The
+  /// backend persists across iterations (and across calls for one
+  /// simulation), so symbolic reuse carries over timesteps.
+  template <typename Backend, typename CompanionFn>
+  std::vector<double> newton(Backend& backend, std::vector<double> x,
+                             double time_s, double gmin, int max_iter,
+                             double tol, const CompanionFn& companion,
                              int* iterations_out = nullptr) const {
-    MatrixD a;
     std::vector<double> b;
     for (int it = 0; it < max_iter; ++it) {
-      assemble(x, time_s, gmin, a, b, companion);
-      const std::vector<double> x_new = LuFactorization<double>(a).solve(b);
+      assemble(x, time_s, gmin, backend, b, companion);
+      const std::vector<double> x_new = backend.solve(b);
       double delta = 0.0;
       for (std::size_t i = 0; i < x.size(); ++i) {
         delta = std::max(delta, std::abs(x_new[i] - x[i]));
@@ -201,15 +271,14 @@ class Assembler {
   const Layout& layout_;
 };
 
-}  // namespace
-
-DcResult solve_dc(const Circuit& ckt, double time_s) {
-  const Layout layout(ckt);
+template <typename Backend>
+DcResult solve_dc_with(Backend& backend, const Circuit& ckt,
+                       const Layout& layout, double time_s) {
   const Assembler assembler(ckt, layout);
 
   // DC: capacitors open; inductors are 0 V branches so their currents are
   // well-defined. Stamp inductors like voltage sources with value 0.
-  const auto companion = [&](MatrixD& a, std::vector<double>& b) {
+  const auto companion = [&](auto& a, std::vector<double>& b) {
     (void)b;
     for (std::size_t k = 0; k < ckt.inductors().size(); ++k) {
       const auto& l = ckt.inductors()[k];
@@ -227,8 +296,8 @@ DcResult solve_dc(const Circuit& ckt, double time_s) {
   int total_iters = 0;
   for (const double gmin : {1e-3, 1e-6, 1e-9, 0.0}) {
     int iters = 0;
-    x = assembler.newton(std::move(x), time_s, gmin, 200, 1e-12, companion,
-                         &iters);
+    x = assembler.newton(backend, std::move(x), time_s, gmin, 200, 1e-12,
+                         companion, &iters);
     total_iters += iters;
   }
 
@@ -250,18 +319,17 @@ DcResult solve_dc(const Circuit& ckt, double time_s) {
   return out;
 }
 
-TransientResult simulate_transient(const Circuit& ckt,
-                                   const TransientOptions& opt) {
-  CNTI_EXPECTS(opt.t_stop_s > 0, "t_stop must be positive");
-  CNTI_EXPECTS(opt.dt_s > 0 && opt.dt_s < opt.t_stop_s,
-               "dt must be positive and below t_stop");
-  const Layout layout(ckt);
+template <typename Backend>
+TransientResult simulate_transient_with(Backend& backend, const Circuit& ckt,
+                                        const Layout& layout,
+                                        const TransientOptions& opt) {
   const Assembler assembler(ckt, layout);
   const double dt = opt.dt_s;
   const bool trap = opt.integrator == Integrator::kTrapezoidal;
 
-  // Initial condition: DC operating point at t = 0.
-  const DcResult dc = solve_dc(ckt, 0.0);
+  // Initial condition: DC operating point at t = 0 (its companion pattern
+  // differs from the transient one, so it runs on its own backend).
+  const DcResult dc = solve_dc(ckt, 0.0, opt.mna);
   std::vector<double> x(static_cast<std::size_t>(layout.size), 0.0);
   for (int n = 1; n <= layout.nodes; ++n) {
     x[static_cast<std::size_t>(n - 1)] =
@@ -287,7 +355,7 @@ TransientResult simulate_transient(const Circuit& ckt,
     ind_v_prev[k] = 0.0;
   }
 
-  const auto companion = [&](MatrixD& a, std::vector<double>& b) {
+  const auto companion = [&](auto& a, std::vector<double>& b) {
     for (std::size_t k = 0; k < ckt.capacitors().size(); ++k) {
       const auto& c = ckt.capacitors()[k];
       const double geq = (trap ? 2.0 : 1.0) * c.farads / dt;
@@ -332,8 +400,9 @@ TransientResult simulate_transient(const Circuit& ckt,
 
   for (std::size_t step = 1; step < steps; ++step) {
     const double t = static_cast<double>(step) * dt;
-    x = assembler.newton(std::move(x), t, 0.0, opt.max_newton_iterations,
-                         opt.newton_tolerance, companion);
+    x = assembler.newton(backend, std::move(x), t, 0.0,
+                         opt.max_newton_iterations, opt.newton_tolerance,
+                         companion);
     // Update element history.
     for (std::size_t k = 0; k < ckt.capacitors().size(); ++k) {
       const auto& c = ckt.capacitors()[k];
@@ -355,6 +424,55 @@ TransientResult simulate_transient(const Circuit& ckt,
   }
 
   return TransientResult(std::move(time), std::move(volt));
+}
+
+}  // namespace
+
+struct DcSolver::Impl {
+  const Circuit& ckt;
+  Layout layout;
+  // Exactly one backend is engaged; it survives across solve() calls so
+  // the sparse symbolic analysis is paid once per circuit topology.
+  std::optional<DenseBackend> dense;
+  std::optional<SparseBackend> sparse;
+};
+
+DcSolver::DcSolver(const Circuit& ckt, const MnaOptions& mna)
+    : impl_(std::make_unique<Impl>(Impl{ckt, Layout(ckt), {}, {}})) {
+  if (use_sparse(mna, impl_->layout.size)) {
+    impl_->sparse.emplace(impl_->layout.size);
+  } else {
+    impl_->dense.emplace(impl_->layout.size);
+  }
+}
+
+DcSolver::~DcSolver() = default;
+DcSolver::DcSolver(DcSolver&&) noexcept = default;
+DcSolver& DcSolver::operator=(DcSolver&&) noexcept = default;
+
+DcResult DcSolver::solve(double time_s) {
+  if (impl_->sparse) {
+    return solve_dc_with(*impl_->sparse, impl_->ckt, impl_->layout, time_s);
+  }
+  return solve_dc_with(*impl_->dense, impl_->ckt, impl_->layout, time_s);
+}
+
+DcResult solve_dc(const Circuit& ckt, double time_s, const MnaOptions& mna) {
+  return DcSolver(ckt, mna).solve(time_s);
+}
+
+TransientResult simulate_transient(const Circuit& ckt,
+                                   const TransientOptions& opt) {
+  CNTI_EXPECTS(opt.t_stop_s > 0, "t_stop must be positive");
+  CNTI_EXPECTS(opt.dt_s > 0 && opt.dt_s < opt.t_stop_s,
+               "dt must be positive and below t_stop");
+  const Layout layout(ckt);
+  if (use_sparse(opt.mna, layout.size)) {
+    SparseBackend backend(layout.size);
+    return simulate_transient_with(backend, ckt, layout, opt);
+  }
+  DenseBackend backend(layout.size);
+  return simulate_transient_with(backend, ckt, layout, opt);
 }
 
 }  // namespace cnti::circuit

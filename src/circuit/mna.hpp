@@ -1,9 +1,14 @@
 // Modified nodal analysis engine: DC operating point (Newton with g_min
 // stepping) and fixed-step transient (backward Euler or trapezoidal, Newton
-// per step). Dense LU is used — the paper's benchmark circuits (inverter
-// chains driving segmented MWCNT lines) stay below a few hundred unknowns.
+// per step). Two linear backends share one stamping path: a dense LU (the
+// historical engine, kept as the differential-test oracle) and a sparse
+// Gilbert–Peierls LU whose fill pattern and pivot order are computed once
+// per circuit topology and refactorized cheaply across Newton iterations
+// and timesteps. kAuto routes large systems (wide coupled buses, long
+// ladders) to the sparse path; see docs/CIRCUIT_SOLVERS.md.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +16,21 @@
 #include "numerics/matrix.hpp"
 
 namespace cnti::circuit {
+
+/// Linear-solver backend selection for the MNA engine.
+enum class SolverKind {
+  kDense,   ///< Dense partial-pivot LU, O(n^3) per Newton iteration.
+  kSparse,  ///< Pattern-frozen CSR stamping + reusable SparseLu.
+  kAuto,    ///< kSparse above MnaOptions::sparse_threshold unknowns.
+};
+
+struct MnaOptions {
+  SolverKind solver = SolverKind::kAuto;
+  /// kAuto picks the sparse backend at or above this many MNA unknowns
+  /// (node voltages + source/inductor branch currents). Below it the dense
+  /// engine wins on constant factors.
+  int sparse_threshold = 192;
+};
 
 /// DC operating point.
 struct DcResult {
@@ -20,7 +40,30 @@ struct DcResult {
   int newton_iterations = 0;
 };
 
-DcResult solve_dc(const Circuit& ckt, double time_s = 0.0);
+DcResult solve_dc(const Circuit& ckt, double time_s = 0.0,
+                  const MnaOptions& mna = {});
+
+/// Reusable DC engine for repeated operating-point solves of one circuit
+/// (dc_sweep, corner loops): the linear backend — and with it the sparse
+/// path's frozen stamp pattern and symbolic analysis — persists across
+/// solve() calls. The solver holds a reference: `ckt` must outlive it
+/// (binding a temporary is rejected at compile time). Element *values*
+/// (source waveforms) may change between calls; the circuit's topology
+/// must not.
+class DcSolver {
+ public:
+  explicit DcSolver(const Circuit& ckt, const MnaOptions& mna = {});
+  explicit DcSolver(Circuit&& ckt, const MnaOptions& mna = {}) = delete;
+  ~DcSolver();
+  DcSolver(DcSolver&&) noexcept;
+  DcSolver& operator=(DcSolver&&) noexcept;
+
+  DcResult solve(double time_s = 0.0);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 enum class Integrator { kBackwardEuler, kTrapezoidal };
 
@@ -30,6 +73,7 @@ struct TransientOptions {
   Integrator integrator = Integrator::kTrapezoidal;
   int max_newton_iterations = 100;
   double newton_tolerance = 1e-9;
+  MnaOptions mna{};  ///< Linear backend routing (applies to the initial DC too).
 };
 
 /// Transient waveforms for every node (indexed by NodeId; ground included

@@ -182,6 +182,9 @@ inline std::vector<double> solve_tridiagonal(std::vector<double> a,
     b[i] -= m * c[i - 1];
     d[i] -= m * d[i - 1];
   }
+  if (std::abs(b[n - 1]) < 1e-300) {
+    throw NumericalError("tridiagonal: zero pivot");
+  }
   std::vector<double> x(n);
   x[n - 1] = d[n - 1] / b[n - 1];
   for (std::size_t ii = n - 1; ii-- > 0;) {

@@ -1,17 +1,33 @@
-// Golden regression pins for the stochastic physics hot paths that the
-// parallel execution subsystem reworks (run_resistance_mc, WaferMap).
-// Values were captured from the serial, seed-fixed implementation at the
-// PR-2 baseline. Tolerances are set from the statistical error of each
-// estimator (20000 MC samples / 169 dies), so a reseeding of the sample
-// streams passes but a physics change (dropped contact term, wrong MFP
-// combination, broken channel lottery) fails.
+// Golden regression pins, two families:
+//  - Stochastic physics hot paths that the parallel execution subsystem
+//    reworks (run_resistance_mc, WaferMap), captured from the serial,
+//    seed-fixed implementation at the PR-2 baseline. Tolerances are set
+//    from the statistical error of each estimator (20000 MC samples / 169
+//    dies), so a reseeding of the sample streams passes but a physics
+//    change (dropped contact term, wrong MFP combination, broken channel
+//    lottery) fails.
+//  - Deterministic MNA transients (crosstalk victim noise, the Fig. 11
+//    driver->line->receiver chain delay, an RC ladder step response),
+//    captured from the dense engine at the PR-3 baseline — verified
+//    bit-identical to the pre-sparse-rework engine — and pinned through
+//    BOTH backends so the sparse path cannot silently shift physics.
+//    Tolerances (1e-6 relative) sit far above cross-compiler FP noise and
+//    far below any physical shift.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "circuit/builders.hpp"
+#include "circuit/crosstalk.hpp"
+#include "circuit/mna.hpp"
+#include "core/mwcnt_line.hpp"
+#include "numerics/interp.hpp"
 #include "numerics/rng.hpp"
 #include "process/variability.hpp"
 #include "process/wafer.hpp"
 
 namespace cp = cnti::process;
+namespace cir = cnti::circuit;
 
 namespace {
 
@@ -87,5 +103,94 @@ TEST(GoldenWafer, SeedFixedNoisyMapStatistics) {
   EXPECT_NEAR(rate.cv(), 0.177, 0.05);
   EXPECT_NEAR(w.yield(0.10), 0.9704, 0.045);
 }
+
+// ---------------------------------------------------------------------------
+// Deterministic MNA waveform pins (both linear backends).
+// ---------------------------------------------------------------------------
+
+class GoldenMnaWaveforms : public ::testing::TestWithParam<cir::SolverKind> {
+ protected:
+  cir::MnaOptions mna() const {
+    cir::MnaOptions o;
+    o.solver = GetParam();
+    return o;
+  }
+};
+
+TEST_P(GoldenMnaWaveforms, CrosstalkVictimNoisePeak) {
+  // Baseline capture (dense, PR-3): peak_noise_v=1.368417963456e-01 at
+  // t=1.733023193377e-10, aggressor delay 1.554552285844e-10.
+  cir::CrosstalkConfig cfg;
+  cfg.victim = cnti::core::make_paper_mwcnt(10, 4.0, 20e3).rlc();
+  cfg.aggressor = cfg.victim;
+  cfg.coupling_cap_per_m = 30e-12;
+  cfg.length_m = 50e-6;
+  cfg.segments = 12;
+  cfg.mna = mna();
+  const cir::CrosstalkResult xt = cir::analyze_crosstalk(cfg, 1200);
+  EXPECT_NEAR(xt.peak_noise_v, 1.368417963456e-01, 1e-6 * 1.37e-1);
+  EXPECT_NEAR(xt.peak_time_s, 1.733023193377e-10, 1e-6 * 1.73e-10);
+  EXPECT_NEAR(xt.aggressor_delay_s, 1.554552285844e-10, 1e-6 * 1.55e-10);
+}
+
+TEST_P(GoldenMnaWaveforms, Fig11ChainDelay) {
+  // Baseline capture (dense, PR-3): delay 4.620541880439e-10 s for a
+  // 200 um doped line behind the 8x driver chain.
+  cir::Fig11Options opt;
+  opt.line = cnti::core::make_paper_mwcnt(10, 4.0, 100e3).rlc();
+  opt.length_m = 200e-6;
+  opt.segments = 12;
+  opt.mna = mna();
+  EXPECT_NEAR(cir::measure_fig11_delay(opt, 2000), 4.620541880439e-10,
+              1e-6 * 4.62e-10);
+}
+
+TEST_P(GoldenMnaWaveforms, RcLadderStepResponse) {
+  // Baseline capture (dense, PR-3): far-end t50=1.559068319698e-10;
+  // v(200 ps)=6.266693699666e-01, v(400 ps)=9.008560833759e-01,
+  // v(1 ns)=9.981431391287e-01.
+  cir::Circuit ckt;
+  cir::PulseWave pulse;
+  pulse.v1 = 0.0;
+  pulse.v2 = 1.0;
+  pulse.delay_s = 10e-12;
+  pulse.rise_s = 10e-12;
+  pulse.fall_s = 10e-12;
+  pulse.width_s = 1.0;
+  pulse.period_s = 2.0;
+  const auto in = ckt.node("in");
+  ckt.add_vsource("vin", in, 0, pulse);
+  cir::NodeId prev = in;
+  cir::NodeId far = 0;
+  for (int s = 0; s < 30; ++s) {
+    const std::string is = std::to_string(s);
+    const auto n = ckt.node("n" + is);
+    ckt.add_resistor("r" + is, prev, n, 200.0);
+    ckt.add_capacitor("c" + is, n, 0, 2e-15);
+    prev = n;
+    far = n;
+  }
+  cir::TransientOptions topt;
+  topt.t_stop_s = 1.0e-9;
+  topt.dt_s = 0.5e-12;
+  topt.mna = mna();
+  const cir::TransientResult res = cir::simulate_transient(ckt, topt);
+  const auto& v = res.voltage(far);
+  const double t50 = cnti::numerics::first_crossing_time(
+      res.time(), v, 0.5, /*rising=*/true);
+  EXPECT_NEAR(t50, 1.559068319698e-10, 1e-6 * 1.56e-10);
+  EXPECT_NEAR(v[400], 6.266693699666e-01, 1e-6);
+  EXPECT_NEAR(v[800], 9.008560833759e-01, 1e-6);
+  EXPECT_NEAR(v.back(), 9.981431391287e-01, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, GoldenMnaWaveforms,
+                         ::testing::Values(cir::SolverKind::kDense,
+                                           cir::SolverKind::kSparse),
+                         [](const auto& info) {
+                           return info.param == cir::SolverKind::kDense
+                                      ? "Dense"
+                                      : "Sparse";
+                         });
 
 }  // namespace

@@ -162,6 +162,23 @@ TEST(Solvers, TridiagonalMatchesDense) {
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_dense[i], 1e-12);
 }
 
+TEST(Solvers, TridiagonalZeroFinalPivotThrows) {
+  // Regression: the last pivot b[n-1] used to be divided without the
+  // zero-pivot check applied to every earlier pivot. This system is
+  // singular exactly there: elimination turns the final diagonal into
+  // 1 - (1*1)/1 = 0.
+  std::vector<double> sub = {1.0};
+  std::vector<double> diag = {1.0, 1.0};
+  std::vector<double> sup = {1.0};
+  std::vector<double> rhs = {1.0, 2.0};
+  EXPECT_THROW(cn::solve_tridiagonal(sub, diag, sup, rhs),
+               cnti::NumericalError);
+
+  // 1x1 degenerate case goes through the same final-pivot check.
+  EXPECT_THROW(cn::solve_tridiagonal({}, {0.0}, {}, {1.0}),
+               cnti::NumericalError);
+}
+
 TEST(Quadrature, AdaptiveSimpsonPolynomial) {
   const auto f = [](double x) { return 3.0 * x * x; };
   EXPECT_NEAR(cn::integrate_adaptive(f, 0.0, 2.0), 8.0, 1e-10);
