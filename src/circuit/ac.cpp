@@ -102,16 +102,24 @@ AcResult ac_analysis(const Circuit& ckt, const std::string& source_name,
 
 std::vector<double> log_frequency_grid(double f_start_hz, double f_stop_hz,
                                        int points_per_decade) {
-  CNTI_EXPECTS(f_start_hz > 0 && f_stop_hz > f_start_hz,
+  CNTI_EXPECTS(std::isfinite(f_start_hz) && std::isfinite(f_stop_hz),
+               "frequency endpoints must be finite");
+  CNTI_EXPECTS(f_start_hz > 0 && f_stop_hz >= f_start_hz,
                "invalid frequency range");
   CNTI_EXPECTS(points_per_decade >= 1, "need >= 1 point per decade");
+  if (f_stop_hz == f_start_hz) return {f_start_hz};  // degenerate grid
   std::vector<double> out;
   const double decades = std::log10(f_stop_hz / f_start_hz);
-  const int n = static_cast<int>(std::ceil(decades * points_per_decade));
-  for (int i = 0; i <= n; ++i) {
-    out.push_back(f_start_hz *
-                  std::pow(10.0, decades * i / std::max(1, n)));
+  const int n = std::max(
+      1, static_cast<int>(std::ceil(decades * points_per_decade)));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(f_start_hz * std::pow(10.0, decades * i / n));
   }
+  // pow() roundoff must not leave the last point short of (or past) the
+  // requested stop frequency: pin it exactly, dropping any interior point
+  // that rounding pushed up to it, so the grid stays strictly increasing.
+  while (!out.empty() && out.back() >= f_stop_hz) out.pop_back();
+  out.push_back(f_stop_hz);
   return out;
 }
 

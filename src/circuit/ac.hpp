@@ -8,7 +8,9 @@
 // rejected — linearize them externally first.
 #pragma once
 
+#include <cmath>
 #include <complex>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -22,8 +24,13 @@ struct AcResult {
   std::vector<double> frequency_hz;
   std::vector<std::complex<double>> transfer;
 
+  /// 20 log10 |H|; an identically-zero transfer (grounded observe node,
+  /// perfect notch) reads -inf dB rather than tripping log10's domain
+  /// error handling.
   double magnitude_db(std::size_t i) const {
-    return 20.0 * std::log10(std::abs(transfer[i]));
+    const double magnitude = std::abs(transfer[i]);
+    return magnitude > 0.0 ? 20.0 * std::log10(magnitude)
+                           : -std::numeric_limits<double>::infinity();
   }
   double phase_deg(std::size_t i) const {
     return std::arg(transfer[i]) * 180.0 / M_PI;
@@ -35,7 +42,11 @@ struct AcResult {
 AcResult ac_analysis(const Circuit& ckt, const std::string& source_name,
                      NodeId observe, const std::vector<double>& freqs_hz);
 
-/// Logarithmic frequency grid helper [Hz].
+/// Logarithmic frequency grid [Hz]: strictly increasing, with both
+/// endpoints hit exactly (no accumulated pow() roundoff on the last
+/// point). A degenerate range f_stop == f_start yields the single-point
+/// grid {f_start}. Throws PreconditionError on non-finite or non-positive
+/// endpoints, f_stop < f_start, or points_per_decade < 1.
 std::vector<double> log_frequency_grid(double f_start_hz, double f_stop_hz,
                                        int points_per_decade = 10);
 

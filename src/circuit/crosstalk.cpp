@@ -13,9 +13,29 @@ namespace {
 /// Receiver input load terminating every line's far end [F].
 constexpr double kReceiverLoadF = 0.2e-15;
 
-/// Single rising edge at 5x the edge time, holding high for the rest of
-/// the analysis window.
-PulseWave single_edge_pulse(double vdd_v, double edge_time_s) {
+/// Simulation window long enough for the aggressor edge to settle:
+/// 12 time constants of the total drive resistance into the total line
+/// (+ coupling) capacitance, floored at 20 edge times. The single source
+/// of the window policy — the pair analysis, the bus analysis and the ROM
+/// layer (via bus_settle_time_s) must all stay on the same grid.
+double settle_time_s(double r_total_ohm, double c_total_f,
+                     double edge_time_s) {
+  return std::max(20.0 * edge_time_s, 12.0 * r_total_ohm * c_total_f);
+}
+
+TransientOptions settle_window(double r_total_ohm, double c_total_f,
+                               double edge_time_s, int time_steps,
+                               const MnaOptions& mna) {
+  TransientOptions opt;
+  opt.t_stop_s = settle_time_s(r_total_ohm, c_total_f, edge_time_s);
+  opt.dt_s = opt.t_stop_s / time_steps;
+  opt.mna = mna;
+  return opt;
+}
+
+}  // namespace
+
+PulseWave bus_edge_wave(double vdd_v, double edge_time_s) {
   PulseWave pulse;
   pulse.v1 = 0.0;
   pulse.v2 = vdd_v;
@@ -27,21 +47,15 @@ PulseWave single_edge_pulse(double vdd_v, double edge_time_s) {
   return pulse;
 }
 
-/// Simulation window long enough for the aggressor edge to settle:
-/// 12 time constants of the total drive resistance into the total line
-/// (+ coupling) capacitance, floored at 20 edge times.
-TransientOptions settle_window(double r_total_ohm, double c_total_f,
-                               double edge_time_s, int time_steps,
-                               const MnaOptions& mna) {
-  const double tau = r_total_ohm * c_total_f;
-  TransientOptions opt;
-  opt.t_stop_s = std::max(20.0 * edge_time_s, 12.0 * tau);
-  opt.dt_s = opt.t_stop_s / time_steps;
-  opt.mna = mna;
-  return opt;
+double bus_settle_time_s(const BusConfig& cfg) {
+  // A middle line sees neighbour coupling on both sides.
+  const double r_total = cfg.driver_ohm + cfg.line.series_resistance_ohm +
+                         cfg.line.resistance_per_m * cfg.length_m;
+  const double c_total =
+      (cfg.line.capacitance_per_m + 2.0 * cfg.coupling_cap_per_m) *
+      cfg.length_m;
+  return settle_time_s(r_total, c_total, cfg.edge_time_s);
 }
-
-}  // namespace
 
 CrosstalkResult analyze_crosstalk(const CrosstalkConfig& cfg,
                                   int time_steps) {
@@ -58,7 +72,7 @@ CrosstalkResult analyze_crosstalk(const CrosstalkConfig& cfg,
 
   // Aggressor: pulse source behind its driver resistance.
   ckt.add_vsource("vagg", agg_in, 0,
-                  single_edge_pulse(cfg.vdd_v, cfg.edge_time_s));
+                  bus_edge_wave(cfg.vdd_v, cfg.edge_time_s));
   ckt.add_resistor("ragg", agg_in, agg_drv, cfg.aggressor_driver_ohm);
   // Victim: held at ground through its driver.
   ckt.add_resistor("rvic", 0, vic_drv, cfg.victim_driver_ohm);
@@ -130,30 +144,22 @@ CrosstalkResult analyze_crosstalk(const CrosstalkConfig& cfg,
   return out;
 }
 
-BusCrosstalkResult analyze_bus_crosstalk(const BusConfig& cfg,
-                                         int time_steps) {
+BusNetlist build_bus_netlist(const BusConfig& cfg) {
   CNTI_EXPECTS(cfg.lines >= 2, "need at least two lines");
   CNTI_EXPECTS(cfg.segments >= 2, "need at least two segments");
   CNTI_EXPECTS(cfg.length_m > 0, "length must be positive");
   CNTI_EXPECTS(cfg.coupling_cap_per_m >= 0, "coupling must be >= 0");
-  const int agg = cfg.aggressor < 0 ? cfg.lines / 2 : cfg.aggressor;
-  CNTI_EXPECTS(agg < cfg.lines, "aggressor index out of range");
 
-  Circuit ckt;
+  BusNetlist out;
+  Circuit& ckt = out.ckt;
   const std::size_t nl = static_cast<std::size_t>(cfg.lines);
 
-  // Aggressor stimulus behind its driver; victims held quiet.
-  const NodeId agg_in = ckt.node("bus_in");
-  ckt.add_vsource("vbus", agg_in, 0,
-                  single_edge_pulse(cfg.vdd_v, cfg.edge_time_s));
-
+  // Line input terminals (driver attach points).
   std::vector<NodeId> head(nl);
   for (int l = 0; l < cfg.lines; ++l) {
-    const NodeId drv = ckt.node("drv" + std::to_string(l));
-    ckt.add_resistor("rdrv" + std::to_string(l), l == agg ? agg_in : 0, drv,
-                     cfg.driver_ohm);
-    head[static_cast<std::size_t>(l)] = drv;
+    head[static_cast<std::size_t>(l)] = ckt.node("drv" + std::to_string(l));
   }
+  out.head = head;
 
   const auto segs = core::discretize_line(cfg.line, cfg.length_m,
                                           cfg.segments);
@@ -194,23 +200,43 @@ BusCrosstalkResult analyze_bus_crosstalk(const BusConfig& cfg,
     head = cur;
   }
 
-  std::vector<NodeId> far(nl);
+  out.far.resize(nl);
   for (int l = 0; l < cfg.lines; ++l) {
     const NodeId n = ckt.node("far" + std::to_string(l));
     ckt.add_resistor("rc2_" + std::to_string(l),
                      head[static_cast<std::size_t>(l)], n,
                      r_end > 0 ? r_end : 1.0);
-    ckt.add_capacitor("cl" + std::to_string(l), n, 0, kReceiverLoadF);
-    far[static_cast<std::size_t>(l)] = n;
+    out.far[static_cast<std::size_t>(l)] = n;
   }
+  return out;
+}
 
-  // A middle line sees neighbour coupling on both sides.
-  const TransientOptions opt = settle_window(
-      cfg.driver_ohm + cfg.line.series_resistance_ohm +
-          cfg.line.resistance_per_m * cfg.length_m,
-      (cfg.line.capacitance_per_m + 2.0 * cfg.coupling_cap_per_m) *
-          cfg.length_m,
-      cfg.edge_time_s, time_steps, cfg.mna);
+BusCrosstalkResult analyze_bus_crosstalk(const BusConfig& cfg,
+                                         int time_steps) {
+  const int agg = cfg.aggressor < 0 ? cfg.lines / 2 : cfg.aggressor;
+  CNTI_EXPECTS(agg >= 0 && agg < cfg.lines, "aggressor index out of range");
+
+  BusNetlist bus = build_bus_netlist(cfg);
+  Circuit& ckt = bus.ckt;
+
+  // Aggressor stimulus behind its driver; victims held quiet; receiver
+  // loads at every far end.
+  const NodeId agg_in = ckt.node("bus_in");
+  ckt.add_vsource("vbus", agg_in, 0,
+                  bus_edge_wave(cfg.vdd_v, cfg.edge_time_s));
+  for (int l = 0; l < cfg.lines; ++l) {
+    ckt.add_resistor("rdrv" + std::to_string(l), l == agg ? agg_in : 0,
+                     bus.head[static_cast<std::size_t>(l)], cfg.driver_ohm);
+    ckt.add_capacitor("cl" + std::to_string(l),
+                      bus.far[static_cast<std::size_t>(l)], 0,
+                      cfg.receiver_load_f);
+  }
+  const std::vector<NodeId>& far = bus.far;
+
+  TransientOptions opt;
+  opt.t_stop_s = bus_settle_time_s(cfg);
+  opt.dt_s = opt.t_stop_s / time_steps;
+  opt.mna = cfg.mna;
   const TransientResult res = simulate_transient(ckt, opt);
 
   BusCrosstalkResult out;

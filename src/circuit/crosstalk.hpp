@@ -54,6 +54,7 @@ struct BusConfig {
   double driver_ohm = 5e3;              ///< Every line's driver resistance.
   double vdd_v = 1.0;
   double edge_time_s = 20e-12;
+  double receiver_load_f = 0.2e-15;     ///< Input load at every far end.
   MnaOptions mna{};                     ///< Backend routing (kAuto -> sparse).
 };
 
@@ -69,5 +70,29 @@ struct BusCrosstalkResult {
 /// victim far end for the worst-case coupled noise.
 BusCrosstalkResult analyze_bus_crosstalk(const BusConfig& config,
                                          int time_steps = 1500);
+
+/// Bare N-line coupled bus: the ladders and their neighbour coupling only —
+/// no stimulus source, driver resistors or receiver loads. head[l]/far[l]
+/// are the driver-side and receiver-side terminals of line l, which is
+/// where analyze_bus_crosstalk attaches its terminations and where the ROM
+/// layer places its ports (reduce the bare bus once, re-attach
+/// driver/load scenarios to the reduced model).
+struct BusNetlist {
+  Circuit ckt;
+  std::vector<NodeId> head;
+  std::vector<NodeId> far;
+};
+
+BusNetlist build_bus_netlist(const BusConfig& config);
+
+/// The single rising edge used by the crosstalk analyses: 0 -> vdd with
+/// the given rise time, delayed by 5 edge times, holding high afterwards.
+PulseWave bus_edge_wave(double vdd_v, double edge_time_s);
+
+/// Length of the transient window analyze_bus_crosstalk simulates: 12 RC
+/// time constants of the worst-case drive into the line (+ both-neighbour
+/// coupling) capacitance, floored at 20 edge times. Exposed so reduced-
+/// model evaluations run on the exact same grid as the full transient.
+double bus_settle_time_s(const BusConfig& config);
 
 }  // namespace cnti::circuit

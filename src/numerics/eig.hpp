@@ -1,0 +1,269 @@
+// Dense nonsymmetric eigensolver for small matrices: balancing, Householder
+// reduction to upper Hessenberg form, then Francis double-shift QR with
+// deflation (the classic EISPACK hqr scheme). Eigenvalues only — the ROM
+// layer needs pole locations of reduced q x q systems (q ~ tens), not
+// eigenvectors, and q^3 iterations are negligible at that size.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "numerics/matrix.hpp"
+
+namespace cnti::numerics {
+
+namespace eig_detail {
+
+/// Diagonal similarity scaling by powers of two (exact in floating point):
+/// iteratively equalizes row and column 1-norms, which sharpens the QR
+/// iteration's convergence and the accuracy of small eigenvalues.
+inline void balance(MatrixD& a) {
+  const std::size_t n = a.rows();
+  constexpr double kRadix = 2.0;
+  bool again = true;
+  while (again) {
+    again = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double row = 0.0, col = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        col += std::abs(a(j, i));
+        row += std::abs(a(i, j));
+      }
+      if (col == 0.0 || row == 0.0) continue;
+      const double before = col + row;
+      double f = 1.0;
+      double g = row / kRadix;
+      while (col < g) {
+        f *= kRadix;
+        col *= kRadix * kRadix;
+      }
+      g = row * kRadix;
+      while (col > g) {
+        f /= kRadix;
+        col /= kRadix * kRadix;
+      }
+      if ((col + row) / f < 0.95 * before) {
+        again = true;
+        const double inv = 1.0 / f;
+        for (std::size_t j = 0; j < n; ++j) a(i, j) *= inv;
+        for (std::size_t j = 0; j < n; ++j) a(j, i) *= f;
+      }
+    }
+  }
+}
+
+/// In-place Householder reduction to upper Hessenberg form (similarity, so
+/// the spectrum is preserved). Entries below the first subdiagonal are
+/// zeroed explicitly.
+inline void hessenberg(MatrixD& a) {
+  const std::size_t n = a.rows();
+  if (n < 3) return;
+  std::vector<double> v(n);
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Householder vector annihilating a(k+2 .. n-1, k).
+    double scale = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) scale += std::abs(a(i, k));
+    if (scale == 0.0) continue;
+    double norm2 = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      v[i] = a(i, k) / scale;
+      norm2 += v[i] * v[i];
+    }
+    const double alpha =
+        (v[k + 1] >= 0.0) ? -std::sqrt(norm2) : std::sqrt(norm2);
+    if (alpha == 0.0) continue;
+    v[k + 1] -= alpha;
+    const double beta = 1.0 / (-alpha * v[k + 1]);  // 2 / ||v||^2
+
+    // A <- P A with P = I - beta v v^T (rows k+1.., all columns).
+    for (std::size_t j = k; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) s += v[i] * a(i, j);
+      s *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) a(i, j) -= s * v[i];
+    }
+    // A <- A P (all rows, columns k+1..).
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = k + 1; j < n; ++j) s += a(i, j) * v[j];
+      s *= beta;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= s * v[j];
+    }
+    a(k + 1, k) = alpha * scale;
+    for (std::size_t i = k + 2; i < n; ++i) a(i, k) = 0.0;
+  }
+}
+
+inline double sign_of(double magnitude, double sign_source) {
+  return sign_source >= 0.0 ? magnitude : -magnitude;
+}
+
+/// Francis double-shift QR on an upper Hessenberg matrix; returns all n
+/// eigenvalues. Throws NumericalError if a trailing block refuses to
+/// deflate (does not happen for the well-scaled matrices the ROM feeds in,
+/// but the guard keeps the loop finite).
+inline std::vector<std::complex<double>> hessenberg_qr(MatrixD& h) {
+  const std::size_t size = h.rows();
+  std::vector<std::complex<double>> eig(size);
+  if (size == 0) return eig;
+  const double eps = std::numeric_limits<double>::epsilon();
+
+  double anorm = 0.0;
+  for (std::size_t i = 0; i < size; ++i) {
+    for (std::size_t j = (i > 0 ? i - 1 : 0); j < size; ++j) {
+      anorm += std::abs(h(i, j));
+    }
+  }
+
+  int nn = static_cast<int>(size) - 1;
+  double shift_total = 0.0;
+  while (nn >= 0) {
+    int iterations = 0;
+    int low;
+    do {
+      // Search for a negligible subdiagonal splitting the active block.
+      for (low = nn; low >= 1; --low) {
+        const double s0 =
+            std::abs(h(low - 1, low - 1)) + std::abs(h(low, low));
+        const double s = (s0 == 0.0) ? anorm : s0;
+        if (std::abs(h(low, low - 1)) <= eps * s) {
+          h(low, low - 1) = 0.0;
+          break;
+        }
+      }
+      double x = h(nn, nn);
+      if (low == nn) {  // 1 x 1 block deflates: one real eigenvalue.
+        eig[static_cast<std::size_t>(nn)] = x + shift_total;
+        --nn;
+      } else {
+        double y = h(nn - 1, nn - 1);
+        double w = h(nn, nn - 1) * h(nn - 1, nn);
+        if (low == nn - 1) {  // 2 x 2 block: real pair or complex pair.
+          const double half = 0.5 * (y - x);
+          const double q = half * half + w;
+          const double root = std::sqrt(std::abs(q));
+          const double xs = x + shift_total;
+          if (q >= 0.0) {
+            const double z = half + sign_of(root, half);
+            eig[static_cast<std::size_t>(nn) - 1] = xs + z;
+            eig[static_cast<std::size_t>(nn)] =
+                (z != 0.0) ? xs - w / z : xs + z;
+          } else {
+            eig[static_cast<std::size_t>(nn) - 1] = {xs + half, root};
+            eig[static_cast<std::size_t>(nn)] = {xs + half, -root};
+          }
+          nn -= 2;
+        } else {  // Double-shift QR sweep over rows low..nn.
+          if (iterations == 30) {
+            throw NumericalError(
+                "eigenvalues: QR iteration failed to converge");
+          }
+          if (iterations == 10 || iterations == 20) {
+            // Exceptional shift to break symmetry-induced stalls.
+            shift_total += x;
+            for (int i = 0; i <= nn; ++i) h(i, i) -= x;
+            const double s =
+                std::abs(h(nn, nn - 1)) + std::abs(h(nn - 1, nn - 2));
+            y = x = 0.75 * s;
+            w = -0.4375 * s * s;
+          }
+          ++iterations;
+          // Look for two consecutive small subdiagonals so the sweep can
+          // start mid-block.
+          int m;
+          double p = 0.0, q = 0.0, r = 0.0;
+          for (m = nn - 2; m >= low; --m) {
+            const double z = h(m, m);
+            const double rr = x - z;
+            const double ss = y - z;
+            p = (rr * ss - w) / h(m + 1, m) + h(m, m + 1);
+            q = h(m + 1, m + 1) - z - rr - ss;
+            r = h(m + 2, m + 1);
+            const double scale = std::abs(p) + std::abs(q) + std::abs(r);
+            p /= scale;
+            q /= scale;
+            r /= scale;
+            if (m == low) break;
+            const double u = std::abs(h(m, m - 1)) * (std::abs(q) + std::abs(r));
+            const double v = std::abs(p) * (std::abs(h(m - 1, m - 1)) +
+                                            std::abs(z) +
+                                            std::abs(h(m + 1, m + 1)));
+            if (u <= eps * v) break;
+          }
+          for (int i = m + 2; i <= nn; ++i) {
+            h(i, i - 2) = 0.0;
+            if (i != m + 2) h(i, i - 3) = 0.0;
+          }
+          // Chase the 3 x 3 bulge down the block.
+          for (int k = m; k <= nn - 1; ++k) {
+            if (k != m) {
+              p = h(k, k - 1);
+              q = h(k + 1, k - 1);
+              r = (k != nn - 1) ? h(k + 2, k - 1) : 0.0;
+              x = std::abs(p) + std::abs(q) + std::abs(r);
+              if (x != 0.0) {
+                p /= x;
+                q /= x;
+                r /= x;
+              }
+            }
+            const double s = sign_of(std::sqrt(p * p + q * q + r * r), p);
+            if (s == 0.0) continue;
+            if (k == m) {
+              if (low != m) h(k, k - 1) = -h(k, k - 1);
+            } else {
+              h(k, k - 1) = -s * x;
+            }
+            p += s;
+            x = p / s;
+            y = q / s;
+            const double z = r / s;
+            q /= p;
+            r /= p;
+            for (int j = k; j <= nn; ++j) {  // row transform
+              double pp = h(k, j) + q * h(k + 1, j);
+              if (k != nn - 1) {
+                pp += r * h(k + 2, j);
+                h(k + 2, j) -= pp * z;
+              }
+              h(k + 1, j) -= pp * y;
+              h(k, j) -= pp * x;
+            }
+            const int last = std::min(nn, k + 3);
+            for (int i = low; i <= last; ++i) {  // column transform
+              double pp = x * h(i, k) + y * h(i, k + 1);
+              if (k != nn - 1) {
+                pp += z * h(i, k + 2);
+                h(i, k + 2) -= pp * r;
+              }
+              h(i, k + 1) -= pp * q;
+              h(i, k) -= pp;
+            }
+          }
+        }
+      }
+    } while (low < nn - 1);
+  }
+  return eig;
+}
+
+}  // namespace eig_detail
+
+/// All eigenvalues of a general real square matrix (complex pairs come out
+/// conjugate). Cost O(n^3); intended for small dense systems (reduced-order
+/// models, companion matrices), not large operators.
+inline std::vector<std::complex<double>> eigenvalues(MatrixD a) {
+  CNTI_EXPECTS(a.rows() == a.cols(), "eigenvalues: matrix must be square");
+  if (a.rows() == 0) return {};
+  eig_detail::balance(a);
+  eig_detail::hessenberg(a);
+  return eig_detail::hessenberg_qr(a);
+}
+
+}  // namespace cnti::numerics

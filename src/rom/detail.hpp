@@ -1,0 +1,36 @@
+// Internal helpers shared by the rom/ translation units (not part of the
+// subsystem's public surface).
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cnti::rom::detail {
+
+/// Index of `name` in `names`; throws PreconditionError naming the calling
+/// context and the kind of thing looked up.
+inline int find_name_index(const std::vector<std::string>& names,
+                           const std::string& name, const char* context,
+                           const char* kind) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  throw PreconditionError(std::string(context) + ": unknown " + kind + ": " +
+                          name);
+}
+
+inline double dot(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline double norm2(const std::vector<double>& v) {
+  return std::sqrt(dot(v, v));
+}
+
+}  // namespace cnti::rom::detail

@@ -1,0 +1,41 @@
+// PRIMA-style passive model-order reduction (Odabasioglu/Celik/Pileggi):
+// block Arnoldi on (G + s0 C)^{-1} C with modified Gram-Schmidt
+// orthonormalization, using the sparse engine's reusable LU for the
+// repeated system solves, followed by congruence projection
+//
+//   Gr = V^T G V,  Cr = V^T C V,  Br = V^T B,  Lr = V^T L.
+//
+// The projected model matches the first floor(q / m) block moments of the
+// full transfer function about the expansion point s0 (q = reduced order,
+// m = inputs), and — because congruence preserves the semidefiniteness of
+// G and C — is unconditionally stable regardless of the order budget or
+// expansion point. Reduce once per topology; evaluate thousands of
+// driver/load/waveform scenarios against the q x q system.
+#pragma once
+
+#include "rom/reduced_model.hpp"
+#include "rom/state_space.hpp"
+
+namespace cnti::rom {
+
+struct PrimaOptions {
+  /// Reduced order budget q (columns of the projection basis). The basis
+  /// may come out smaller when the Krylov space deflates first.
+  int order = 16;
+  /// Expansion point s0 [rad/s] for the moment matching. 0 matches moments
+  /// at DC (the classic choice for driver-terminated RC nets); networks
+  /// whose G alone is near-singular (bare port networks held up only by
+  /// g_min) need s0 > 0 so the Arnoldi solves act on G + s0 C.
+  double expansion_rad_per_s = 0.0;
+  /// A new Krylov direction whose norm drops below this fraction of its
+  /// pre-orthogonalization norm is considered linearly dependent and
+  /// deflated from the block.
+  double deflation_tol = 1e-8;
+};
+
+/// Runs block Arnoldi + congruence projection on an extracted descriptor
+/// system. Throws NumericalError when G + s0 C is singular and
+/// PreconditionError on an empty input block or nonpositive order.
+ReducedModel prima_reduce(const StateSpace& ss, const PrimaOptions& options = {});
+
+}  // namespace cnti::rom

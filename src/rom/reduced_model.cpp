@@ -1,0 +1,272 @@
+#include "rom/reduced_model.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "numerics/eig.hpp"
+#include "rom/detail.hpp"
+
+namespace cnti::rom {
+
+namespace {
+
+using numerics::LuFactorization;
+using numerics::MatrixC;
+using numerics::MatrixD;
+using std::complex;
+
+std::vector<double> column(const MatrixD& m, int c) {
+  std::vector<double> out(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    out[r] = m(r, static_cast<std::size_t>(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+ReducedModel::ReducedModel(MatrixD gr, MatrixD cr, MatrixD br, MatrixD lr,
+                           std::vector<std::string> input_names,
+                           std::vector<std::string> output_names,
+                           int full_order)
+    : gr_(std::move(gr)),
+      cr_(std::move(cr)),
+      br_(std::move(br)),
+      lr_(std::move(lr)),
+      input_names_(std::move(input_names)),
+      output_names_(std::move(output_names)),
+      full_order_(full_order) {
+  const std::size_t q = gr_.rows();
+  CNTI_EXPECTS(q > 0 && gr_.cols() == q, "ReducedModel: Gr must be square");
+  CNTI_EXPECTS(cr_.rows() == q && cr_.cols() == q,
+               "ReducedModel: Cr shape mismatch");
+  CNTI_EXPECTS(br_.rows() == q && lr_.rows() == q,
+               "ReducedModel: Br/Lr row mismatch");
+  CNTI_EXPECTS(input_names_.size() == br_.cols(),
+               "ReducedModel: input name count mismatch");
+  CNTI_EXPECTS(output_names_.size() == lr_.cols(),
+               "ReducedModel: output name count mismatch");
+}
+
+int ReducedModel::input_index(const std::string& name) const {
+  return detail::find_name_index(input_names_, name, "ReducedModel", "input");
+}
+
+int ReducedModel::output_index(const std::string& name) const {
+  return detail::find_name_index(output_names_, name, "ReducedModel",
+                                 "output");
+}
+
+ReducedModel ReducedModel::terminated(
+    const std::vector<PortTermination>& loads) const {
+  MatrixD g = gr_;
+  MatrixD c = cr_;
+  const std::size_t q = g.rows();
+  for (const auto& load : loads) {
+    CNTI_EXPECTS(load.input >= 0 && load.input < inputs(),
+                 "terminated: input index out of range");
+    CNTI_EXPECTS(load.output >= 0 && load.output < outputs(),
+                 "terminated: output index out of range");
+    CNTI_EXPECTS(load.conductance_s >= 0 && load.capacitance_f >= 0,
+                 "terminated: shunt elements must be >= 0");
+    // i_port = -(g + s c) v_port folds as the rank-1 congruence update
+    // b l^T — exactly V^T (G_full + g e e^T) V when input and output map
+    // the same node, so the terminated model is still a projection of a
+    // passive network.
+    for (std::size_t i = 0; i < q; ++i) {
+      const double bi = br_(i, static_cast<std::size_t>(load.input));
+      if (bi == 0.0) continue;
+      for (std::size_t j = 0; j < q; ++j) {
+        const double lj = lr_(j, static_cast<std::size_t>(load.output));
+        if (lj == 0.0) continue;
+        g(i, j) += load.conductance_s * bi * lj;
+        c(i, j) += load.capacitance_f * bi * lj;
+      }
+    }
+  }
+  return ReducedModel(std::move(g), std::move(c), br_, lr_, input_names_,
+                      output_names_, full_order_);
+}
+
+complex<double> ReducedModel::transfer(double frequency_hz, int output,
+                                       int input) const {
+  CNTI_EXPECTS(frequency_hz >= 0, "transfer: negative frequency");
+  CNTI_EXPECTS(input >= 0 && input < inputs(),
+               "transfer: input index out of range");
+  CNTI_EXPECTS(output >= 0 && output < outputs(),
+               "transfer: output index out of range");
+  const std::size_t q = gr_.rows();
+  const double omega = 2.0 * M_PI * frequency_hz;
+  MatrixC a(q, q);
+  std::vector<complex<double>> rhs(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    for (std::size_t j = 0; j < q; ++j) {
+      a(i, j) = complex<double>(gr_(i, j), omega * cr_(i, j));
+    }
+    rhs[i] = complex<double>(br_(i, static_cast<std::size_t>(input)), 0.0);
+  }
+  const auto x = LuFactorization<complex<double>>(a).solve(rhs);
+  complex<double> y(0.0, 0.0);
+  for (std::size_t i = 0; i < q; ++i) {
+    y += lr_(i, static_cast<std::size_t>(output)) * x[i];
+  }
+  return y;
+}
+
+circuit::AcResult ReducedModel::transfer_sweep(
+    const std::vector<double>& freqs_hz, int output, int input) const {
+  CNTI_EXPECTS(!freqs_hz.empty(), "transfer_sweep: need at least one frequency");
+  circuit::AcResult out;
+  out.frequency_hz = freqs_hz;
+  out.transfer.reserve(freqs_hz.size());
+  for (const double f : freqs_hz) {
+    out.transfer.push_back(transfer(f, output, input));
+  }
+  return out;
+}
+
+std::vector<MatrixD> ReducedModel::moments(int count) const {
+  CNTI_EXPECTS(count >= 1, "moments: need count >= 1");
+  const LuFactorization<double> lu(gr_);
+  // Blocks R_0 = Gr^{-1} Br, R_{k+1} = -Gr^{-1} Cr R_k; m_k = Lr^T R_k.
+  MatrixD r = lu.solve(br_);
+  std::vector<MatrixD> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    if (k > 0) {
+      MatrixD cr_r = cr_ * r;
+      cr_r *= -1.0;
+      r = lu.solve(cr_r);
+    }
+    MatrixD mk(lr_.cols(), br_.cols());
+    for (std::size_t p = 0; p < lr_.cols(); ++p) {
+      const auto lcol = column(lr_, static_cast<int>(p));
+      for (std::size_t m = 0; m < br_.cols(); ++m) {
+        mk(p, m) = detail::dot(lcol, column(r, static_cast<int>(m)));
+      }
+    }
+    out.push_back(std::move(mk));
+  }
+  return out;
+}
+
+double ReducedModel::elmore_delay(int output, int input) const {
+  CNTI_EXPECTS(input >= 0 && input < inputs(),
+               "elmore_delay: input index out of range");
+  CNTI_EXPECTS(output >= 0 && output < outputs(),
+               "elmore_delay: output index out of range");
+  const auto m = moments(2);
+  const double m0 = m[0](static_cast<std::size_t>(output),
+                         static_cast<std::size_t>(input));
+  CNTI_EXPECTS(std::abs(m0) > 1e-300, "elmore_delay: zero DC transfer");
+  return -m[1](static_cast<std::size_t>(output),
+               static_cast<std::size_t>(input)) /
+         m0;
+}
+
+std::vector<complex<double>> ReducedModel::poles(double rel_tol) const {
+  // Finite poles of (Gr + s Cr): s = -1/mu for eigenvalues mu of
+  // A = Gr^{-1} Cr. Near-zero mu are numerical stand-ins for modes at
+  // infinity and are dropped.
+  const MatrixD a = LuFactorization<double>(gr_).solve(cr_);
+  const auto mu = numerics::eigenvalues(a);
+  double mu_max = 0.0;
+  for (const auto& m : mu) mu_max = std::max(mu_max, std::abs(m));
+  std::vector<complex<double>> out;
+  for (const auto& m : mu) {
+    if (std::abs(m) > rel_tol * mu_max && std::abs(m) > 0.0) {
+      out.push_back(-1.0 / m);
+    }
+  }
+  return out;
+}
+
+bool ReducedModel::stable(double slack) const {
+  for (const auto& p : poles()) {
+    if (p.real() > slack * std::abs(p)) return false;
+  }
+  return true;
+}
+
+ReducedModel::Transient ReducedModel::simulate(
+    const std::vector<circuit::Waveform>& input_waves, double t_stop_s,
+    double dt_s) const {
+  CNTI_EXPECTS(static_cast<int>(input_waves.size()) == inputs(),
+               "simulate: need one waveform per input");
+  CNTI_EXPECTS(t_stop_s > 0, "simulate: t_stop must be positive");
+  CNTI_EXPECTS(dt_s > 0 && dt_s < t_stop_s,
+               "simulate: dt must be positive and below t_stop");
+  const std::size_t q = gr_.rows();
+  const std::size_t m = br_.cols();
+  const std::size_t p = lr_.cols();
+
+  const auto input_at = [&](double t) {
+    std::vector<double> u(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      u[k] = circuit::waveform_value(input_waves[k], t);
+    }
+    return u;
+  };
+
+  // DC start: Gr x0 = Br u(0), matching the full engine's operating-point
+  // initialisation.
+  std::vector<double> u_prev = input_at(0.0);
+  std::vector<double> x = LuFactorization<double>(gr_).solve(br_ * u_prev);
+
+  // Trapezoidal: (2C/dt + G) x1 = (2C/dt - G) x0 + B (u0 + u1). The left
+  // matrix is factored once; each step is a matvec and a back-substitution.
+  MatrixD lhs = cr_;
+  lhs *= 2.0 / dt_s;
+  MatrixD rhs_mat = lhs;
+  lhs += gr_;
+  rhs_mat -= gr_;
+  const LuFactorization<double> step_lu(lhs);
+
+  // Same grid construction as circuit::simulate_transient, so ROM and full
+  // MNA waveforms are directly comparable sample-by-sample.
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(t_stop_s / dt_s - 1e-9)) + 1;
+  Transient out;
+  out.time.resize(steps);
+  out.outputs.assign(p, std::vector<double>(steps, 0.0));
+  const auto record = [&](std::size_t step, double t) {
+    out.time[step] = t;
+    for (std::size_t j = 0; j < p; ++j) {
+      double y = 0.0;
+      for (std::size_t i = 0; i < q; ++i) y += lr_(i, j) * x[i];
+      out.outputs[j][step] = y;
+    }
+  };
+  record(0, 0.0);
+
+  std::vector<double> rhs(q);
+  for (std::size_t step = 1; step < steps; ++step) {
+    const double t = static_cast<double>(step) * dt_s;
+    const std::vector<double> u = input_at(t);
+    rhs = rhs_mat * x;
+    std::vector<double> usum(m);
+    for (std::size_t k = 0; k < m; ++k) usum[k] = u_prev[k] + u[k];
+    const std::vector<double> bu = br_ * usum;
+    for (std::size_t i = 0; i < q; ++i) rhs[i] += bu[i];
+    x = step_lu.solve(rhs);
+    u_prev = u;
+    record(step, t);
+  }
+  return out;
+}
+
+ReducedModel::Transient ReducedModel::step_response(int input,
+                                                    double t_stop_s,
+                                                    double dt_s) const {
+  CNTI_EXPECTS(input >= 0 && input < inputs(),
+               "step_response: input index out of range");
+  std::vector<circuit::Waveform> waves(static_cast<std::size_t>(inputs()),
+                                       circuit::DcWave{0.0});
+  circuit::PwlWave step;
+  step.points = {{0.0, 0.0}, {dt_s * 1e-6, 1.0}};
+  waves[static_cast<std::size_t>(input)] = step;
+  return simulate(waves, t_stop_s, dt_s);
+}
+
+}  // namespace cnti::rom

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "atomistic/dos.hpp"
 #include "charz/raman.hpp"
@@ -180,6 +181,60 @@ TEST(Ac, HeavierLoadLowersBandwidthInversely) {
   const double bw1 = bw_with_cap(1e-12);
   const double bw4 = bw_with_cap(4e-12);
   EXPECT_NEAR(bw1 / bw4, 4.0, 0.3);
+}
+
+TEST(Ac, LogGridHitsEndpointsExactlyAndStaysStrictlyIncreasing) {
+  const auto grid = cir::log_frequency_grid(1e6, 1e12, 20);
+  EXPECT_DOUBLE_EQ(grid.front(), 1e6);
+  EXPECT_DOUBLE_EQ(grid.back(), 1e12);  // exact, no pow() roundoff
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_LT(grid[i - 1], grid[i]);
+  }
+  // 6 decades at 20 points/decade: 120 intervals, 121 points.
+  EXPECT_EQ(grid.size(), 121u);
+}
+
+TEST(Ac, LogGridDegenerateAndNarrowRanges) {
+  // Equal endpoints: a single-point grid, not a throw.
+  const auto single = cir::log_frequency_grid(1e9, 1e9, 10);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0], 1e9);
+  // A sub-point fraction of a decade still spans both endpoints.
+  const auto narrow = cir::log_frequency_grid(1e9, 1.001e9, 10);
+  ASSERT_GE(narrow.size(), 2u);
+  EXPECT_DOUBLE_EQ(narrow.front(), 1e9);
+  EXPECT_DOUBLE_EQ(narrow.back(), 1.001e9);
+  for (std::size_t i = 1; i < narrow.size(); ++i) {
+    EXPECT_LT(narrow[i - 1], narrow[i]);
+  }
+}
+
+TEST(Ac, LogGridRejectsInvalidRanges) {
+  EXPECT_THROW(cir::log_frequency_grid(0.0, 1e9), cnti::PreconditionError);
+  EXPECT_THROW(cir::log_frequency_grid(-1.0, 1e9), cnti::PreconditionError);
+  EXPECT_THROW(cir::log_frequency_grid(1e9, 1e6), cnti::PreconditionError);
+  EXPECT_THROW(cir::log_frequency_grid(1e6, 1e9, 0),
+               cnti::PreconditionError);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(cir::log_frequency_grid(1e6, inf), cnti::PreconditionError);
+  EXPECT_THROW(cir::log_frequency_grid(1e6, std::nan("")),
+               cnti::PreconditionError);
+}
+
+TEST(Ac, ZeroTransferReadsMinusInfinityDb) {
+  // Observing ground gives an identically-zero transfer: magnitude_db must
+  // report -inf instead of a NaN or a log-domain surprise.
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+  ckt.add_resistor("r1", in, 0, 1e3);
+  const auto res = cir::ac_analysis(ckt, "vin", 0, {1e6, 1e9});
+  for (std::size_t i = 0; i < res.transfer.size(); ++i) {
+    EXPECT_EQ(std::abs(res.transfer[i]), 0.0);
+    EXPECT_TRUE(std::isinf(res.magnitude_db(i)));
+    EXPECT_LT(res.magnitude_db(i), 0.0);
+    EXPECT_FALSE(std::isnan(res.phase_deg(i)));
+  }
 }
 
 TEST(Ac, RejectsNonlinearCircuits) {

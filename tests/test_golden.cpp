@@ -187,8 +187,8 @@ TEST_P(GoldenMnaWaveforms, RcLadderStepResponse) {
 INSTANTIATE_TEST_SUITE_P(BothBackends, GoldenMnaWaveforms,
                          ::testing::Values(cir::SolverKind::kDense,
                                            cir::SolverKind::kSparse),
-                         [](const auto& info) {
-                           return info.param == cir::SolverKind::kDense
+                         [](const auto& param) {
+                           return param.param == cir::SolverKind::kDense
                                       ? "Dense"
                                       : "Sparse";
                          });

@@ -1,10 +1,13 @@
 // Unit tests for the numerics substrate: dense LU, sparse CG/BiCGSTAB,
-// tridiagonal, quadrature, roots, least squares, interpolation, statistics.
+// tridiagonal, quadrature, roots, least squares, interpolation, statistics,
+// dense nonsymmetric eigenvalues.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 
+#include "numerics/eig.hpp"
 #include "numerics/interp.hpp"
 #include "numerics/leastsq.hpp"
 #include "numerics/matrix.hpp"
@@ -532,6 +535,94 @@ TEST(SolverProperties, TridiagonalMatchesCgOnSpdBand) {
   const auto cg = cn::conjugate_gradient(b.build(), rhs, {.tolerance = 1e-13});
   ASSERT_TRUE(cg.converged);
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_thomas[i], cg.x[i], 1e-9);
+}
+
+// --- Hessenberg-QR eigenvalues -------------------------------------------
+
+TEST(Eigenvalues, DiagonalAndTriangularAreRead) {
+  cn::MatrixD a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 7.0;
+  a(0, 2) = 100.0;  // strictly upper entries must not matter
+  auto e = cn::eigenvalues(a);
+  std::sort(e.begin(), e.end(),
+            [](auto x, auto y) { return x.real() < y.real(); });
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_NEAR(e[0].real(), -1.0, 1e-12);
+  EXPECT_NEAR(e[1].real(), 3.0, 1e-12);
+  EXPECT_NEAR(e[2].real(), 7.0, 1e-12);
+  for (const auto& z : e) EXPECT_NEAR(z.imag(), 0.0, 1e-12);
+}
+
+TEST(Eigenvalues, CompanionMatrixRecoversPolynomialRoots) {
+  // x^4 - 10x^3 + 35x^2 - 50x + 24 = (x-1)(x-2)(x-3)(x-4).
+  cn::MatrixD c(4, 4);
+  c(0, 0) = 10.0;
+  c(0, 1) = -35.0;
+  c(0, 2) = 50.0;
+  c(0, 3) = -24.0;
+  c(1, 0) = c(2, 1) = c(3, 2) = 1.0;
+  auto e = cn::eigenvalues(c);
+  std::sort(e.begin(), e.end(),
+            [](auto x, auto y) { return x.real() < y.real(); });
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(e[static_cast<std::size_t>(k)].real(), k + 1.0, 1e-9);
+    EXPECT_NEAR(e[static_cast<std::size_t>(k)].imag(), 0.0, 1e-9);
+  }
+}
+
+TEST(Eigenvalues, RotationScalingGivesConjugatePair) {
+  // r [cos t, -sin t; sin t, cos t] has eigenvalues r e^{+-it}.
+  const double r = 2.5, t = 0.7;
+  cn::MatrixD a(2, 2);
+  a(0, 0) = a(1, 1) = r * std::cos(t);
+  a(0, 1) = -r * std::sin(t);
+  a(1, 0) = r * std::sin(t);
+  auto e = cn::eigenvalues(a);
+  ASSERT_EQ(e.size(), 2u);
+  std::sort(e.begin(), e.end(),
+            [](auto x, auto y) { return x.imag() < y.imag(); });
+  EXPECT_NEAR(e[0].real(), r * std::cos(t), 1e-12);
+  EXPECT_NEAR(e[0].imag(), -r * std::sin(t), 1e-12);
+  EXPECT_NEAR(e[1].imag(), r * std::sin(t), 1e-12);
+}
+
+TEST(Eigenvalues, TraceAndConjugacyOnRandomMatrix) {
+  cn::Rng rng(7);
+  const std::size_t n = 40;
+  cn::MatrixD a(n, n);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+    trace += a(i, i);
+  }
+  const auto e = cn::eigenvalues(a);
+  ASSERT_EQ(e.size(), n);
+  std::complex<double> sum(0.0, 0.0);
+  for (const auto& z : e) sum += z;
+  // Eigenvalue sum equals the trace; imaginary parts cancel in pairs.
+  EXPECT_NEAR(sum.real(), trace, 1e-8 * n);
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-8 * n);
+}
+
+TEST(Eigenvalues, SymmetricMatrixStaysReal) {
+  cn::Rng rng(11);
+  const std::size_t n = 25;
+  cn::MatrixD a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      a(i, j) = a(j, i) = rng.uniform(-1, 1);
+    }
+  }
+  for (const auto& z : cn::eigenvalues(a)) {
+    EXPECT_NEAR(z.imag(), 0.0, 1e-7);
+  }
+}
+
+TEST(Eigenvalues, RejectsNonSquare) {
+  EXPECT_THROW(cn::eigenvalues(cn::MatrixD(2, 3)), cnti::PreconditionError);
+  EXPECT_TRUE(cn::eigenvalues(cn::MatrixD()).empty());
 }
 
 }  // namespace

@@ -1,0 +1,517 @@
+// Tests for the PRIMA model-order-reduction subsystem: state-space
+// extraction contracts, exactness on systems the reduced order can
+// represent fully, differential cross-validation against ac_analysis
+// (frequency domain) and the sparse-MNA transient engine (time domain),
+// stability/passivity property tests (reduced poles in the left
+// half-plane), port-termination folding, and deterministic parallel
+// scenario sweeps over a shared reduced model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "circuit/ac.hpp"
+#include "circuit/builders.hpp"
+#include "circuit/crosstalk.hpp"
+#include "circuit/mna.hpp"
+#include "core/mwcnt_line.hpp"
+#include "core/sweep_engine.hpp"
+#include "numerics/interp.hpp"
+#include "rom/interconnect_rom.hpp"
+#include "rom/prima.hpp"
+
+namespace cir = cnti::circuit;
+namespace cc = cnti::core;
+namespace rom = cnti::rom;
+
+namespace {
+
+// --- Shared fixtures -----------------------------------------------------
+
+/// vsource -> R -> C lowpass; full MNA order 3 (2 nodes + 1 branch).
+cir::Circuit rc_lowpass(cir::NodeId* out) {
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  *out = ckt.node("out");
+  ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+  ckt.add_resistor("r1", in, *out, 1e3);
+  ckt.add_capacitor("c1", *out, 0, 1e-12);
+  return ckt;
+}
+
+/// Driver + distributed MWCNT line + load, the golden RC line of the AC
+/// suite.
+cir::Circuit mwcnt_line_circuit(double nc, cir::NodeId* out) {
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  *out = ckt.node("out");
+  ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+  cir::add_distributed_line(ckt, "ln", in, *out,
+                            cc::make_paper_mwcnt(10, nc, 100e3).rlc(),
+                            200e-6, 12);
+  ckt.add_capacitor("cl", *out, 0, 1e-15);
+  return ckt;
+}
+
+rom::ReducedModel reduce_observing(const cir::Circuit& ckt, cir::NodeId out,
+                                   int order) {
+  rom::StateSpaceOptions opt;
+  opt.observe = {out};
+  return rom::prima_reduce(rom::extract_state_space(ckt, opt),
+                           {.order = order});
+}
+
+double max_db_error(const cir::AcResult& a, const cir::AcResult& b,
+                    double f_max_hz) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.frequency_hz.size(); ++i) {
+    if (a.frequency_hz[i] > f_max_hz) break;
+    worst = std::max(worst, std::abs(a.magnitude_db(i) - b.magnitude_db(i)));
+  }
+  return worst;
+}
+
+cir::BusConfig paper_bus(int lines, int segments) {
+  cir::BusConfig cfg;
+  cfg.line = cc::make_paper_mwcnt(10, 4.0, 20e3).rlc();
+  cfg.coupling_cap_per_m = 30e-12;
+  cfg.length_m = 100e-6;
+  cfg.lines = lines;
+  cfg.segments = segments;
+  return cfg;
+}
+
+// --- State-space extraction contracts ------------------------------------
+
+TEST(StateSpace, RejectsNonlinearAndDegenerateCircuits) {
+  cir::Circuit mos;
+  const auto d = mos.node("d");
+  mos.add_vsource("v", d, 0, cir::DcWave{1.0});
+  mos.add_mosfet("m1", d, mos.node("g"), 0, cir::MosfetParams{});
+  EXPECT_THROW(rom::extract_state_space(mos), cnti::PreconditionError);
+
+  cir::Circuit no_inputs;
+  no_inputs.add_resistor("r", no_inputs.node("a"), 0, 1e3);
+  EXPECT_THROW(rom::extract_state_space(no_inputs),
+               cnti::PreconditionError);
+
+  cir::NodeId out = 0;
+  const auto ckt = rc_lowpass(&out);
+  rom::StateSpaceOptions bad_port;
+  bad_port.ports = {{"p", 99}};
+  EXPECT_THROW(rom::extract_state_space(ckt, bad_port),
+               cnti::PreconditionError);
+}
+
+TEST(StateSpace, ShapesNamesAndIndexLookup) {
+  cir::NodeId out = 0;
+  const auto ckt = rc_lowpass(&out);
+  rom::StateSpaceOptions opt;
+  opt.observe = {out};
+  opt.ports = {{"load_port", out}};
+  const auto ss = rom::extract_state_space(ckt, opt);
+  EXPECT_EQ(ss.nodes, 2);
+  EXPECT_EQ(ss.size, 3);  // 2 nodes + 1 vsource branch
+  ASSERT_EQ(ss.inputs(), 2);   // vin + port
+  ASSERT_EQ(ss.outputs(), 2);  // port + observed node
+  EXPECT_EQ(ss.input_index("vin"), 0);
+  EXPECT_EQ(ss.input_index("load_port"), 1);
+  EXPECT_EQ(ss.output_index("load_port"), 0);
+  EXPECT_EQ(ss.output_index("out"), 1);
+  EXPECT_THROW(ss.input_index("nope"), cnti::PreconditionError);
+  EXPECT_EQ(ss.g.rows(), 3u);
+  EXPECT_EQ(ss.c.rows(), 3u);
+  EXPECT_EQ(ss.b.rows(), 3u);
+  EXPECT_EQ(ss.l.cols(), 2u);
+}
+
+TEST(StateSpace, PassiveStructure) {
+  // G + G^T PSD and C = C^T PSD are what PRIMA's stability guarantee
+  // rests on; probe both quadratic forms with a deterministic pseudo-
+  // random vector sweep.
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto mid = ckt.node("mid");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+  ckt.add_resistor("r1", in, mid, 50.0);
+  ckt.add_inductor("l1", mid, out, 1e-9);
+  ckt.add_capacitor("c1", out, 0, 2e-12);
+  ckt.add_capacitor("c2", mid, out, 1e-12);
+  const auto ss = rom::extract_state_space(ckt);
+  const std::size_t n = static_cast<std::size_t>(ss.size);
+  unsigned state = 42u;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(n);
+    for (auto& v : x) {
+      state = state * 1664525u + 1013904223u;
+      v = static_cast<double>(state >> 8) / (1u << 24) - 0.5;
+    }
+    const auto gx = ss.g * x;
+    const auto cx = ss.c * x;
+    double xgx = 0.0, xcx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      xgx += x[i] * gx[i];
+      xcx += x[i] * cx[i];
+    }
+    EXPECT_GE(xgx, -1e-15) << "G + G^T not PSD";
+    EXPECT_GE(xcx, -1e-24) << "C not PSD";
+    // C symmetry: compare against the transposed quadratic pairing on a
+    // second vector.
+    std::vector<double> y(n);
+    for (auto& v : y) {
+      state = state * 1664525u + 1013904223u;
+      v = static_cast<double>(state >> 8) / (1u << 24) - 0.5;
+    }
+    const auto cy = ss.c * y;
+    double xcy = 0.0, ycx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      xcy += x[i] * cy[i];
+      ycx += y[i] * cx[i];
+    }
+    EXPECT_NEAR(xcy, ycx, 1e-24);
+  }
+}
+
+// --- Exactness at full order ---------------------------------------------
+
+TEST(Prima, RcLowPassIsExactAtMatchingOrder) {
+  cir::NodeId out = 0;
+  const auto ckt = rc_lowpass(&out);
+  const auto rm = reduce_observing(ckt, out, 3);
+  EXPECT_LE(rm.order(), 3);
+  EXPECT_EQ(rm.full_order(), 3);
+
+  const auto freqs = cir::log_frequency_grid(1e6, 1e11, 10);
+  const auto ref = cir::ac_analysis(ckt, "vin", out, freqs);
+  const auto got = rm.transfer_sweep(freqs, 0, 0);
+  EXPECT_LT(max_db_error(ref, got, 1e11), 1e-9);
+
+  // One pole at exactly -1/RC; Elmore delay RC.
+  const auto poles = rm.poles();
+  ASSERT_EQ(poles.size(), 1u);
+  EXPECT_NEAR(poles[0].real(), -1.0e9, 1e-3 * 1e9);
+  EXPECT_NEAR(poles[0].imag(), 0.0, 1.0);
+  EXPECT_NEAR(rm.elmore_delay(0, 0), 1e-9, 1e-15);
+
+  // Moments: H(s) = 1/(1 + sRC) => m0 = 1, m1 = -RC. The engine-matching
+  // g_min floor shifts both by a ~2 R g_min = 2e-9 relative part.
+  const auto m = rm.moments(2);
+  EXPECT_NEAR(m[0](0, 0), 1.0, 1e-8);
+  EXPECT_NEAR(m[1](0, 0), -1e-9, 1e-17);
+}
+
+TEST(Prima, ElmoreDelayMatchesHandComputedLadderSum) {
+  // 3-stage RC ladder behind a driver: Elmore = sum_i R_upstream,i * C_i.
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+  const double r[3] = {100.0, 200.0, 400.0};
+  const double c[3] = {1e-15, 2e-15, 0.5e-15};
+  cir::NodeId prev = in;
+  for (int s = 0; s < 3; ++s) {
+    const std::string is = std::to_string(s);
+    const auto n = ckt.node("n" + is);
+    ckt.add_resistor("r" + is, prev, n, r[s]);
+    ckt.add_capacitor("c" + is, n, 0, c[s]);
+    prev = n;
+  }
+  double expected = 0.0;
+  double r_up = 0.0;
+  for (int s = 0; s < 3; ++s) {
+    r_up += r[s];
+    expected += r_up * c[s];
+  }  // Elmore sum: R_upstream * C at every tap.
+  const auto rm = reduce_observing(ckt, prev, 4);
+  EXPECT_NEAR(rm.elmore_delay(0, 0), expected, 1e-6 * expected);
+}
+
+TEST(Prima, KrylovDeflationStopsAtFullOrder) {
+  cir::NodeId out = 0;
+  const auto ckt = rc_lowpass(&out);
+  // Asking for order 16 on a full order 3 system must deflate, not pad.
+  const auto rm = reduce_observing(ckt, out, 16);
+  EXPECT_LE(rm.order(), 3);
+  const auto freqs = cir::log_frequency_grid(1e6, 1e10, 5);
+  const auto ref = cir::ac_analysis(ckt, "vin", out, freqs);
+  EXPECT_LT(max_db_error(ref, rm.transfer_sweep(freqs, 0, 0), 1e10), 1e-9);
+}
+
+// --- Frequency-domain cross-validation (golden RC / RLC lines) -----------
+
+TEST(Prima, MwcntRcLineMatchesAcAnalysisInBand) {
+  // ROM vs ac_analysis on the golden 200 um doped MWCNT line: <= 0.1 dB
+  // up to well past the 3 dB bandwidth (the matched-moment band).
+  for (const double nc : {2.0, 10.0}) {
+    cir::NodeId out = 0;
+    const auto ckt = mwcnt_line_circuit(nc, &out);
+    const auto rm = reduce_observing(ckt, out, 10);
+    const auto freqs = cir::log_frequency_grid(1e6, 1e12, 20);
+    const auto ref = cir::ac_analysis(ckt, "vin", out, freqs);
+    const auto got = rm.transfer_sweep(freqs, 0, 0);
+    const double f3db = cir::bandwidth_3db(ref);
+    ASSERT_GT(f3db, 0.0);
+    EXPECT_LT(max_db_error(ref, got, 3.0 * f3db), 0.1)
+        << "Nc = " << nc << ", f3db = " << f3db;
+    // The interoperable AcResult lets bandwidth_3db run on ROM output.
+    EXPECT_NEAR(cir::bandwidth_3db(got), f3db, 0.02 * f3db);
+  }
+}
+
+TEST(Prima, RlcLadderWithKineticInductanceMatchesAcAnalysis) {
+  // Series-L ladder (kinetic inductance visible at high frequency): the
+  // descriptor form carries the inductor branches, so the ROM must track
+  // the RLC response, not just the RC envelope.
+  const auto line = cc::make_paper_mwcnt(10, 2, 0.0).rlc();
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("vin", in, 0, cir::DcWave{0.0});
+  const int segs = 8;
+  const auto parts = cc::discretize_line(line, 10e-6, segs);
+  cir::NodeId prev = in;
+  for (int s = 0; s < segs; ++s) {
+    const std::string is = std::to_string(s);
+    const auto mid = ckt.node("m" + is);
+    const auto nxt = (s == segs - 1) ? out : ckt.node("n" + is);
+    ckt.add_resistor("r" + is, prev, mid,
+                     parts[static_cast<std::size_t>(s)].resistance_ohm);
+    ckt.add_inductor("l" + is, mid, nxt,
+                     line.inductance_per_m * 10e-6 / segs);
+    ckt.add_capacitor("c" + is, nxt, 0,
+                      parts[static_cast<std::size_t>(s)].capacitance_f);
+    prev = nxt;
+  }
+  const auto rm = reduce_observing(ckt, out, 20);
+  const auto freqs = cir::log_frequency_grid(1e8, 2e11, 20);
+  const auto ref = cir::ac_analysis(ckt, "vin", out, freqs);
+  const auto got = rm.transfer_sweep(freqs, 0, 0);
+  EXPECT_LT(max_db_error(ref, got, 2e11), 0.1);
+}
+
+// --- Stability property tests --------------------------------------------
+
+TEST(Prima, ReducedPolesStayInLeftHalfPlane) {
+  // Congruence projection of a passive network: every finite pole must
+  // satisfy Re(p) <= 0 at any order budget, including aggressive
+  // truncation.
+  std::vector<std::pair<std::string, cir::Circuit>> circuits;
+  {
+    cir::NodeId out = 0;
+    circuits.emplace_back("mwcnt_rc", mwcnt_line_circuit(4.0, &out));
+  }
+  {
+    cir::Circuit rlc;
+    const auto in = rlc.node("in");
+    const auto mid = rlc.node("mid");
+    const auto out = rlc.node("out");
+    rlc.add_vsource("vin", in, 0, cir::DcWave{0.0});
+    rlc.add_resistor("r1", in, mid, 10.0);
+    rlc.add_inductor("l1", mid, out, 1e-9);
+    rlc.add_capacitor("c1", out, 0, 1e-12);
+    circuits.emplace_back("series_rlc", std::move(rlc));
+  }
+  for (auto& [name, ckt] : circuits) {
+    for (const int order : {2, 4, 8, 16}) {
+      const auto rm = reduce_observing(ckt, ckt.node("out"), order);
+      EXPECT_TRUE(rm.stable()) << name << " at order " << order;
+      for (const auto& p : rm.poles()) {
+        EXPECT_LE(p.real(), 1e-9 * std::abs(p))
+            << name << " order " << order << " pole " << p.real();
+      }
+    }
+  }
+}
+
+TEST(Prima, TerminatedBusRomStaysStable) {
+  // Termination folding is a congruence update of a passive network, so
+  // stability must survive any nonnegative driver/load attachment.
+  const rom::BusRom bus(paper_bus(4, 12));
+  for (const double r : {500.0, 5e3, 50e3}) {
+    for (const double cl : {0.0, 0.2e-15, 5e-15}) {
+      std::vector<rom::PortTermination> loads;
+      for (int l = 0; l < 4; ++l) loads.push_back({l, l, 1.0 / r, 0.0});
+      for (int l = 0; l < 4; ++l) loads.push_back({4 + l, 4 + l, 0.0, cl});
+      EXPECT_TRUE(bus.model().terminated(loads).stable())
+          << "r = " << r << ", cl = " << cl;
+    }
+  }
+}
+
+// --- Port termination folding --------------------------------------------
+
+TEST(Prima, PortTerminationReproducesInCircuitLoad) {
+  // Reduce a bare R line with a port at its far end, fold a load C into
+  // the reduced model, and compare against the circuit with the same C
+  // netlisted before extraction.
+  cir::Circuit bare;
+  const auto in = bare.node("in");
+  const auto out = bare.node("out");
+  bare.add_vsource("vin", in, 0, cir::DcWave{0.0});
+  bare.add_resistor("r1", in, out, 1e3);
+
+  cir::Circuit loaded = bare;
+  loaded.add_capacitor("cl", out, 0, 1e-12);
+
+  rom::StateSpaceOptions opt;
+  opt.ports = {{"far", out}};
+  const auto rm_bare = rom::prima_reduce(
+      rom::extract_state_space(bare, opt), {.order = 4});
+  const auto rm_terminated = rm_bare.terminated(
+      {{rm_bare.input_index("far"), rm_bare.output_index("far"), 0.0,
+        1e-12}});
+
+  const auto freqs = cir::log_frequency_grid(1e6, 1e10, 10);
+  const auto ref = cir::ac_analysis(loaded, "vin", out, freqs);
+  // Input 0 is vin, output 0 the port voltage.
+  const auto got = rm_terminated.transfer_sweep(freqs, 0, 0);
+  EXPECT_LT(max_db_error(ref, got, 1e10), 1e-6);
+}
+
+// --- Time-domain cross-validation against the MNA engine -----------------
+
+TEST(Prima, StepResponseMatchesTransientEngineOnRcLadder) {
+  // 40-stage RC ladder behind a pulsed driver: ROM transient vs the MNA
+  // engine on the identical time grid.
+  cir::Circuit ckt;
+  const auto in = ckt.node("in");
+  cir::PulseWave pulse = cir::bus_edge_wave(1.0, 20e-12);
+  ckt.add_vsource("vin", in, 0, pulse);
+  cir::NodeId prev = in;
+  const int stages = 40;
+  for (int s = 0; s < stages; ++s) {
+    const std::string is = std::to_string(s);
+    const auto n = ckt.node("n" + is);
+    ckt.add_resistor("r" + is, prev, n, 100.0);
+    ckt.add_capacitor("c" + is, n, 0, 2e-15);
+    prev = n;
+  }
+  const cir::NodeId out = prev;
+
+  cir::TransientOptions topt;
+  topt.t_stop_s = 2e-9;
+  topt.dt_s = 2e-12;
+  const auto full = cir::simulate_transient(ckt, topt);
+
+  const auto rm = reduce_observing(ckt, out, 12);
+  const auto red =
+      rm.simulate({pulse}, topt.t_stop_s, topt.dt_s);
+
+  ASSERT_EQ(red.time.size(), full.time().size());
+  const auto& vf = full.voltage(out);
+  const auto& vr = red.outputs[0];
+  double worst = 0.0;
+  for (std::size_t i = 0; i < red.time.size(); ++i) {
+    worst = std::max(worst, std::abs(vf[i] - vr[i]));
+  }
+  EXPECT_LT(worst, 1e-3);  // 0.1% of the 1 V swing, everywhere
+
+  const double d_full = cnti::numerics::first_crossing_time(
+      full.time(), vf, 0.5, /*rising=*/true);
+  const double d_rom = cnti::numerics::first_crossing_time(
+      red.time, vr, 0.5, /*rising=*/true);
+  EXPECT_NEAR(d_rom, d_full, 0.002 * d_full);
+}
+
+class BusRomVsFullMna : public ::testing::TestWithParam<int> {};
+
+TEST_P(BusRomVsFullMna, NoiseAndDelayWithinOnePercent) {
+  // Acceptance-grade differential: ROM evaluation vs the full sparse-MNA
+  // transient on nominal and off-nominal driver/load scenarios.
+  const int lines = GetParam();
+  const int segments = lines >= 16 ? 128 : 48;
+  cir::BusConfig cfg = paper_bus(lines, segments);
+  const rom::BusRom bus(cfg);
+  EXPECT_LT(bus.order(), bus.full_order() / 4);
+
+  struct Scenario {
+    double driver_ohm;
+    double load_f;
+  };
+  for (const auto& sc : {Scenario{5e3, 0.2e-15}, Scenario{1.5e3, 1e-15}}) {
+    cir::BusConfig full_cfg = cfg;
+    full_cfg.driver_ohm = sc.driver_ohm;
+    full_cfg.receiver_load_f = sc.load_f;
+    const auto full = cir::analyze_bus_crosstalk(full_cfg, 600);
+
+    rom::BusScenario rsc;
+    rsc.driver_ohm = sc.driver_ohm;
+    rsc.receiver_load_f = sc.load_f;
+    const auto red = bus.evaluate(rsc, 600);
+
+    EXPECT_EQ(red.worst_victim, full.worst_victim);
+    EXPECT_NEAR(red.peak_noise_v, full.peak_noise_v,
+                0.01 * std::abs(full.peak_noise_v));
+    EXPECT_NEAR(red.aggressor_delay_s, full.aggressor_delay_s,
+                0.01 * full.aggressor_delay_s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BusSizes, BusRomVsFullMna,
+                         ::testing::Values(4, 8, 16),
+                         [](const ::testing::TestParamInfo<int>& param) {
+                           return "lines" + std::to_string(param.param);
+                         });
+
+// --- Contracts and error paths -------------------------------------------
+
+TEST(ReducedModel, EvaluationContracts) {
+  cir::NodeId out = 0;
+  const auto ckt = rc_lowpass(&out);
+  const auto rm = reduce_observing(ckt, out, 3);
+  EXPECT_THROW(rm.transfer(1e9, 5, 0), cnti::PreconditionError);
+  EXPECT_THROW(rm.transfer(1e9, 0, 5), cnti::PreconditionError);
+  EXPECT_THROW(rm.transfer(-1.0, 0, 0), cnti::PreconditionError);
+  EXPECT_THROW(rm.simulate({}, 1e-9, 1e-12), cnti::PreconditionError);
+  EXPECT_THROW(rm.simulate({cir::DcWave{0.0}}, 1e-9, 2e-9),
+               cnti::PreconditionError);
+  EXPECT_THROW(rm.moments(0), cnti::PreconditionError);
+  EXPECT_THROW(rm.terminated({{9, 0, 1e-3, 0.0}}),
+               cnti::PreconditionError);
+  EXPECT_THROW(rom::prima_reduce(rom::extract_state_space(ckt), {.order = 0}),
+               cnti::PreconditionError);
+}
+
+TEST(ReducedModel, StepResponseSettlesToDcGain) {
+  cir::NodeId out = 0;
+  const auto ckt = rc_lowpass(&out);
+  const auto rm = reduce_observing(ckt, out, 3);
+  const auto tr = rm.step_response(0, 20e-9, 4e-12);
+  EXPECT_NEAR(tr.outputs[0].back(), 1.0, 1e-6);
+  EXPECT_NEAR(tr.outputs[0].front(), 0.0, 1e-12);
+  // 50% crossing of the unit step at RC ln 2 (tolerance covers the
+  // trapezoidal discretization and linear crossing interpolation).
+  const double d = cnti::numerics::first_crossing_time(
+      tr.time, tr.outputs[0], 0.5, /*rising=*/true);
+  EXPECT_NEAR(d, std::log(2.0) * 1e-9, 0.01 * 1e-9);
+}
+
+// --- Deterministic parallel scenario sweeps ------------------------------
+
+TEST(RomSweep, ParallelScenarioSweepIsThreadCountInvariant) {
+  // One shared reduced bus evaluated across a driver x load grid through
+  // the sweep engine: results must be bit-identical at any thread count
+  // (and data-race-free under TSan).
+  const rom::BusRom bus(paper_bus(4, 16));
+  const cnti::core::SweepGrid grid(
+      {{"driver_ohm", {1e3, 3e3, 10e3}}, {"load_f", {0.1e-15, 0.5e-15}}});
+  const auto eval = [&bus](const cnti::core::SweepPoint& p) {
+    rom::BusScenario sc;
+    sc.driver_ohm = p.at("driver_ohm");
+    sc.receiver_load_f = p.at("load_f");
+    return bus.evaluate(sc, 200).peak_noise_v;
+  };
+  const auto serial =
+      cnti::core::run_sweep(grid, eval, {.threads = 1, .grain = 1});
+  const auto parallel =
+      cnti::core::run_sweep(grid, eval, {.threads = 3, .grain = 1});
+  ASSERT_EQ(serial.size(), grid.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "sweep point " << i;
+  }
+  // And the sweep found a nonzero noise landscape.
+  EXPECT_GT(*std::max_element(serial.begin(), serial.end()), 0.0);
+}
+
+}  // namespace
