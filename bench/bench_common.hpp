@@ -4,20 +4,17 @@
 // named scalar metrics (bench::json()); when the opt-in CNTI_BENCH_JSON
 // environment variable is set, those metrics are written as a
 // machine-readable BENCH_<name>.json so the perf trajectory can be
-// tracked across commits without scraping stdout tables.
+// tracked across commits without scraping stdout tables. The sink itself
+// lives in common/json_sink.hpp (unit-tested; rejects duplicate metric
+// names and escapes them).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <sstream>
 #include <string>
 
+#include "common/json_sink.hpp"
 #include "common/table.hpp"
 
 namespace cnti::bench {
@@ -27,83 +24,8 @@ inline void print_header(const std::string& experiment,
   std::cout << "\n=== " << experiment << " ===\n" << description << "\n\n";
 }
 
-/// Flat name -> value metric sink for machine-readable bench results.
-/// Disabled (records silently dropped at write time) unless the
-/// CNTI_BENCH_JSON environment variable names a target: either a file
-/// ending in ".json" or a directory that receives BENCH_<bench name>.json.
-class JsonResults {
- public:
-  static JsonResults& instance() {
-    static JsonResults self;
-    return self;
-  }
-
-  /// Bench name used in the default output filename (set once per binary).
-  void set_name(const std::string& name) { name_ = name; }
-
-  void set(const std::string& key, double value) { numbers_[key] = value; }
-  void set(const std::string& key, const std::string& value) {
-    strings_[key] = value;
-  }
-
-  /// Writes the recorded metrics if CNTI_BENCH_JSON is set; returns the
-  /// path written to (empty when disabled). Called by CNTI_BENCH_MAIN.
-  std::string write() const {
-    const char* target = std::getenv("CNTI_BENCH_JSON");
-    if (target == nullptr || *target == '\0') return {};
-    std::string path(target);
-    if (path.size() < 5 || path.substr(path.size() - 5) != ".json") {
-      path += "/BENCH_" + (name_.empty() ? std::string("unnamed") : name_) +
-              ".json";
-    }
-    std::ofstream out(path);
-    if (!out) {
-      std::cerr << "bench: cannot write JSON results to " << path << "\n";
-      return {};
-    }
-    out << "{\n  \"bench\": \"" << escape(name_) << "\"";
-    for (const auto& [key, value] : strings_) {
-      out << ",\n  \"" << escape(key) << "\": \"" << escape(value) << "\"";
-    }
-    for (const auto& [key, value] : numbers_) {
-      out << ",\n  \"" << escape(key) << "\": ";
-      if (std::isfinite(value)) {
-        std::ostringstream num;
-        num.precision(17);
-        num << value;
-        out << num.str();
-      } else {
-        // JSON has no NaN/inf literal; a degenerate run must still
-        // produce a parseable file for the trajectory tracking.
-        out << "null";
-      }
-    }
-    out << "\n}\n";
-    return path;
-  }
-
- private:
-  static std::string escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-      if (static_cast<unsigned char>(c) < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof(buf), "\\u%04x",
-                      static_cast<unsigned>(static_cast<unsigned char>(c)));
-        out += buf;
-        continue;
-      }
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  }
-
-  std::string name_;
-  std::map<std::string, double> numbers_;
-  std::map<std::string, std::string> strings_;
-};
+/// Flat name -> value metric sink (see common/json_sink.hpp).
+using JsonResults = ::cnti::JsonMetricSink;
 
 /// Shorthand for the per-binary metric sink.
 inline JsonResults& json() { return JsonResults::instance(); }

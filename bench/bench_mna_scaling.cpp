@@ -45,6 +45,7 @@ double timed_bus_seconds(int lines, int segments,
 }
 
 void print_reproduction() {
+  bench::json().set_name("bench_mna_scaling");
   bench::print_header(
       "MNA backend scaling — dense vs sparse LU on coupled CNT buses",
       "Identical short transients (DC + 20 timesteps, trapezoidal) through "
@@ -75,6 +76,14 @@ void print_reproduction() {
                std::to_string(rd.unknowns), Table::num(td, 4),
                Table::num(ts, 4), Table::num(td / ts, 4),
                dv < 1e-8 ? "yes" : "NO"});
+    // Trajectory metrics for the acceptance case (the 2000-unknown bus).
+    if (c.lines == 16 && c.segments == 128) {
+      bench::json().set("unknowns", rd.unknowns);
+      bench::json().set("dense_s", td);
+      bench::json().set("sparse_s", ts);
+      bench::json().set("speedup", td / ts);
+      bench::json().set("noise_abs_diff_v", dv);
+    }
   }
   t.print(std::cout);
 
@@ -89,6 +98,8 @@ void print_reproduction() {
             << Table::num(tfull, 4) << " s, worst victim line "
             << full.worst_victim << ", noise "
             << Table::num(full.peak_noise_v * 1e3, 4) << " mV\n";
+  bench::json().set("full_transient_s", tfull);
+  bench::json().set("full_noise_mv", full.peak_noise_v * 1e3);
 }
 
 void BM_SparseBusTransient(benchmark::State& state) {

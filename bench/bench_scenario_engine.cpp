@@ -1,0 +1,177 @@
+// Scenario-engine acceptance bench: a mixed >= 500-scenario batch
+// (length x doping x driver x load) with delay + bus-noise + thermal KPIs
+// per scenario. The content-keyed memo cache amortizes one PRIMA bus
+// reduction, one capacitance stage and one thermal solve per
+// (length, doping) technology corner across all driver/load scenarios;
+// the uncached engine recomputes every stage per scenario. Acceptance:
+// cached batch >= 10x faster, results bit-identical (the uncached leg is
+// measured on a deterministic stride subset and extrapolated — at ~0.1 s
+// per cold scenario the full uncached batch is a minute of redundant
+// 2098-unknown reductions, which is exactly the point).
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "scenario/engine.hpp"
+#include "scenario/report.hpp"
+
+namespace {
+
+using namespace cnti;
+
+constexpr int kUncachedStride = 16;
+
+scenario::Scenario base_scenario() {
+  scenario::Scenario s;
+  s.label = "mixed";
+  s.tech.outer_diameter_nm = 10.0;
+  s.tech.contact_resistance_kohm = 20.0;
+  s.workload.bus_lines = 16;
+  s.workload.bus_segments = 128;
+  s.workload.coupling_cap_af_per_um = 30.0;
+  s.analysis.delay = true;
+  s.analysis.noise = true;
+  s.analysis.noise_model = scenario::NoiseModel::kReducedOrder;
+  s.analysis.thermal = true;
+  s.analysis.time_steps = 300;
+  return s;
+}
+
+std::vector<scenario::Scenario> mixed_batch() {
+  const core::SweepGrid grid(
+      {{"length_um", {30.0, 60.0, 100.0, 150.0}},
+       {"doping", {0.0, 0.05, 0.2, 1.0}},
+       {"driver_kohm", {2.0, 3.5, 5.0, 7.5, 10.0, 15.0}},
+       {"load_ff", {0.05, 0.1, 0.2, 0.35, 0.5, 0.8}}});
+  return scenario::expand_grid(
+      base_scenario(), grid,
+      [](scenario::Scenario& s, const core::SweepPoint& p) {
+        s.workload.length_um = p.at("length_um");
+        s.tech.dopant_concentration = p.at("doping");
+        s.workload.driver_resistance_kohm = p.at("driver_kohm");
+        s.workload.load_capacitance_ff = p.at("load_ff");
+      });
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_reproduction() {
+  bench::json().set_name("bench_scenario_engine");
+  bench::print_header(
+      "Scenario engine — cached vs uncached mixed batch",
+      "length x doping x driver x load batch through the full "
+      "atomistic -> C_E -> compact -> ROM-noise/delay -> thermal stage "
+      "graph. The memo cache shares one bus reduction / capacitance / "
+      "thermal solve per technology corner; acceptance is >= 10x over the "
+      "uncached per-scenario path with bit-identical results.");
+
+  const auto batch = mixed_batch();
+  const std::size_t n = batch.size();
+  std::cout << "Batch: " << n << " scenarios, 16 technology corners "
+            << "(4 lengths x 4 dopings), 36 drive scenarios each\n\n";
+
+  // --- Cached engine, full batch. ---
+  const scenario::ScenarioEngine cached;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = cached.run_batch(batch);
+  const double t_cached = seconds_since(t0);
+
+  // --- Uncached engine on a deterministic stride subset. ---
+  scenario::EngineOptions cold_opt;
+  cold_opt.cache_enabled = false;
+  const scenario::ScenarioEngine uncached(cold_opt);
+  std::vector<scenario::Scenario> subset;
+  for (std::size_t i = 0; i < n; i += kUncachedStride) {
+    subset.push_back(batch[i]);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto cold_results = uncached.run_batch(subset);
+  const double t_cold_subset = seconds_since(t1);
+  const double t_uncached_est =
+      t_cold_subset * static_cast<double>(n) /
+      static_cast<double>(subset.size());
+
+  // --- Differential: cached results must equal the uncached ones bitwise.
+  bool identical = true;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    const auto& a = results[i * kUncachedStride];
+    const auto& b = cold_results[i];
+    identical = identical && a.line.delay_ps == b.line.delay_ps &&
+                a.line.resistance_kohm == b.line.resistance_kohm &&
+                a.noise && b.noise &&
+                a.noise->peak_noise_v == b.noise->peak_noise_v &&
+                a.noise->aggressor_delay_s == b.noise->aggressor_delay_s &&
+                a.thermal && b.thermal &&
+                a.thermal->ampacity_ua == b.thermal->ampacity_ua;
+  }
+
+  const double speedup = t_uncached_est / t_cached;
+  const auto rom_stats = cached.cache().stats(scenario::stage::kBusRom);
+  const auto total = cached.cache().total_stats();
+
+  Table t({"path", "scenarios", "wall [s]", "per scenario [ms]"});
+  t.add_row({"cached engine", std::to_string(n), Table::num(t_cached, 4),
+             Table::num(1e3 * t_cached / static_cast<double>(n), 4)});
+  t.add_row({"uncached (stride-" + std::to_string(kUncachedStride) +
+                 " subset, extrapolated)",
+             std::to_string(subset.size()) + " -> " + std::to_string(n),
+             Table::num(t_uncached_est, 4),
+             Table::num(1e3 * t_cold_subset /
+                            static_cast<double>(subset.size()),
+                        4)});
+  t.print(std::cout);
+
+  std::cout << "\nCache: " << rom_stats.misses << " bus reductions for "
+            << n << " scenarios (" << rom_stats.hits << " ROM hits); "
+            << total.hits << " total hits / " << total.misses
+            << " misses across all stages\n";
+  std::cout << "Speedup " << Table::num(speedup, 4) << "x ("
+            << (speedup >= 10.0 ? "PASS" : "FAIL")
+            << " >= 10x), cached vs uncached results "
+            << (identical ? "bit-identical (PASS)" : "DIVERGED (FAIL)")
+            << "\n";
+
+  bench::json().set("scenarios", static_cast<double>(n));
+  bench::json().set("uncached_subset", static_cast<double>(subset.size()));
+  bench::json().set("cached_s", t_cached);
+  bench::json().set("uncached_subset_s", t_cold_subset);
+  bench::json().set("uncached_est_s", t_uncached_est);
+  bench::json().set("speedup", speedup);
+  bench::json().set("rom_reductions", static_cast<double>(rom_stats.misses));
+  bench::json().set("cache_hits", static_cast<double>(total.hits));
+  bench::json().set("cache_misses", static_cast<double>(total.misses));
+  bench::json().set("bit_identical", identical ? 1.0 : 0.0);
+}
+
+void BM_CachedScenario(benchmark::State& state) {
+  // Steady-state cost of one scenario when its technology corner is warm.
+  const scenario::ScenarioEngine engine;
+  auto batch = mixed_batch();
+  (void)engine.run(batch[0]);  // warm the corner
+  std::size_t drive = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(batch[drive % 36]));
+    ++drive;
+  }
+}
+BENCHMARK(BM_CachedScenario)->Unit(benchmark::kMillisecond);
+
+void BM_ColdScenario(benchmark::State& state) {
+  // Cold cost: a fresh engine pays the reduction + stages every time.
+  auto batch = mixed_batch();
+  for (auto _ : state) {
+    scenario::EngineOptions opt;
+    opt.cache_enabled = false;
+    const scenario::ScenarioEngine engine(opt);
+    benchmark::DoNotOptimize(engine.run(batch[0]));
+  }
+}
+BENCHMARK(BM_ColdScenario)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+CNTI_BENCH_MAIN(print_reproduction)

@@ -15,6 +15,7 @@ namespace {
 using namespace cnti;
 
 void print_reproduction() {
+  bench::json().set_name("bench_variability_mc");
   bench::print_header(
       "Sec. II.A / III.C — resistance variability, pristine vs. doped",
       "3000-sample MC per row: growth sampling (diameter/walls/defects), "
@@ -41,6 +42,15 @@ void print_reproduction() {
   for (std::size_t i = 0; i < grid.size(); ++i) {
     const auto p = grid.point(i);
     const auto& r = results[i];
+    // Trajectory metrics at the paper's matched-comparison corner (L = 1).
+    if (p.at("length_um") == 1.0) {
+      const std::string tag = p.at("doping") == 0.0  ? "pristine"
+                              : p.at("doping") == 1.0 ? "doped"
+                                                      : "subsat";
+      bench::json().set(tag + "_median_kohm", r.resistance_kohm.median);
+      bench::json().set(tag + "_cv", r.resistance_kohm.cv());
+      bench::json().set(tag + "_open_fraction", r.open_fraction);
+    }
     t.add_row({Table::num(p.at("length_um"), 3),
                p.at("doping") == 0.0
                    ? "pristine"

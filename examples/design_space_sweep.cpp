@@ -1,10 +1,18 @@
-// Design-space sweep on the deterministic parallel engine: walk the
-// doping x length x growth-temperature grid of the variability Monte
-// Carlo (paper Sec. II.A / III.C) with core::run_sweep, and export the
-// map as CSV. The whole study is reproducible bit-for-bit at any thread
-// count (CNTI_THREADS, see docs/PARALLELISM.md).
+// Design-space sweep on the deterministic parallel engine, two ways:
 //
-//   $ CNTI_THREADS=8 ./examples/design_space_sweep   (writes design_space.csv)
+//  1) a declarative scenario-engine batch mapping deterministic KPIs
+//     (delay, bus noise, ampacity/EM) over doping x length x driver —
+//     the memo cache shares one line model / PRIMA reduction / thermal
+//     solve per technology corner, and the batch is exported through the
+//     structured CSV/JSON report writers;
+//  2) the variability Monte Carlo map of paper Sec. II.A / III.C on the
+//     raw sweep engine.
+//
+// Both are reproducible bit-for-bit at any thread count (CNTI_THREADS,
+// see docs/PARALLELISM.md and docs/SCENARIO_ENGINE.md).
+//
+//   $ CNTI_THREADS=8 ./examples/design_space_sweep
+//     (writes scenario_kpis.csv, scenario_kpis.json, design_space.csv)
 #include <iostream>
 
 #include "common/csv.hpp"
@@ -12,6 +20,8 @@
 #include "core/sweep_engine.hpp"
 #include "numerics/thread_pool.hpp"
 #include "process/variability.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/report.hpp"
 
 int main() {
   using namespace cnti;
@@ -19,6 +29,56 @@ int main() {
   std::cout << "CNT interconnect design-space sweep ("
             << numerics::ThreadPool::default_thread_count()
             << " default threads, CNTI_THREADS overrides)\n\n";
+
+  // --- 1) Deterministic KPI map through the scenario engine. -------------
+  std::cout << "1) Scenario-engine KPI map: doping x length x driver "
+               "(8-line bus, delay + noise + ampacity):\n";
+  scenario::Scenario base;
+  base.label = "dss";
+  base.tech.contact_resistance_kohm = 20.0;
+  base.workload.bus_lines = 8;
+  base.workload.bus_segments = 32;
+  base.workload.load_capacitance_ff = 0.2;
+  base.analysis.noise = true;
+  base.analysis.thermal = true;
+  base.analysis.time_steps = 300;
+  const core::SweepGrid kpi_grid({{"doping", {0.0, 1.0}},
+                                  {"len_um", {20.0, 50.0}},
+                                  {"driver_kohm", {2.0, 5.0, 10.0}}});
+  const auto batch = scenario::expand_grid(
+      base, kpi_grid, [](scenario::Scenario& s, const core::SweepPoint& p) {
+        s.tech.dopant_concentration = p.at("doping");
+        s.workload.length_um = p.at("len_um");
+        s.workload.driver_resistance_kohm = p.at("driver_kohm");
+      });
+  const scenario::ScenarioEngine engine;
+  const auto kpis = engine.run_batch(batch);
+
+  Table k({"doping", "L [um]", "driver [kOhm]", "R [kOhm]", "delay [ps]",
+           "noise [mV]", "ampacity [uA]"});
+  for (std::size_t i = 0; i < kpis.size(); ++i) {
+    const auto p = kpi_grid.point(i);
+    const auto& r = kpis[i];
+    k.add_row({Table::num(p.at("doping"), 2), Table::num(p.at("len_um"), 3),
+               Table::num(p.at("driver_kohm"), 3),
+               Table::num(r.line.resistance_kohm, 4),
+               Table::num(r.line.delay_ps, 4),
+               Table::num(r.noise->peak_noise_v * 1e3, 3),
+               Table::num(r.thermal->ampacity_ua, 4)});
+  }
+  k.print(std::cout);
+  scenario::write_report_csv("scenario_kpis.csv", kpis);
+  scenario::write_report_json("scenario_kpis.json", kpis, &engine.cache());
+  const auto cache_total = engine.cache().total_stats();
+  std::cout << "\nKPI map written to scenario_kpis.csv / scenario_kpis.json "
+            << "(cache: " << cache_total.hits << " hits / "
+            << cache_total.misses << " misses — "
+            << engine.cache().stats(scenario::stage::kBusRom).misses
+            << " bus reductions served " << kpis.size() << " scenarios)\n\n";
+
+  // --- 2) Variability Monte Carlo map (paper Sec. II.A / III.C). ---------
+  std::cout << "2) Variability MC map: doping x length x growth "
+               "temperature:\n";
 
   const core::SweepGrid grid({{"doping", {0.0, 1.0}},
                               {"length_um", {0.5, 1.0, 2.0, 5.0}},

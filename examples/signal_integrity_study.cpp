@@ -1,13 +1,13 @@
 // Signal-integrity study of doped CNT interconnects using the extension
 // toolkit: AC bandwidth (where the kinetic inductance lives), coupled-line
-// crosstalk, repeater planning for a multi-millimetre link, and a 16-line
+// crosstalk, repeater planning for a multi-millimetre link, a 16-line
 // coupled bus (2000+ MNA unknowns) that only the sparse engine makes
-// tractable.
+// tractable, and a declarative scenario-engine batch whose memo cache
+// shares one PRIMA reduction per bus topology.
 //
 //   $ ./examples/signal_integrity_study
 #include <cmath>
 #include <iostream>
-#include <optional>
 
 #include "circuit/ac.hpp"
 #include "circuit/builders.hpp"
@@ -17,7 +17,7 @@
 #include "core/mwcnt_line.hpp"
 #include "core/repeater.hpp"
 #include "core/sweep_engine.hpp"
-#include "rom/interconnect_rom.hpp"
+#include "scenario/engine.hpp"
 
 int main() {
   using namespace cnti;
@@ -107,70 +107,72 @@ int main() {
   }
   bus.print(std::cout);
 
-  // --- ROM-driven design-space sweep (PRIMA). ----------------------------
-  // Driver strength x receiver load x length over the 16-line bus: each
-  // length is one topology, reduced once to a ~100-state PRIMA model; the
-  // driver/load scenarios then run on the reduced system in parallel
-  // through the sweep engine. At full order this grid would be dozens of
-  // 1000+-unknown transients — impractical interactively; the ROM sweeps
-  // it in seconds, and the last row cross-checks one corner against the
-  // full sparse-MNA transient.
-  std::cout << "\n5) ROM scenario sweep: driver x load x length "
-               "(16-line doped bus, reduce once per length):\n";
-  Table rom_t({"len [um]", "order", "driver [kOhm]", "noise min..max [mV]",
+  // --- Scenario-engine design-space batch (PRIMA behind the cache). ------
+  // Driver strength x receiver load x length over the 16-line doped bus,
+  // now expressed as a declarative scenario batch instead of a hand-wired
+  // ROM loop: the engine routes each scenario through the full
+  // atomistic -> C_E -> compact -> ROM-noise stage graph, and its memo
+  // cache reduces each length's topology exactly once — the drive
+  // scenarios fold into the cached reduction. At full order this grid
+  // would be dozens of 1000+-unknown transients.
+  std::cout << "\n5) Scenario engine: driver x load x length batch "
+               "(16-line doped bus, cached per-length reductions):\n";
+  scenario::Scenario base;
+  base.label = "si";
+  base.tech.dopant_concentration = 1.0;  // saturated iodine doping
+  base.tech.contact_resistance_kohm = 20.0;
+  base.workload.bus_lines = 16;
+  base.workload.bus_segments = 64;
+  base.workload.coupling_cap_af_per_um = 30.0;
+  base.analysis.noise = true;
+  base.analysis.time_steps = 600;
+  const std::vector<double> drivers = {2.0, 5.0, 10.0};
+  const std::vector<double> loads = {0.1, 0.2, 0.5};
+  const core::SweepGrid sweep_grid({{"len_um", {50.0, 100.0}},
+                                    {"driver_kohm", drivers},
+                                    {"load_ff", loads}});
+  const auto batch = scenario::expand_grid(
+      base, sweep_grid, [](scenario::Scenario& s, const core::SweepPoint& p) {
+        s.workload.length_um = p.at("len_um");
+        s.workload.driver_resistance_kohm = p.at("driver_kohm");
+        s.workload.load_capacitance_ff = p.at("load_ff");
+      });
+  const scenario::ScenarioEngine engine;
+  const auto results = engine.run_batch(batch);
+
+  Table rom_t({"len [um]", "driver [kOhm]", "noise min..max [mV]",
                "delay min..max [ps]"});
-  const std::vector<double> drivers = {2e3, 5e3, 10e3};
-  const std::vector<double> loads = {0.1e-15, 0.2e-15, 0.5e-15};
-  circuit::BusConfig rom_cfg;
-  rom_cfg.line = core::make_paper_mwcnt(10, 10, 20e3).rlc();
-  rom_cfg.coupling_cap_per_m = 30e-12;
-  rom_cfg.lines = 16;
-  rom_cfg.segments = 64;
-  std::optional<rom::BusRom> last_rom;  // kept for the corner cross-check
-  for (const double len : {50e-6, 100e-6}) {
-    rom_cfg.length_m = len;
-    last_rom.emplace(rom_cfg);  // one reduction per topology
-    const rom::BusRom& bus_rom = *last_rom;
-    const core::SweepGrid sweep_grid(
-        {{"driver_ohm", drivers}, {"load_f", loads}});
-    const auto results = core::run_sweep(
-        sweep_grid, [&bus_rom](const core::SweepPoint& p) {
-          rom::BusScenario sc;
-          sc.driver_ohm = p.at("driver_ohm");
-          sc.receiver_load_f = p.at("load_f");
-          return bus_rom.evaluate(sc, 600);
-        });
-    for (std::size_t d = 0; d < drivers.size(); ++d) {
-      double n_min = 1e9, n_max = -1e9, d_min = 1e9, d_max = -1e9;
-      for (std::size_t l = 0; l < loads.size(); ++l) {
-        const auto& r = results[d * loads.size() + l];
-        n_min = std::min(n_min, std::abs(r.peak_noise_v));
-        n_max = std::max(n_max, std::abs(r.peak_noise_v));
-        d_min = std::min(d_min, r.aggressor_delay_s);
-        d_max = std::max(d_max, r.aggressor_delay_s);
-      }
-      rom_t.add_row({Table::num(len * 1e6, 3),
-                     std::to_string(bus_rom.order()),
-                     Table::num(drivers[d] / 1e3, 3),
-                     Table::num(n_min * 1e3, 3) + ".." +
-                         Table::num(n_max * 1e3, 3),
-                     Table::num(units::to_ps(d_min), 3) + ".." +
-                         Table::num(units::to_ps(d_max), 3)});
+  for (std::size_t i = 0; i < results.size(); i += loads.size()) {
+    double n_min = 1e9, n_max = -1e9, d_min = 1e9, d_max = -1e9;
+    for (std::size_t l = 0; l < loads.size(); ++l) {
+      const auto& r = *results[i + l].noise;
+      n_min = std::min(n_min, std::abs(r.peak_noise_v));
+      n_max = std::max(n_max, std::abs(r.peak_noise_v));
+      d_min = std::min(d_min, r.aggressor_delay_s);
+      d_max = std::max(d_max, r.aggressor_delay_s);
     }
+    const auto p = sweep_grid.point(i);
+    rom_t.add_row({Table::num(p.at("len_um"), 3),
+                   Table::num(p.at("driver_kohm"), 3),
+                   Table::num(n_min * 1e3, 3) + ".." +
+                       Table::num(n_max * 1e3, 3),
+                   Table::num(units::to_ps(d_min), 3) + ".." +
+                       Table::num(units::to_ps(d_max), 3)});
   }
   rom_t.print(std::cout);
+  const auto rom_stats = engine.cache().stats(scenario::stage::kBusRom);
+  std::cout << "\n   cache: " << rom_stats.misses << " reductions for "
+            << results.size() << " scenarios (" << rom_stats.hits
+            << " hits) — every drive scenario reused its length's ROM\n";
 
-  // Corner cross-check: ROM vs full sparse MNA on the last topology,
-  // using the very reduced model the sweep above evaluated.
+  // Corner cross-check: the same corner scenario through the full
+  // sparse-MNA noise stage must confirm the cached ROM numbers.
   {
-    rom::BusScenario sc;
-    sc.driver_ohm = drivers.front();
-    sc.receiver_load_f = loads.back();
-    const auto red = last_rom->evaluate(sc, 600);
-    rom_cfg.driver_ohm = sc.driver_ohm;
-    rom_cfg.receiver_load_f = sc.receiver_load_f;
-    const auto ref = circuit::analyze_bus_crosstalk(rom_cfg, 600);
-    std::cout << "\n   corner check (2 kOhm, 0.5 fF): noise "
+    scenario::Scenario corner = batch.front();  // 50 um, 2 kOhm, 0.1 fF
+    const auto red = *results.front().noise;
+    corner.analysis.noise_model = scenario::NoiseModel::kFullMna;
+    const auto ref = *engine.run(corner).noise;
+    std::cout << "\n   corner check (50 um, 2 kOhm, 0.1 fF): noise "
               << Table::num(red.peak_noise_v * 1e3, 4) << " mV (ROM) vs "
               << Table::num(ref.peak_noise_v * 1e3, 4)
               << " mV (full MNA, " << ref.unknowns << " unknowns), delay "
@@ -183,8 +185,8 @@ int main() {
   std::cout << "\nDoping buys bandwidth, noise margin and repeater count "
                "simultaneously — the circuit-level case for the paper's "
                "doping program — the sparse MNA engine extends the "
-               "analysis from line pairs to full buses, and the PRIMA ROM "
-               "layer turns bus-level design-space sweeps into an "
-               "interactive tool.\n";
+               "analysis from line pairs to full buses, and the scenario "
+               "engine's cached PRIMA reductions turn bus-level "
+               "design-space sweeps into declarative batches.\n";
   return 0;
 }

@@ -1,7 +1,10 @@
 // Thermal study (paper Sec. IV.B): self-heating of a CNT via/line vs. Cu,
 // SThM temperature mapping, thermal-conductivity extraction, and TLM
 // separation of contact vs. intrinsic resistance — the full virtual
-// characterization chain.
+// characterization chain. The self-heating / ampacity / EM sweep runs as
+// a declarative scenario batch: the engine derives the line's electrical
+// resistance from the compact model and routes it through the cached
+// thermal stage, one solve per thermal-conductivity corner.
 //
 //   $ ./examples/thermal_via_study
 #include <cmath>
@@ -10,7 +13,9 @@
 #include "charz/tlm.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "core/sweep_engine.hpp"
 #include "numerics/rng.hpp"
+#include "scenario/engine.hpp"
 #include "thermal/heat1d.hpp"
 #include "thermal/sthm.hpp"
 
@@ -35,27 +40,53 @@ int main() {
             << Table::num(tlm.slope_stderr_kohm, 2)
             << " kOhm/um (R^2 = " << Table::num(tlm.r_squared, 4) << ")\n\n";
 
-  // --- Self-heating with the extracted resistance. -----------------------
+  // --- Self-heating via the scenario engine's thermal stage. -------------
+  // A 7.5 nm MWCNT via/line at the TLM-extracted contact resistance; the
+  // engine's compact model supplies the electrical resistance and its
+  // cached thermal stage solves one electro-thermal problem per k corner
+  // (the paper's 3000-10000 W/mK range, plus Cu at 385 for reference).
+  scenario::Scenario base;
+  base.label = "via";
+  base.tech.outer_diameter_nm = 7.5;
+  base.tech.contact_resistance_kohm = tlm.contact_resistance_kohm;
+  base.workload.length_um = 2.0;
+  base.workload.operating_current_ua = 20.0;
+  base.workload.substrate_coupling_w_mk = 0.05;
+  base.workload.max_temperature_rise_k = 100.0;
+  base.analysis.thermal = true;
+  const auto batch = scenario::expand_grid(
+      base, core::SweepGrid({{"k_th", {3000.0, 6500.0, 10000.0, 385.0}}}),
+      [](scenario::Scenario& s, const core::SweepPoint& p) {
+        s.workload.thermal_conductivity_w_mk = p.at("k_th");
+      });
+  const scenario::ScenarioEngine engine;
+  const auto results = engine.run_batch(batch);
+
+  std::cout << "Self-heating of the 2 um line (k swept over the paper's "
+               "3000-10000 W/mK; compact-model R = "
+            << Table::num(results[0].line.resistance_kohm, 4)
+            << " kOhm):\n";
+  Table t({"k_th [W/mK]", "dT at 20 uA [K]", "ampacity @ dT=100 K [uA]",
+           "EM verdict"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double k = batch[i].workload.thermal_conductivity_w_mk;
+    const auto& th = *results[i].thermal;
+    t.add_row({Table::num(k, 5) + (k == 385.0 ? " (Cu ref)" : ""),
+               Table::num(th.peak_rise_k, 3),
+               Table::num(th.ampacity_ua, 4),
+               th.cnt_em_immune
+                   ? "CNT immune at " +
+                         Table::num(th.current_density_a_cm2 / 1e6, 3) +
+                         " MA/cm^2"
+                   : "EM-limited"});
+  }
+  t.print(std::cout);
+
+  // --- SThM scan and k re-extraction (direct thermal metrology API). -----
   thermal::LineThermalSpec line;
   line.length_m = 2e-6;
   line.cross_section_m2 = M_PI * 7.5e-9 * 7.5e-9 / 4.0;
   line.resistance_per_m = tlm.resistance_per_um_kohm * 1e3 / 1e-6;
-  line.substrate_coupling = 0.05;
-
-  std::cout << "Self-heating of the 2 um line (k swept over the paper's "
-               "3000-10000 W/mK):\n";
-  Table t({"k_th [W/mK]", "dT at 20 uA [K]", "ampacity @ dT=100 K [uA]"});
-  for (double k : {3000.0, 6500.0, 10000.0, 385.0}) {
-    line.thermal_conductivity = k;
-    const auto sol = thermal::solve_self_heating(line, 20e-6);
-    const double amp = thermal::thermal_ampacity(line, 400.0);
-    t.add_row({Table::num(k, 5) + (k == 385.0 ? " (Cu ref)" : ""),
-               Table::num(sol.peak_rise_k, 3),
-               Table::num(units::to_uA(amp), 4)});
-  }
-  t.print(std::cout);
-
-  // --- SThM scan and k re-extraction. ------------------------------------
   line.thermal_conductivity = 5000.0;  // "unknown" ground truth
   line.substrate_coupling = 0.0;       // suspended line for metrology
   const auto sol = thermal::solve_self_heating(line, 20e-6, 401);

@@ -47,14 +47,35 @@ PulseWave bus_edge_wave(double vdd_v, double edge_time_s) {
   return pulse;
 }
 
-double bus_settle_time_s(const BusConfig& cfg) {
+BusConfig make_bus_config(const BusTopology& topology, const BusDrive& drive) {
+  BusConfig cfg;
+  cfg.line = topology.line;
+  cfg.coupling_cap_per_m = topology.coupling_cap_per_m;
+  cfg.length_m = topology.length_m;
+  cfg.lines = topology.lines;
+  cfg.segments = topology.segments;
+  cfg.aggressor = drive.aggressor;
+  cfg.driver_ohm = drive.driver_ohm;
+  cfg.vdd_v = drive.vdd_v;
+  cfg.edge_time_s = drive.edge_time_s;
+  cfg.receiver_load_f = drive.receiver_load_f;
+  cfg.mna = drive.mna;
+  return cfg;
+}
+
+double bus_settle_time_s(const BusTopology& topology, const BusDrive& drive) {
   // A middle line sees neighbour coupling on both sides.
-  const double r_total = cfg.driver_ohm + cfg.line.series_resistance_ohm +
-                         cfg.line.resistance_per_m * cfg.length_m;
+  const double r_total = drive.driver_ohm +
+                         topology.line.series_resistance_ohm +
+                         topology.line.resistance_per_m * topology.length_m;
   const double c_total =
-      (cfg.line.capacitance_per_m + 2.0 * cfg.coupling_cap_per_m) *
-      cfg.length_m;
-  return settle_time_s(r_total, c_total, cfg.edge_time_s);
+      (topology.line.capacitance_per_m + 2.0 * topology.coupling_cap_per_m) *
+      topology.length_m;
+  return settle_time_s(r_total, c_total, drive.edge_time_s);
+}
+
+double bus_settle_time_s(const BusConfig& cfg) {
+  return bus_settle_time_s(cfg.topology(), cfg.drive());
 }
 
 CrosstalkResult analyze_crosstalk(const CrosstalkConfig& cfg,
@@ -145,12 +166,17 @@ CrosstalkResult analyze_crosstalk(const CrosstalkConfig& cfg,
 }
 
 BusNetlist build_bus_netlist(const BusConfig& cfg) {
+  return build_bus_netlist(cfg.topology());
+}
+
+BusNetlist build_bus_netlist(const BusTopology& cfg) {
   CNTI_EXPECTS(cfg.lines >= 2, "need at least two lines");
   CNTI_EXPECTS(cfg.segments >= 2, "need at least two segments");
   CNTI_EXPECTS(cfg.length_m > 0, "length must be positive");
   CNTI_EXPECTS(cfg.coupling_cap_per_m >= 0, "coupling must be >= 0");
 
   BusNetlist out;
+  out.topology = cfg;
   Circuit& ckt = out.ckt;
   const std::size_t nl = static_cast<std::size_t>(cfg.lines);
 
@@ -211,32 +237,48 @@ BusNetlist build_bus_netlist(const BusConfig& cfg) {
   return out;
 }
 
-BusCrosstalkResult analyze_bus_crosstalk(const BusConfig& cfg,
+BusCrosstalkResult analyze_bus_crosstalk(BusNetlist bus,
+                                         const BusTopology& topology,
+                                         const BusDrive& drive,
                                          int time_steps) {
-  const int agg = cfg.aggressor < 0 ? cfg.lines / 2 : cfg.aggressor;
-  CNTI_EXPECTS(agg >= 0 && agg < cfg.lines, "aggressor index out of range");
-
-  BusNetlist bus = build_bus_netlist(cfg);
+  const int agg =
+      drive.aggressor < 0 ? topology.lines / 2 : drive.aggressor;
+  CNTI_EXPECTS(agg >= 0 && agg < topology.lines,
+               "aggressor index out of range");
+  const BusTopology& built = bus.topology;
+  CNTI_EXPECTS(built.line.series_resistance_ohm ==
+                       topology.line.series_resistance_ohm &&
+                   built.line.resistance_per_m ==
+                       topology.line.resistance_per_m &&
+                   built.line.capacitance_per_m ==
+                       topology.line.capacitance_per_m &&
+                   built.line.inductance_per_m ==
+                       topology.line.inductance_per_m &&
+                   built.coupling_cap_per_m == topology.coupling_cap_per_m &&
+                   built.length_m == topology.length_m &&
+                   built.lines == topology.lines &&
+                   built.segments == topology.segments,
+               "bare bus netlist was built from a different topology");
   Circuit& ckt = bus.ckt;
 
   // Aggressor stimulus behind its driver; victims held quiet; receiver
   // loads at every far end.
   const NodeId agg_in = ckt.node("bus_in");
   ckt.add_vsource("vbus", agg_in, 0,
-                  bus_edge_wave(cfg.vdd_v, cfg.edge_time_s));
-  for (int l = 0; l < cfg.lines; ++l) {
+                  bus_edge_wave(drive.vdd_v, drive.edge_time_s));
+  for (int l = 0; l < topology.lines; ++l) {
     ckt.add_resistor("rdrv" + std::to_string(l), l == agg ? agg_in : 0,
-                     bus.head[static_cast<std::size_t>(l)], cfg.driver_ohm);
+                     bus.head[static_cast<std::size_t>(l)], drive.driver_ohm);
     ckt.add_capacitor("cl" + std::to_string(l),
                       bus.far[static_cast<std::size_t>(l)], 0,
-                      cfg.receiver_load_f);
+                      drive.receiver_load_f);
   }
   const std::vector<NodeId>& far = bus.far;
 
   TransientOptions opt;
-  opt.t_stop_s = bus_settle_time_s(cfg);
+  opt.t_stop_s = bus_settle_time_s(topology, drive);
   opt.dt_s = opt.t_stop_s / time_steps;
-  opt.mna = cfg.mna;
+  opt.mna = drive.mna;
   const TransientResult res = simulate_transient(ckt, opt);
 
   BusCrosstalkResult out;
@@ -245,7 +287,7 @@ BusCrosstalkResult analyze_bus_crosstalk(const BusConfig& cfg,
   // first victim instead of leaving the -1 sentinel in a valid result.
   out.worst_victim = agg == 0 ? 1 : 0;
   const auto& t = res.time();
-  for (int l = 0; l < cfg.lines; ++l) {
+  for (int l = 0; l < topology.lines; ++l) {
     if (l == agg) continue;
     const auto& vn = res.voltage(far[static_cast<std::size_t>(l)]);
     for (std::size_t i = 0; i < t.size(); ++i) {
@@ -257,9 +299,16 @@ BusCrosstalkResult analyze_bus_crosstalk(const BusConfig& cfg,
     }
   }
   out.aggressor_delay_s = numerics::first_crossing_time(
-      t, res.voltage(far[static_cast<std::size_t>(agg)]), cfg.vdd_v / 2.0,
+      t, res.voltage(far[static_cast<std::size_t>(agg)]), drive.vdd_v / 2.0,
       /*rising=*/true);
   return out;
+}
+
+BusCrosstalkResult analyze_bus_crosstalk(const BusConfig& cfg,
+                                         int time_steps) {
+  const BusTopology topology = cfg.topology();
+  return analyze_bus_crosstalk(build_bus_netlist(topology), topology,
+                               cfg.drive(), time_steps);
 }
 
 }  // namespace cnti::circuit

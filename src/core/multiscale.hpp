@@ -1,8 +1,12 @@
 // The multi-scale simulation flow the paper's conclusion calls for: from
 // ab-initio-calibrated channel counts, through materials-level MFPs, to
-// compact RLC models and delay — in one façade. Higher-level stages (TCAD
-// C_E extraction, full MNA transient) plug in through optional hooks so the
-// core stays free of upward dependencies.
+// compact RLC models and delay — in one façade. The flow is decomposed
+// into named stage functions (atomistic channels, line spec, driver
+// config, report assembly) so higher layers can run the same stages
+// individually — the scenario engine routes them through its content-keyed
+// memo cache and substitutes real TCAD/MNA implementations for the
+// hook fallbacks. MultiscaleHooks remains the core-level seam for callers
+// that want to override a stage without pulling in those layers.
 #pragma once
 
 #include <functional>
@@ -56,6 +60,40 @@ struct MultiscaleHooks {
   /// (e.g. MNA transient); falls back to the Elmore estimate when absent.
   std::function<double(const DriverLineLoad&)> simulate_delay;
 };
+
+// --- Stage functions (each deterministic; shared with the scenario engine
+// --- so the façade and the cached engine compute bit-identical results).
+
+/// Throws PreconditionError on out-of-domain geometry.
+void validate_multiscale_input(const MultiscaleInput& in);
+
+/// Atomistic stage output: doping -> Fermi shift -> channels per shell.
+struct ChannelStage {
+  double fermi_shift_ev = 0.0;
+  double channels_per_shell = 2.0;
+};
+
+ChannelStage doping_channel_stage(atomistic::DopantSpecies species,
+                                  double concentration);
+
+/// Materials/compact stage: the line spec implied by the input and an
+/// externally supplied electrostatic capacitance [F/m] (analytic model,
+/// hook, or cached TCAD extraction).
+MwcntSpec multiscale_line_spec(const MultiscaleInput& in,
+                               const ChannelStage& channels,
+                               double electrostatic_cap_f_per_m);
+
+/// Circuit-stage configuration for the delay analysis of the line.
+DriverLineLoad multiscale_driver_line_load(const MultiscaleInput& in,
+                                           const MwcntLine& line);
+
+/// Assembles the per-stage outputs; `delay_s`/`delay_method` come from
+/// whichever circuit stage ran (Elmore fallback, hook, engine MNA stage).
+MultiscaleReport assemble_multiscale_report(const MultiscaleInput& in,
+                                            const ChannelStage& channels,
+                                            const MwcntLine& line,
+                                            double delay_s,
+                                            std::string delay_method);
 
 /// Runs the full flow. Deterministic; throws on invalid inputs.
 MultiscaleReport run_multiscale_flow(const MultiscaleInput& in,

@@ -58,6 +58,13 @@ BusRom::BusRom(const BusConfig& config, PrimaOptions options)
                "BusRom: aggressor index out of range");
 }
 
+BusRom::BusRom(const circuit::BusTopology& topology, int aggressor,
+               PrimaOptions options)
+    : BusRom(circuit::make_bus_config(topology,
+                                      circuit::BusDrive{.aggressor =
+                                                            aggressor}),
+             options) {}
+
 BusScenario BusRom::nominal_scenario() const {
   BusScenario sc;
   sc.driver_ohm = config_.driver_ohm;

@@ -36,6 +36,17 @@ class BusRom {
   explicit BusRom(const circuit::BusConfig& config,
                   PrimaOptions options = {.order = 0});
 
+  /// Topology-keyed construction — the scenario engine's cache seam: the
+  /// reduction (and its expansion point) depends only on `topology` plus
+  /// default-BusDrive nominals, so a memo cache keyed on (topology,
+  /// aggressor) content shares one BusRom across every
+  /// driver/load/stimulus scenario of a batch. `aggressor` only selects
+  /// the driven port for evaluate() (-1 = centre); it does not affect the
+  /// reduction. Equivalent to BusRom(circuit::make_bus_config(topology,
+  /// circuit::BusDrive{.aggressor = aggressor})).
+  explicit BusRom(const circuit::BusTopology& topology, int aggressor = -1,
+                  PrimaOptions options = {.order = 0});
+
   int full_order() const { return rom_.full_order(); }
   int order() const { return rom_.order(); }
   int lines() const { return config_.lines; }

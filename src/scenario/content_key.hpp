@@ -1,0 +1,97 @@
+// Deterministic content keys for the scenario memo cache. A key is a
+// 128-bit digest (two independent FNV-1a lanes) of a spec's field values in
+// a fixed order, so equal specs hash equal on every platform/run and a
+// single flipped field changes the key. Keys identify *inputs*, never
+// results: everything the cache stores must be a pure function of the
+// hashed content (see docs/SCENARIO_ENGINE.md, "Determinism rules").
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace cnti::scenario {
+
+/// 128-bit cache key; ordered so it can index std::map.
+struct ContentKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const ContentKey&, const ContentKey&) = default;
+  friend auto operator<=>(const ContentKey&, const ContentKey&) = default;
+};
+
+/// Accumulates typed field values into a ContentKey. Doubles are hashed by
+/// bit pattern with -0.0 normalized to +0.0; NaNs are rejected (a NaN field
+/// would compare unequal to itself, poisoning cache identity).
+class KeyHasher {
+ public:
+  KeyHasher() = default;
+
+  /// Seeds the key space of a struct/stage so identical field streams from
+  /// different schemas cannot collide (e.g. "tech-v1" vs "workload-v1").
+  explicit KeyHasher(std::string_view schema) { add(schema); }
+
+  KeyHasher& add(double v) {
+    CNTI_EXPECTS(!std::isnan(v), "content key fields must not be NaN");
+    if (v == 0.0) v = 0.0;  // collapse -0.0 and +0.0
+    return add_word(std::bit_cast<std::uint64_t>(v));
+  }
+
+  KeyHasher& add(std::int64_t v) {
+    return add_word(static_cast<std::uint64_t>(v));
+  }
+  KeyHasher& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  KeyHasher& add(bool v) { return add(static_cast<std::int64_t>(v ? 1 : 2)); }
+
+  template <typename E>
+    requires std::is_enum_v<E>
+  KeyHasher& add(E v) {
+    return add(static_cast<std::int64_t>(v));
+  }
+
+  /// String literals must not decay to the bool overload.
+  KeyHasher& add(const char* s) { return add(std::string_view(s)); }
+
+  KeyHasher& add(std::string_view s) {
+    for (const char c : s) mix(static_cast<unsigned char>(c));
+    // Length terminator keeps "ab" + "c" distinct from "a" + "bc".
+    return add_word(static_cast<std::uint64_t>(s.size()) ^ kLenTag);
+  }
+
+  ContentKey key() const { return {h1_, h2_}; }
+
+ private:
+  static constexpr std::uint64_t kOffset1 = 14695981039346656037ULL;
+  static constexpr std::uint64_t kOffset2 =
+      14695981039346656037ULL ^ 0x9e3779b97f4a7c15ULL;
+  static constexpr std::uint64_t kPrime1 = 1099511628211ULL;
+  static constexpr std::uint64_t kPrime2 = 1099511628211ULL;
+  static constexpr std::uint64_t kLenTag = 0xa5a5a5a5a5a5a5a5ULL;
+
+  void mix(unsigned char byte) {
+    h1_ = (h1_ ^ byte) * kPrime1;
+    // The second lane sees the bytes premixed with a rotating counter so
+    // the lanes stay independent despite the shared prime.
+    h2_ = (h2_ ^ static_cast<std::uint64_t>(byte + 0x9e) ^
+           std::rotl(h2_, 17)) *
+          kPrime2;
+  }
+
+  KeyHasher& add_word(std::uint64_t w) {
+    for (int i = 0; i < 8; ++i) {
+      mix(static_cast<unsigned char>(w >> (8 * i)));
+    }
+    return *this;
+  }
+
+  std::uint64_t h1_ = kOffset1;
+  std::uint64_t h2_ = kOffset2;
+};
+
+}  // namespace cnti::scenario

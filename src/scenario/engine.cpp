@@ -1,0 +1,247 @@
+#include "scenario/engine.hpp"
+
+#include <memory>
+#include <numeric>
+
+#include "common/units.hpp"
+#include "rom/interconnect_rom.hpp"
+
+namespace cnti::scenario {
+
+namespace {
+
+KeyHasher line_rlc_hasher(const char* schema, const core::LineRlc& rlc) {
+  KeyHasher h(schema);
+  h.add(rlc.series_resistance_ohm)
+      .add(rlc.resistance_per_m)
+      .add(rlc.capacitance_per_m)
+      .add(rlc.inductance_per_m);
+  return h;
+}
+
+ContentKey topology_key(const char* schema,
+                        const circuit::BusTopology& topology) {
+  KeyHasher h = line_rlc_hasher(schema, topology.line);
+  h.add(topology.coupling_cap_per_m)
+      .add(topology.length_m)
+      .add(topology.lines)
+      .add(topology.segments);
+  return h.key();
+}
+
+ContentKey topology_drive_key(const char* schema,
+                              const circuit::BusTopology& topology,
+                              const circuit::BusDrive& drive,
+                              int time_steps) {
+  KeyHasher h = line_rlc_hasher(schema, topology.line);
+  h.add(topology.coupling_cap_per_m)
+      .add(topology.length_m)
+      .add(topology.lines)
+      .add(topology.segments)
+      .add(drive.aggressor)
+      .add(drive.driver_ohm)
+      .add(drive.vdd_v)
+      .add(drive.edge_time_s)
+      .add(drive.receiver_load_f)
+      .add(drive.mna.solver)
+      .add(drive.mna.sparse_threshold)
+      .add(time_steps);
+  return h.key();
+}
+
+}  // namespace
+
+core::MultiscaleInput to_multiscale_input(const Scenario& s) {
+  core::MultiscaleInput in;
+  in.outer_diameter_nm = s.tech.outer_diameter_nm;
+  in.length_um = s.workload.length_um;
+  in.dopant = s.tech.dopant;
+  in.dopant_concentration = s.tech.dopant_concentration;
+  in.temperature_k = s.tech.temperature_k;
+  in.defect_spacing_um = s.tech.defect_spacing_um;
+  in.contact_resistance_kohm = s.tech.contact_resistance_kohm;
+  in.environment = s.tech.environment;
+  in.driver_resistance_kohm = s.workload.driver_resistance_kohm;
+  in.load_capacitance_ff = s.workload.load_capacitance_ff;
+  return in;
+}
+
+circuit::BusTopology to_bus_topology(const Scenario& s,
+                                     const core::MwcntLine& line) {
+  circuit::BusTopology topology;
+  topology.line = line.rlc();
+  topology.coupling_cap_per_m =
+      units::from_aF_per_um(s.workload.coupling_cap_af_per_um);
+  topology.length_m = units::from_um(s.workload.length_um);
+  topology.lines = s.workload.bus_lines;
+  topology.segments = s.workload.bus_segments;
+  return topology;
+}
+
+circuit::BusDrive to_bus_drive(const Scenario& s) {
+  circuit::BusDrive drive;
+  drive.aggressor = s.workload.aggressor;
+  drive.driver_ohm = units::from_kOhm(s.workload.driver_resistance_kohm);
+  drive.vdd_v = s.workload.vdd_v;
+  drive.edge_time_s = units::from_ps(s.workload.edge_time_ps);
+  drive.receiver_load_f = units::from_fF(s.workload.load_capacitance_ff);
+  return drive;
+}
+
+ScenarioEngine::ScenarioEngine(EngineOptions options)
+    : options_(options), cache_(options.cache_enabled) {}
+
+ScenarioResult ScenarioEngine::run(const Scenario& s) const {
+  const core::MultiscaleInput in = to_multiscale_input(s);
+  core::validate_multiscale_input(in);
+
+  ScenarioResult out;
+  out.label = s.label;
+
+  // --- Atomistic stage. ---
+  const auto channels = cache_.get_or_compute<core::ChannelStage>(
+      stage::kAtomistic,
+      KeyHasher("stage.atomistic.v1")
+          .add(s.tech.dopant)
+          .add(s.tech.dopant_concentration)
+          .key(),
+      [&] {
+        return core::doping_channel_stage(s.tech.dopant,
+                                          s.tech.dopant_concentration);
+      });
+
+  // --- Electrostatic environment stage (analytic or TCAD-extracted). ---
+  const auto ce = cache_.get_or_compute<double>(
+      stage::kCapacitance,
+      KeyHasher("stage.capacitance.v1")
+          .add(s.tech.capacitance_model)
+          .add(s.tech.tcad_cells_per_side)
+          .add(s.tech.environment.radius_m)
+          .add(s.tech.environment.center_height_m)
+          .add(s.tech.environment.neighbor_pitch_m)
+          .add(s.tech.environment.eps_r)
+          .add(s.tech.environment.coupling_factor)
+          .key(),
+      [&] {
+        return s.tech.capacitance_model == CapacitanceModel::kTcad
+                   ? tcad_environment_capacitance(s.tech.environment,
+                                                  s.tech.tcad_cells_per_side)
+                   : core::environment_capacitance(s.tech.environment);
+      });
+
+  // --- Materials + compact stage (cheap; computed inline). ---
+  const core::MwcntLine line(core::multiscale_line_spec(in, *channels, *ce));
+
+  // --- Circuit delay stage. ---
+  double delay_s = 0.0;
+  std::string delay_method = "none";
+  if (s.analysis.delay) {
+    const core::DriverLineLoad cfg =
+        core::multiscale_driver_line_load(in, line);
+    if (s.analysis.delay_model == DelayModel::kMnaTransient) {
+      const auto d = cache_.get_or_compute<double>(
+          stage::kDelayMna,
+          line_rlc_hasher("stage.delay-mna.v1", cfg.line)
+              .add(cfg.driver_resistance_ohm)
+              .add(cfg.driver_output_capacitance_f)
+              .add(cfg.length_m)
+              .add(cfg.load_capacitance_f)
+              .add(s.workload.vdd_v)
+              .add(s.workload.edge_time_ps)
+              .add(s.analysis.delay_segments)
+              .add(s.analysis.time_steps)
+              .key(),
+          [&] {
+            return mna_line_delay_s(
+                cfg, s.workload.vdd_v,
+                units::from_ps(s.workload.edge_time_ps),
+                s.analysis.delay_segments, s.analysis.time_steps);
+          });
+      delay_s = *d;
+      delay_method = "mna-transient";
+    } else {
+      delay_s = core::delay_50_estimate(cfg);
+      delay_method = "elmore";
+    }
+  }
+  out.line = core::assemble_multiscale_report(in, *channels, line, delay_s,
+                                              delay_method);
+
+  // --- Coupled-bus noise stage. ---
+  if (s.analysis.noise) {
+    const circuit::BusTopology topology = to_bus_topology(s, line);
+    const circuit::BusDrive drive = to_bus_drive(s);
+    if (s.analysis.noise_model == NoiseModel::kReducedOrder) {
+      // One PRIMA reduction per topology (+ aggressor port choice),
+      // shared across every driver/load/stimulus scenario of the batch.
+      KeyHasher h = line_rlc_hasher("stage.bus-rom.v1", topology.line);
+      h.add(topology.coupling_cap_per_m)
+          .add(topology.length_m)
+          .add(topology.lines)
+          .add(topology.segments)
+          .add(drive.aggressor);
+      const auto rom = cache_.get_or_compute<rom::BusRom>(
+          stage::kBusRom, h.key(), [&] {
+            return std::make_shared<rom::BusRom>(topology, drive.aggressor);
+          });
+      rom::BusScenario sc;
+      sc.driver_ohm = drive.driver_ohm;
+      sc.receiver_load_f = drive.receiver_load_f;
+      sc.vdd_v = drive.vdd_v;
+      sc.edge_time_s = drive.edge_time_s;
+      out.noise = rom->evaluate(sc, s.analysis.time_steps);
+    } else {
+      // Full sparse-MNA transient: the bare netlist is built once per
+      // topology; each distinct drive is simulated once and memoized.
+      const auto bare = cache_.get_or_compute<circuit::BusNetlist>(
+          stage::kBusNetlist, topology_key("stage.bus-netlist.v1", topology),
+          [&] { return circuit::build_bus_netlist(topology); });
+      const auto result = cache_.get_or_compute<circuit::BusCrosstalkResult>(
+          stage::kBusMna,
+          topology_drive_key("stage.bus-mna.v1", topology, drive,
+                             s.analysis.time_steps),
+          [&] {
+            return circuit::analyze_bus_crosstalk(*bare, topology, drive,
+                                                  s.analysis.time_steps);
+          });
+      out.noise = *result;
+    }
+  }
+
+  // --- Thermal/EM stage. ---
+  if (s.analysis.thermal) {
+    const auto thermal = cache_.get_or_compute<ThermalReport>(
+        stage::kThermal,
+        KeyHasher("stage.thermal.v1")
+            .add(s.tech.outer_diameter_nm)
+            .add(s.tech.temperature_k)
+            .add(line.resistance(units::from_um(s.workload.length_um)))
+            .add(s.workload.length_um)
+            .add(s.workload.operating_current_ua)
+            .add(s.workload.thermal_conductivity_w_mk)
+            .add(s.workload.substrate_coupling_w_mk)
+            .add(s.workload.max_temperature_rise_k)
+            .key(),
+        [&] { return thermal_stage(s.tech, s.workload, line); });
+    out.thermal = *thermal;
+  }
+  return out;
+}
+
+std::vector<ScenarioResult> ScenarioEngine::run_batch(
+    const std::vector<Scenario>& batch) const {
+  if (batch.empty()) return {};
+  // The batch rides the generic sweep engine: one index axis, evaluated in
+  // flat order on the thread pool, results slot-indexed (deterministic).
+  std::vector<double> indices(batch.size());
+  std::iota(indices.begin(), indices.end(), 0.0);
+  const core::SweepGrid grid({{"scenario", std::move(indices)}});
+  return core::run_sweep(
+      grid,
+      [&](const core::SweepPoint& p) {
+        return run(batch[p.flat_index()]);
+      },
+      options_.sweep);
+}
+
+}  // namespace cnti::scenario

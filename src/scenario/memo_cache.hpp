@@ -1,0 +1,161 @@
+// Content-keyed memo cache behind the scenario engine: one entry per
+// (stage, ContentKey), computed exactly once even under concurrent
+// requests (later requesters block on the first computation's future).
+// Every cached value must be a deterministic pure function of the hashed
+// content and immutable once published — that is what makes a cached batch
+// bit-identical to the uncached per-scenario path at any thread count.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <typeindex>
+#include <utility>
+
+#include "common/error.hpp"
+#include "scenario/content_key.hpp"
+
+namespace cnti::scenario {
+
+/// Hit/miss counters of one stage (or the whole cache). As long as no
+/// compute throws, the once-per-key future scheme makes the counts
+/// thread-schedule independent: misses == distinct keys requested,
+/// hits == requests - misses. A throwing compute erases its entry so the
+/// key can retry, which re-counts that key (and requests racing the
+/// erase may count as hits yet receive the exception) — under failures
+/// the split is best-effort diagnostics, not an invariant.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  CacheStats& operator+=(const CacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    return *this;
+  }
+};
+
+class MemoCache {
+ public:
+  explicit MemoCache(bool enabled = true) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Returns the cached value for (stage, key), computing it via `compute`
+  /// on the first request. `compute` must return std::shared_ptr<const T>
+  /// (or a value convertible to it) and be a pure function of the key's
+  /// content. A throwing compute propagates to every concurrent requester
+  /// of the key and leaves the key absent, so a later request retries.
+  /// When the cache is disabled every request computes (and counts a miss).
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> get_or_compute(std::string_view stage,
+                                          const ContentKey& key,
+                                          Fn&& compute) {
+    if (!enabled_) {
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++stats_map(stage).misses;
+      }
+      return to_shared<T>(compute());
+    }
+    const std::type_index want(typeid(T));
+    std::shared_future<Value> fut;
+    std::promise<Value> mine;
+    bool owner = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find({std::string(stage), key});
+      if (it == entries_.end()) {
+        owner = true;
+        fut = mine.get_future().share();
+        entries_.emplace(std::pair<std::string, ContentKey>(stage, key), fut);
+        ++stats_map(stage).misses;
+      } else {
+        fut = it->second;
+        ++stats_map(stage).hits;
+      }
+    }
+    if (owner) {
+      try {
+        std::shared_ptr<const T> value = to_shared<T>(compute());
+        mine.set_value(Value{want, value});
+      } catch (...) {
+        // Erase before publishing the exception: a waiter that catches it
+        // and immediately retries must find the key absent (fresh
+        // compute), never rejoin the dead future.
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          entries_.erase({std::string(stage), key});
+        }
+        mine.set_exception(std::current_exception());
+        throw;
+      }
+    }
+    const Value& v = fut.get();
+    CNTI_EXPECTS(v.type == want,
+                 "memo cache type mismatch for stage \"" +
+                     std::string(stage) + "\"");
+    return std::static_pointer_cast<const T>(v.value);
+  }
+
+  CacheStats stats(std::string_view stage) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = stats_.find(std::string(stage));
+    return it == stats_.end() ? CacheStats{} : it->second;
+  }
+
+  /// Per-stage counters, keyed by stage name (report emission).
+  std::map<std::string, CacheStats> all_stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  CacheStats total_stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    CacheStats out;
+    for (const auto& [stage, s] : stats_) out += s;
+    return out;
+  }
+
+  std::size_t entry_count() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    stats_.clear();
+  }
+
+ private:
+  struct Value {
+    std::type_index type = std::type_index(typeid(void));
+    std::shared_ptr<const void> value;
+  };
+
+  /// Accepts a plain T, shared_ptr<T> or shared_ptr<const T> from compute().
+  template <typename T, typename R>
+  static std::shared_ptr<const T> to_shared(R&& r) {
+    if constexpr (std::is_convertible_v<R&&, std::shared_ptr<const T>>) {
+      return std::forward<R>(r);
+    } else {
+      return std::make_shared<T>(std::forward<R>(r));
+    }
+  }
+
+  CacheStats& stats_map(std::string_view stage) {
+    return stats_[std::string(stage)];  // callers hold mu_
+  }
+
+  bool enabled_ = true;
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, ContentKey>, std::shared_future<Value>>
+      entries_;
+  std::map<std::string, CacheStats> stats_;
+};
+
+}  // namespace cnti::scenario

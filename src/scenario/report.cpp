@@ -1,0 +1,183 @@
+#include "scenario/report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/json_sink.hpp"
+#include "common/units.hpp"
+
+namespace cnti::scenario {
+
+namespace {
+
+/// RFC-4180 style field quoting (labels may carry arbitrary text).
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string num_field(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open report file for writing: " + path);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& report_csv_header() {
+  static const std::vector<std::string> header = {
+      "label",
+      "fermi_shift_ev",
+      "channels_per_shell",
+      "mfp_um",
+      "shells",
+      "resistance_kohm",
+      "capacitance_ff",
+      "electrostatic_cap_af_per_um",
+      "delay_ps",
+      "delay_method",
+      "noise_peak_mv",
+      "noise_peak_time_ps",
+      "worst_victim",
+      "aggressor_delay_ps",
+      "mna_unknowns",
+      "thermal_peak_rise_k",
+      "ampacity_ua",
+      "current_density_a_cm2",
+      "cnt_em_immune",
+      "cu_reference_mttf_s",
+  };
+  return header;
+}
+
+void write_report_csv(std::ostream& out,
+                      const std::vector<ScenarioResult>& results) {
+  const auto& header = report_csv_header();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    out << header[i] << (i + 1 < header.size() ? "," : "\n");
+  }
+  for (const ScenarioResult& r : results) {
+    out << csv_field(r.label) << ',' << num_field(r.line.fermi_shift_ev)
+        << ',' << num_field(r.line.channels_per_shell) << ','
+        << num_field(r.line.mfp_um) << ',' << r.line.shells << ','
+        << num_field(r.line.resistance_kohm) << ','
+        << num_field(r.line.capacitance_ff) << ','
+        << num_field(r.line.electrostatic_cap_af_per_um) << ','
+        << num_field(r.line.delay_ps) << ',' << csv_field(r.line.delay_method)
+        << ',';
+    if (r.noise) {
+      out << num_field(r.noise->peak_noise_v * 1e3) << ','
+          << num_field(units::to_ps(r.noise->peak_time_s)) << ','
+          << r.noise->worst_victim << ','
+          << num_field(units::to_ps(r.noise->aggressor_delay_s)) << ','
+          << r.noise->unknowns << ',';
+    } else {
+      out << ",,,,,";
+    }
+    if (r.thermal) {
+      out << num_field(r.thermal->peak_rise_k) << ','
+          << num_field(r.thermal->ampacity_ua) << ','
+          << num_field(r.thermal->current_density_a_cm2) << ','
+          << (r.thermal->cnt_em_immune ? 1 : 0) << ','
+          << num_field(r.thermal->cu_reference_mttf_s);
+    } else {
+      out << ",,,,";
+    }
+    out << '\n';
+  }
+}
+
+void write_report_csv(const std::string& path,
+                      const std::vector<ScenarioResult>& results) {
+  auto out = open_or_throw(path);
+  write_report_csv(out, results);
+}
+
+void write_report_json(std::ostream& out,
+                       const std::vector<ScenarioResult>& results,
+                       const MemoCache* cache) {
+  out << "{\n  \"scenarios\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\n";
+    out << "      \"label\": \"" << json_escape(r.label) << "\",\n";
+    out << "      \"line\": {"
+        << "\"fermi_shift_ev\": " << json_number(r.line.fermi_shift_ev)
+        << ", \"channels_per_shell\": "
+        << json_number(r.line.channels_per_shell)
+        << ", \"mfp_um\": " << json_number(r.line.mfp_um)
+        << ", \"shells\": " << r.line.shells
+        << ", \"resistance_kohm\": " << json_number(r.line.resistance_kohm)
+        << ", \"capacitance_ff\": " << json_number(r.line.capacitance_ff)
+        << ", \"electrostatic_cap_af_per_um\": "
+        << json_number(r.line.electrostatic_cap_af_per_um)
+        << ", \"delay_ps\": " << json_number(r.line.delay_ps)
+        << ", \"delay_method\": \"" << json_escape(r.line.delay_method)
+        << "\"}";
+    if (r.noise) {
+      out << ",\n      \"noise\": {"
+          << "\"peak_noise_v\": " << json_number(r.noise->peak_noise_v)
+          << ", \"peak_time_s\": " << json_number(r.noise->peak_time_s)
+          << ", \"worst_victim\": " << r.noise->worst_victim
+          << ", \"aggressor_delay_s\": "
+          << json_number(r.noise->aggressor_delay_s)
+          << ", \"unknowns\": " << r.noise->unknowns << "}";
+    }
+    if (r.thermal) {
+      out << ",\n      \"thermal\": {"
+          << "\"peak_rise_k\": " << json_number(r.thermal->peak_rise_k)
+          << ", \"hot_resistance_kohm\": "
+          << json_number(r.thermal->hot_resistance_kohm)
+          << ", \"thermal_runaway\": "
+          << (r.thermal->thermal_runaway ? "true" : "false")
+          << ", \"ampacity_ua\": " << json_number(r.thermal->ampacity_ua)
+          << ", \"current_density_a_cm2\": "
+          << json_number(r.thermal->current_density_a_cm2)
+          << ", \"cnt_em_immune\": "
+          << (r.thermal->cnt_em_immune ? "true" : "false")
+          << ", \"cu_reference_mttf_s\": "
+          << json_number(r.thermal->cu_reference_mttf_s) << "}";
+    }
+    out << "\n    }";
+  }
+  out << "\n  ]";
+  if (cache != nullptr) {
+    out << ",\n  \"cache\": {\n    \"enabled\": "
+        << (cache->enabled() ? "true" : "false") << ",\n    \"stages\": {";
+    const auto stats = cache->all_stats();
+    bool first = true;
+    for (const auto& [stage, s] : stats) {
+      out << (first ? "\n" : ",\n") << "      \"" << json_escape(stage)
+          << "\": {\"hits\": " << s.hits << ", \"misses\": " << s.misses
+          << "}";
+      first = false;
+    }
+    out << "\n    }\n  }";
+  }
+  out << "\n}\n";
+}
+
+void write_report_json(const std::string& path,
+                       const std::vector<ScenarioResult>& results,
+                       const MemoCache* cache) {
+  auto out = open_or_throw(path);
+  write_report_json(out, results, cache);
+}
+
+}  // namespace cnti::scenario

@@ -1,0 +1,32 @@
+// Structured emission of scenario batch results: a flat CSV (one row per
+// scenario, stable column set, blank cells for KPIs the scenario did not
+// request) and a JSON document (scenario array plus the engine's cache
+// statistics) for machine consumption alongside the benches'
+// CNTI_BENCH_JSON trajectory files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/engine.hpp"
+
+namespace cnti::scenario {
+
+/// Header of write_report_csv, exposed so consumers can bind columns.
+const std::vector<std::string>& report_csv_header();
+
+void write_report_csv(std::ostream& out,
+                      const std::vector<ScenarioResult>& results);
+void write_report_csv(const std::string& path,
+                      const std::vector<ScenarioResult>& results);
+
+/// `cache` adds a "cache" section with per-stage hit/miss counts.
+void write_report_json(std::ostream& out,
+                       const std::vector<ScenarioResult>& results,
+                       const MemoCache* cache = nullptr);
+void write_report_json(const std::string& path,
+                       const std::vector<ScenarioResult>& results,
+                       const MemoCache* cache = nullptr);
+
+}  // namespace cnti::scenario

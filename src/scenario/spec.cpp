@@ -1,0 +1,88 @@
+#include "scenario/spec.hpp"
+
+#include <sstream>
+
+namespace cnti::scenario {
+
+ContentKey content_key(const TechnologySpec& t) {
+  KeyHasher h("cnti.tech.v1");
+  h.add(t.outer_diameter_nm)
+      .add(t.dopant)
+      .add(t.dopant_concentration)
+      .add(t.temperature_k)
+      .add(t.defect_spacing_um)
+      .add(t.contact_resistance_kohm)
+      .add(t.environment.radius_m)
+      .add(t.environment.center_height_m)
+      .add(t.environment.neighbor_pitch_m)
+      .add(t.environment.eps_r)
+      .add(t.environment.coupling_factor)
+      .add(t.capacitance_model)
+      .add(t.tcad_cells_per_side);
+  return h.key();
+}
+
+ContentKey content_key(const WorkloadSpec& w) {
+  KeyHasher h("cnti.workload.v1");
+  h.add(w.length_um)
+      .add(w.driver_resistance_kohm)
+      .add(w.load_capacitance_ff)
+      .add(w.vdd_v)
+      .add(w.edge_time_ps)
+      .add(w.bus_lines)
+      .add(w.bus_segments)
+      .add(w.coupling_cap_af_per_um)
+      .add(w.aggressor)
+      .add(w.operating_current_ua)
+      .add(w.thermal_conductivity_w_mk)
+      .add(w.substrate_coupling_w_mk)
+      .add(w.max_temperature_rise_k);
+  return h.key();
+}
+
+ContentKey content_key(const AnalysisRequest& a) {
+  KeyHasher h("cnti.analysis.v1");
+  h.add(a.delay)
+      .add(a.delay_model)
+      .add(a.noise)
+      .add(a.noise_model)
+      .add(a.thermal)
+      .add(a.time_steps)
+      .add(a.delay_segments);
+  return h.key();
+}
+
+ContentKey content_key(const Scenario& s) {
+  KeyHasher h("cnti.scenario.v1");
+  const ContentKey t = content_key(s.tech);
+  const ContentKey w = content_key(s.workload);
+  const ContentKey a = content_key(s.analysis);
+  h.add(static_cast<std::int64_t>(t.hi)).add(static_cast<std::int64_t>(t.lo));
+  h.add(static_cast<std::int64_t>(w.hi)).add(static_cast<std::int64_t>(w.lo));
+  h.add(static_cast<std::int64_t>(a.hi)).add(static_cast<std::int64_t>(a.lo));
+  return h.key();
+}
+
+std::vector<Scenario> expand_grid(
+    const Scenario& base, const core::SweepGrid& grid,
+    const std::function<void(Scenario&, const core::SweepPoint&)>& apply) {
+  CNTI_EXPECTS(static_cast<bool>(apply), "expand_grid needs an apply function");
+  std::vector<Scenario> out;
+  out.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const core::SweepPoint p = grid.point(i);
+    Scenario s = base;
+    std::ostringstream label;
+    label << base.label;
+    for (std::size_t a = 0; a < grid.axes().size(); ++a) {
+      label << (a == 0 && base.label.empty() ? "" : "/")
+            << grid.axes()[a].name << "=" << p[a];
+    }
+    s.label = label.str();
+    apply(s, p);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace cnti::scenario

@@ -1,0 +1,54 @@
+// The engine's heavyweight stage implementations — what MultiscaleHooks
+// used to leave to ad-hoc lambdas in examples/tests, promoted to named,
+// deterministic, cacheable functions. Each is a pure function of its
+// arguments, so the ScenarioEngine can memoize it under a content key and
+// a cached batch stays bit-identical to the uncached path.
+#pragma once
+
+#include "core/electrostatics.hpp"
+#include "core/line_model.hpp"
+#include "core/mwcnt_line.hpp"
+#include "scenario/spec.hpp"
+
+namespace cnti::scenario {
+
+/// TCAD capacitance stage: models the WireEnvironment as a square wire of
+/// the same cross-section over a ground plane (plus two neighbour wires at
+/// the environment pitch when present), extracts the Maxwell capacitance
+/// matrix with the finite-volume field solver and returns the victim's
+/// total C_E [F/m] — plane coupling plus Miller-weighted neighbour
+/// coupling, mirroring core::environment_capacitance's composition.
+/// `cells_per_side` scales the grid (2 reproduces the historical
+/// integration-test resolution). Expensive; cache per environment.
+double tcad_environment_capacitance(const core::WireEnvironment& env,
+                                    int cells_per_side = 2);
+
+/// MNA delay stage: full transient of pulse source -> driver resistance
+/// (+ driver output capacitance) -> discretized line -> load capacitance,
+/// measuring the 50%-to-50% propagation delay of a rising edge [s].
+/// Replaces the Elmore estimate when AnalysisRequest::delay_model is
+/// kMnaTransient; throws NumericalError when the output never crosses.
+double mna_line_delay_s(const core::DriverLineLoad& cfg, double vdd_v,
+                        double edge_time_s, int segments, int time_steps);
+
+/// Thermal/EM stage output.
+struct ThermalReport {
+  double peak_rise_k = 0.0;          ///< Self-heating at operating current.
+  double hot_resistance_kohm = 0.0;  ///< Line resistance at temperature.
+  bool thermal_runaway = false;
+  double ampacity_ua = 0.0;          ///< Current at the max allowed rise.
+  double current_density_a_cm2 = 0.0;
+  bool cnt_em_immune = false;        ///< Below the CNT breakdown density.
+  /// Black's-equation median lifetime of an equally stressed Cu line [s]
+  /// (the paper's Sec. I reliability comparison).
+  double cu_reference_mttf_s = 0.0;
+};
+
+/// Thermal/EM stage: 1-D electro-thermal solve of the compact line at the
+/// workload's operating current, ampacity at the allowed rise, and the
+/// EM verdicts at the resulting current density.
+ThermalReport thermal_stage(const TechnologySpec& tech,
+                            const WorkloadSpec& workload,
+                            const core::MwcntLine& line);
+
+}  // namespace cnti::scenario

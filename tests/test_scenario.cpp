@@ -1,0 +1,633 @@
+// Scenario engine suite: content-key identity, memo-cache contracts
+// (hit/miss accounting, once-per-key compute, type safety), cached ==
+// uncached differentials against the refactored direct APIs
+// (run_multiscale_flow, analyze_bus_crosstalk, BusRom), thread-count
+// invariance of batch execution, MultiscaleHooks-fallback parity, report
+// emission and the relocated JSON metric sink.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "circuit/crosstalk.hpp"
+#include "common/json_sink.hpp"
+#include "common/units.hpp"
+#include "core/multiscale.hpp"
+#include "rom/interconnect_rom.hpp"
+#include "scenario/content_key.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/memo_cache.hpp"
+#include "scenario/report.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/stages.hpp"
+
+namespace sc = cnti::scenario;
+namespace cc = cnti::core;
+namespace cir = cnti::circuit;
+using cnti::units::from_um;
+
+namespace {
+
+/// Small, fast scenario: 4 x 8 coupled bus, short transients.
+sc::Scenario small_scenario() {
+  sc::Scenario s;
+  s.label = "small";
+  s.tech.outer_diameter_nm = 10.0;
+  s.tech.dopant_concentration = 1.0;
+  s.tech.contact_resistance_kohm = 20.0;
+  s.workload.length_um = 25.0;
+  s.workload.driver_resistance_kohm = 5.0;
+  s.workload.load_capacitance_ff = 0.2;
+  s.workload.bus_lines = 4;
+  s.workload.bus_segments = 8;
+  s.analysis.time_steps = 200;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Content keys.
+
+TEST(ContentKey, EqualSpecsHashEqual) {
+  const sc::Scenario a = small_scenario();
+  const sc::Scenario b = small_scenario();
+  EXPECT_EQ(sc::content_key(a), sc::content_key(b));
+  EXPECT_EQ(sc::content_key(a.tech), sc::content_key(b.tech));
+  EXPECT_EQ(sc::content_key(a.workload), sc::content_key(b.workload));
+  EXPECT_EQ(sc::content_key(a.analysis), sc::content_key(b.analysis));
+}
+
+TEST(ContentKey, EveryFieldChangesTheKey) {
+  const sc::Scenario base = small_scenario();
+  const auto k0 = sc::content_key(base);
+
+  sc::Scenario s = base;
+  s.tech.outer_diameter_nm += 1.0;
+  EXPECT_NE(sc::content_key(s), k0);
+
+  s = base;
+  s.tech.dopant = cnti::atomistic::DopantSpecies::kPtCl4External;
+  EXPECT_NE(sc::content_key(s), k0);
+
+  s = base;
+  s.tech.capacitance_model = sc::CapacitanceModel::kTcad;
+  EXPECT_NE(sc::content_key(s), k0);
+
+  s = base;
+  s.workload.driver_resistance_kohm *= 2.0;
+  EXPECT_NE(sc::content_key(s), k0);
+
+  s = base;
+  s.workload.bus_segments += 1;
+  EXPECT_NE(sc::content_key(s), k0);
+
+  s = base;
+  s.analysis.noise = !s.analysis.noise;
+  EXPECT_NE(sc::content_key(s), k0);
+
+  s = base;
+  s.analysis.time_steps += 1;
+  EXPECT_NE(sc::content_key(s), k0);
+}
+
+TEST(ContentKey, LabelIsReportingMetadataOnly) {
+  sc::Scenario a = small_scenario();
+  sc::Scenario b = small_scenario();
+  b.label = "a completely different label";
+  EXPECT_EQ(sc::content_key(a), sc::content_key(b));
+}
+
+TEST(ContentKey, SignedZeroNormalizedNanRejected) {
+  const auto plus = sc::KeyHasher("t").add(0.0).key();
+  const auto minus = sc::KeyHasher("t").add(-0.0).key();
+  EXPECT_EQ(plus, minus);
+  EXPECT_THROW(sc::KeyHasher("t").add(std::nan("")),
+               cnti::PreconditionError);
+}
+
+TEST(ContentKey, StringBoundariesAreUnambiguous) {
+  const auto ab_c = sc::KeyHasher("t").add("ab").add("c").key();
+  const auto a_bc = sc::KeyHasher("t").add("a").add("bc").key();
+  EXPECT_NE(ab_c, a_bc);
+}
+
+// ---------------------------------------------------------------------------
+// Memo cache.
+
+TEST(MemoCache, HitReturnsTheSameObjectAndCountsDeterministically) {
+  sc::MemoCache cache;
+  const auto key = sc::KeyHasher("k").add(1).key();
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return 42.0;
+  };
+  const auto a = cache.get_or_compute<double>("stage", key, compute);
+  const auto b = cache.get_or_compute<double>("stage", key, compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(a.get(), b.get());  // the identical shared object
+  EXPECT_EQ(*a, 42.0);
+  EXPECT_EQ(cache.stats("stage").misses, 1u);
+  EXPECT_EQ(cache.stats("stage").hits, 1u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(MemoCache, DistinctStagesAndKeysDoNotCollide) {
+  sc::MemoCache cache;
+  const auto key = sc::KeyHasher("k").add(1).key();
+  const auto a = cache.get_or_compute<double>("stage-a", key,
+                                              [] { return 1.0; });
+  const auto b = cache.get_or_compute<double>("stage-b", key,
+                                              [] { return 2.0; });
+  EXPECT_EQ(*a, 1.0);
+  EXPECT_EQ(*b, 2.0);
+  EXPECT_EQ(cache.entry_count(), 2u);
+}
+
+TEST(MemoCache, DisabledCacheRecomputesEveryRequest) {
+  sc::MemoCache cache(/*enabled=*/false);
+  const auto key = sc::KeyHasher("k").add(1).key();
+  int computes = 0;
+  for (int i = 0; i < 3; ++i) {
+    (void)cache.get_or_compute<int>("stage", key, [&] {
+      ++computes;
+      return 7;
+    });
+  }
+  EXPECT_EQ(computes, 3);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.stats("stage").misses, 3u);
+}
+
+TEST(MemoCache, ThrowingComputeLeavesKeyRetryable) {
+  sc::MemoCache cache;
+  const auto key = sc::KeyHasher("k").add(1).key();
+  EXPECT_THROW(cache.get_or_compute<int>(
+                   "stage", key,
+                   []() -> int { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  const auto ok = cache.get_or_compute<int>("stage", key, [] { return 3; });
+  EXPECT_EQ(*ok, 3);
+}
+
+TEST(MemoCache, TypeMismatchOnHitThrows) {
+  sc::MemoCache cache;
+  const auto key = sc::KeyHasher("k").add(1).key();
+  (void)cache.get_or_compute<double>("stage", key, [] { return 1.0; });
+  EXPECT_THROW((void)cache.get_or_compute<int>("stage", key,
+                                               [] { return 1; }),
+               cnti::PreconditionError);
+}
+
+TEST(MemoCache, ConcurrentRequestsComputeOnce) {
+  sc::MemoCache cache;
+  const auto key = sc::KeyHasher("k").add(1).key();
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  std::vector<double> values(8, 0.0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      values[static_cast<std::size_t>(t)] =
+          *cache.get_or_compute<double>("stage", key, [&] {
+            ++computes;
+            return 5.0;
+          });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(computes.load(), 1);
+  for (const double v : values) EXPECT_EQ(v, 5.0);
+  const auto s = cache.stats("stage");
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine vs the direct APIs (bitwise differentials).
+
+void expect_same_line_report(const cc::MultiscaleReport& a,
+                             const cc::MultiscaleReport& b,
+                             bool compare_method = true) {
+  EXPECT_EQ(a.fermi_shift_ev, b.fermi_shift_ev);
+  EXPECT_EQ(a.channels_per_shell, b.channels_per_shell);
+  EXPECT_EQ(a.mfp_um, b.mfp_um);
+  EXPECT_EQ(a.shells, b.shells);
+  EXPECT_EQ(a.resistance_kohm, b.resistance_kohm);
+  EXPECT_EQ(a.capacitance_ff, b.capacitance_ff);
+  EXPECT_EQ(a.electrostatic_cap_af_per_um, b.electrostatic_cap_af_per_um);
+  EXPECT_EQ(a.delay_ps, b.delay_ps);
+  if (compare_method) {
+    EXPECT_EQ(a.delay_method, b.delay_method);
+  }
+}
+
+TEST(ScenarioEngine, ElmoreAnalyticPathMatchesMultiscaleFlowBitwise) {
+  const sc::Scenario s = small_scenario();
+  const sc::ScenarioEngine engine;
+  const sc::ScenarioResult r = engine.run(s);
+  const cc::MultiscaleReport direct =
+      cc::run_multiscale_flow(sc::to_multiscale_input(s));
+  expect_same_line_report(r.line, direct);
+  EXPECT_FALSE(r.noise.has_value());
+  EXPECT_FALSE(r.thermal.has_value());
+}
+
+TEST(ScenarioEngine, TcadStageMatchesMultiscaleHookBitwise) {
+  sc::Scenario s = small_scenario();
+  s.tech.capacitance_model = sc::CapacitanceModel::kTcad;
+  s.tech.tcad_cells_per_side = 2;  // the validated integration resolution
+  const sc::ScenarioEngine engine;
+  const sc::ScenarioResult r = engine.run(s);
+
+  // The engine's TCAD stage is exactly what a MultiscaleHooks user would
+  // plug in — same function, same content, same bits.
+  cc::MultiscaleHooks hooks;
+  hooks.extract_capacitance = [](const cc::WireEnvironment& env) {
+    return sc::tcad_environment_capacitance(env, 2);
+  };
+  const cc::MultiscaleReport direct =
+      cc::run_multiscale_flow(sc::to_multiscale_input(s), hooks);
+  expect_same_line_report(r.line, direct);
+  // And the TCAD extraction must land in the analytic model's ballpark.
+  const double analytic = cc::environment_capacitance(s.tech.environment);
+  const double tcad = cnti::units::from_aF_per_um(
+      r.line.electrostatic_cap_af_per_um);
+  EXPECT_GT(tcad, 0.3 * analytic);
+  EXPECT_LT(tcad, 3.0 * analytic);
+}
+
+TEST(ScenarioEngine, MnaDelayStageMatchesMultiscaleHookBitwise) {
+  sc::Scenario s = small_scenario();
+  s.analysis.delay_model = sc::DelayModel::kMnaTransient;
+  s.analysis.time_steps = 300;
+  const sc::ScenarioEngine engine;
+  const sc::ScenarioResult r = engine.run(s);
+  EXPECT_EQ(r.line.delay_method, "mna-transient");
+
+  cc::MultiscaleHooks hooks;
+  hooks.simulate_delay = [&s](const cc::DriverLineLoad& cfg) {
+    return sc::mna_line_delay_s(
+        cfg, s.workload.vdd_v,
+        cnti::units::from_ps(s.workload.edge_time_ps),
+        s.analysis.delay_segments, s.analysis.time_steps);
+  };
+  const cc::MultiscaleReport direct =
+      cc::run_multiscale_flow(sc::to_multiscale_input(s), hooks);
+  expect_same_line_report(r.line, direct, /*compare_method=*/false);
+  // MNA and Elmore must agree on the physics scale.
+  const cc::MultiscaleReport elmore =
+      cc::run_multiscale_flow(sc::to_multiscale_input(s));
+  EXPECT_GT(r.line.delay_ps, 0.2 * elmore.delay_ps);
+  EXPECT_LT(r.line.delay_ps, 5.0 * elmore.delay_ps);
+}
+
+TEST(ScenarioEngine, RomNoiseMatchesDirectBusRomBitwise) {
+  sc::Scenario s = small_scenario();
+  s.analysis.noise = true;
+  const sc::ScenarioEngine engine;
+  const sc::ScenarioResult r = engine.run(s);
+  ASSERT_TRUE(r.noise.has_value());
+
+  // Direct API: same topology-keyed reduction, same scenario fold.
+  const cc::MultiscaleInput in = sc::to_multiscale_input(s);
+  const cc::ChannelStage channels =
+      cc::doping_channel_stage(s.tech.dopant, s.tech.dopant_concentration);
+  const cc::MwcntLine line(cc::multiscale_line_spec(
+      in, channels, cc::environment_capacitance(s.tech.environment)));
+  const cnti::rom::BusRom rom(sc::to_bus_topology(s, line));
+  const cir::BusDrive drive = sc::to_bus_drive(s);
+  cnti::rom::BusScenario scn;
+  scn.driver_ohm = drive.driver_ohm;
+  scn.receiver_load_f = drive.receiver_load_f;
+  scn.vdd_v = drive.vdd_v;
+  scn.edge_time_s = drive.edge_time_s;
+  const cir::BusCrosstalkResult direct =
+      rom.evaluate(scn, s.analysis.time_steps);
+
+  EXPECT_EQ(r.noise->peak_noise_v, direct.peak_noise_v);
+  EXPECT_EQ(r.noise->peak_time_s, direct.peak_time_s);
+  EXPECT_EQ(r.noise->worst_victim, direct.worst_victim);
+  EXPECT_EQ(r.noise->aggressor_delay_s, direct.aggressor_delay_s);
+  EXPECT_EQ(r.noise->unknowns, direct.unknowns);
+}
+
+TEST(ScenarioEngine, FullMnaNoiseMatchesAnalyzeBusCrosstalkBitwise) {
+  sc::Scenario s = small_scenario();
+  s.analysis.noise = true;
+  s.analysis.noise_model = sc::NoiseModel::kFullMna;
+  const sc::ScenarioEngine engine;
+  const sc::ScenarioResult r = engine.run(s);
+  ASSERT_TRUE(r.noise.has_value());
+
+  const cc::MultiscaleInput in = sc::to_multiscale_input(s);
+  const cc::ChannelStage channels =
+      cc::doping_channel_stage(s.tech.dopant, s.tech.dopant_concentration);
+  const cc::MwcntLine line(cc::multiscale_line_spec(
+      in, channels, cc::environment_capacitance(s.tech.environment)));
+  const cir::BusCrosstalkResult direct = cir::analyze_bus_crosstalk(
+      cir::make_bus_config(sc::to_bus_topology(s, line), sc::to_bus_drive(s)),
+      s.analysis.time_steps);
+
+  EXPECT_EQ(r.noise->peak_noise_v, direct.peak_noise_v);
+  EXPECT_EQ(r.noise->peak_time_s, direct.peak_time_s);
+  EXPECT_EQ(r.noise->worst_victim, direct.worst_victim);
+  EXPECT_EQ(r.noise->aggressor_delay_s, direct.aggressor_delay_s);
+  EXPECT_EQ(r.noise->unknowns, direct.unknowns);
+}
+
+TEST(ScenarioEngine, BusConfigTopologyDriveRoundTripsEveryField) {
+  // BusConfig, topology()/drive() and make_bus_config each list the bus
+  // fields by hand; this pin turns a missed copy in any of them (which
+  // would silently desynchronize the cache seam) into a failure.
+  cir::BusConfig c;
+  c.line = {11.0, 22.0, 33.0, 44.0};
+  c.coupling_cap_per_m = 55e-12;
+  c.length_m = 66e-6;
+  c.lines = 7;
+  c.segments = 88;
+  c.aggressor = 3;
+  c.driver_ohm = 9e3;
+  c.vdd_v = 1.1;
+  c.edge_time_s = 12e-12;
+  c.receiver_load_f = 0.13e-15;
+  c.mna.solver = cir::SolverKind::kSparse;
+  c.mna.sparse_threshold = 123;
+  const cir::BusConfig r = cir::make_bus_config(c.topology(), c.drive());
+  EXPECT_EQ(r.line.series_resistance_ohm, c.line.series_resistance_ohm);
+  EXPECT_EQ(r.line.resistance_per_m, c.line.resistance_per_m);
+  EXPECT_EQ(r.line.capacitance_per_m, c.line.capacitance_per_m);
+  EXPECT_EQ(r.line.inductance_per_m, c.line.inductance_per_m);
+  EXPECT_EQ(r.coupling_cap_per_m, c.coupling_cap_per_m);
+  EXPECT_EQ(r.length_m, c.length_m);
+  EXPECT_EQ(r.lines, c.lines);
+  EXPECT_EQ(r.segments, c.segments);
+  EXPECT_EQ(r.aggressor, c.aggressor);
+  EXPECT_EQ(r.driver_ohm, c.driver_ohm);
+  EXPECT_EQ(r.vdd_v, c.vdd_v);
+  EXPECT_EQ(r.edge_time_s, c.edge_time_s);
+  EXPECT_EQ(r.receiver_load_f, c.receiver_load_f);
+  EXPECT_EQ(r.mna.solver, c.mna.solver);
+  EXPECT_EQ(r.mna.sparse_threshold, c.mna.sparse_threshold);
+}
+
+TEST(ScenarioEngine, PrebuiltNetlistOverloadMatchesSingleShot) {
+  const sc::Scenario s = small_scenario();
+  const cc::MultiscaleInput in = sc::to_multiscale_input(s);
+  const cc::ChannelStage channels =
+      cc::doping_channel_stage(s.tech.dopant, s.tech.dopant_concentration);
+  const cc::MwcntLine line(cc::multiscale_line_spec(
+      in, channels, cc::environment_capacitance(s.tech.environment)));
+  const cir::BusTopology topology = sc::to_bus_topology(s, line);
+  const cir::BusDrive drive = sc::to_bus_drive(s);
+
+  const cir::BusNetlist bare = cir::build_bus_netlist(topology);
+  const auto via_bare = cir::analyze_bus_crosstalk(bare, topology, drive, 150);
+  const auto single =
+      cir::analyze_bus_crosstalk(cir::make_bus_config(topology, drive), 150);
+  EXPECT_EQ(via_bare.peak_noise_v, single.peak_noise_v);
+  EXPECT_EQ(via_bare.aggressor_delay_s, single.aggressor_delay_s);
+  EXPECT_EQ(via_bare.unknowns, single.unknowns);
+
+  // Reuse of the same bare netlist for a second drive stays bit-identical.
+  cir::BusDrive strong = drive;
+  strong.driver_ohm /= 2.0;
+  const auto reused = cir::analyze_bus_crosstalk(bare, topology, strong, 150);
+  const auto fresh =
+      cir::analyze_bus_crosstalk(cir::make_bus_config(topology, strong), 150);
+  EXPECT_EQ(reused.peak_noise_v, fresh.peak_noise_v);
+  EXPECT_EQ(reused.aggressor_delay_s, fresh.aggressor_delay_s);
+
+  // Pairing a cached netlist with a different topology (even one of the
+  // same line count) must be rejected, not silently mis-simulated.
+  cir::BusTopology other = topology;
+  other.length_m *= 2.0;
+  EXPECT_THROW(
+      (void)cir::analyze_bus_crosstalk(bare, other, drive, 150),
+      cnti::PreconditionError);
+}
+
+TEST(ScenarioEngine, ThermalStageReportsSelfHeatingAmpacityAndEm) {
+  sc::Scenario s = small_scenario();
+  s.analysis.thermal = true;
+  s.workload.operating_current_ua = 20.0;
+  const sc::ScenarioEngine engine;
+  const sc::ScenarioResult r = engine.run(s);
+  ASSERT_TRUE(r.thermal.has_value());
+  EXPECT_GT(r.thermal->peak_rise_k, 0.0);
+  EXPECT_GT(r.thermal->ampacity_ua, 0.0);
+  EXPECT_GT(r.thermal->current_density_a_cm2, 0.0);
+  EXPECT_FALSE(r.thermal->thermal_runaway);
+  // 20 uA through a 10 nm disc is ~2.5e7 A/cm^2 — far below the CNT
+  // breakdown density, lethal for Cu.
+  EXPECT_TRUE(r.thermal->cnt_em_immune);
+  EXPECT_GT(r.thermal->cu_reference_mttf_s, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Batch semantics: cache contracts, cached == uncached, thread invariance.
+
+std::vector<sc::Scenario> mixed_batch() {
+  sc::Scenario base = small_scenario();
+  base.label = "batch";
+  base.analysis.noise = true;
+  base.analysis.thermal = true;
+  const cnti::core::SweepGrid grid(
+      {{"doping", {0.0, 1.0}},
+       {"driver_kohm", {2.0, 5.0, 10.0}},
+       {"load_ff", {0.1, 0.5}}});
+  return sc::expand_grid(base, grid,
+                         [](sc::Scenario& s, const cnti::core::SweepPoint& p) {
+                           s.tech.dopant_concentration = p.at("doping");
+                           s.workload.driver_resistance_kohm =
+                               p.at("driver_kohm");
+                           s.workload.load_capacitance_ff = p.at("load_ff");
+                         });
+}
+
+void expect_same_results(const std::vector<sc::ScenarioResult>& a,
+                         const std::vector<sc::ScenarioResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(a[i].label);
+    expect_same_line_report(a[i].line, b[i].line);
+    ASSERT_EQ(a[i].noise.has_value(), b[i].noise.has_value());
+    if (a[i].noise) {
+      EXPECT_EQ(a[i].noise->peak_noise_v, b[i].noise->peak_noise_v);
+      EXPECT_EQ(a[i].noise->peak_time_s, b[i].noise->peak_time_s);
+      EXPECT_EQ(a[i].noise->worst_victim, b[i].noise->worst_victim);
+      EXPECT_EQ(a[i].noise->aggressor_delay_s, b[i].noise->aggressor_delay_s);
+    }
+    ASSERT_EQ(a[i].thermal.has_value(), b[i].thermal.has_value());
+    if (a[i].thermal) {
+      EXPECT_EQ(a[i].thermal->peak_rise_k, b[i].thermal->peak_rise_k);
+      EXPECT_EQ(a[i].thermal->ampacity_ua, b[i].thermal->ampacity_ua);
+      EXPECT_EQ(a[i].thermal->cu_reference_mttf_s,
+                b[i].thermal->cu_reference_mttf_s);
+    }
+  }
+}
+
+TEST(ScenarioEngine, BatchSharesTopologyArtifactsAcrossScenarios) {
+  const auto batch = mixed_batch();  // 2 dopings x 3 drivers x 2 loads = 12
+  const sc::ScenarioEngine engine;
+  const auto results = engine.run_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+
+  // Two dopings -> two line models -> two topologies; every scenario of a
+  // topology shares one PRIMA reduction regardless of driver/load.
+  const auto rom = engine.cache().stats(sc::stage::kBusRom);
+  EXPECT_EQ(rom.misses, 2u);
+  EXPECT_EQ(rom.hits, 10u);
+  const auto atom = engine.cache().stats(sc::stage::kAtomistic);
+  EXPECT_EQ(atom.misses, 2u);
+  EXPECT_EQ(atom.hits, 10u);
+  // One shared environment -> a single capacitance extraction.
+  const auto cap = engine.cache().stats(sc::stage::kCapacitance);
+  EXPECT_EQ(cap.misses, 1u);
+  EXPECT_EQ(cap.hits, 11u);
+  // Thermal KPIs depend on doping and length only -> 2 distinct solves.
+  const auto th = engine.cache().stats(sc::stage::kThermal);
+  EXPECT_EQ(th.misses, 2u);
+  EXPECT_EQ(th.hits, 10u);
+}
+
+TEST(ScenarioEngine, CachedBatchEqualsUncachedBatchBitwise) {
+  const auto batch = mixed_batch();
+  const sc::ScenarioEngine cached;
+  sc::EngineOptions uncached_opt;
+  uncached_opt.cache_enabled = false;
+  const sc::ScenarioEngine uncached(uncached_opt);
+  expect_same_results(cached.run_batch(batch), uncached.run_batch(batch));
+}
+
+TEST(ScenarioEngine, BatchIsThreadCountInvariant) {
+  const auto batch = mixed_batch();
+  sc::EngineOptions opt1;
+  opt1.sweep.threads = 1;
+  const sc::ScenarioEngine serial(opt1);
+  const auto reference = serial.run_batch(batch);
+  for (const int threads : {2, 5}) {
+    sc::EngineOptions opt;
+    opt.sweep.threads = threads;
+    const sc::ScenarioEngine engine(opt);
+    SCOPED_TRACE(threads);
+    expect_same_results(reference, engine.run_batch(batch));
+  }
+}
+
+TEST(ScenarioEngine, RunBatchMatchesIndividualRuns) {
+  const auto batch = mixed_batch();
+  const sc::ScenarioEngine engine;
+  const auto results = engine.run_batch(batch);
+  const sc::ScenarioEngine fresh;
+  std::vector<sc::ScenarioResult> individual;
+  individual.reserve(batch.size());
+  for (const auto& s : batch) individual.push_back(fresh.run(s));
+  expect_same_results(results, individual);
+}
+
+TEST(ScenarioEngine, InvalidScenarioThrows) {
+  sc::Scenario s = small_scenario();
+  s.tech.outer_diameter_nm = 0.5;
+  const sc::ScenarioEngine engine;
+  EXPECT_THROW((void)engine.run(s), cnti::PreconditionError);
+  s = small_scenario();
+  s.workload.length_um = -1.0;
+  EXPECT_THROW((void)engine.run(s), cnti::PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario expansion + reports.
+
+TEST(ScenarioSpec, ExpandGridEnumeratesInFlatOrderWithLabels) {
+  sc::Scenario base = small_scenario();
+  base.label = "study";
+  const cnti::core::SweepGrid grid(
+      {{"len", {10.0, 20.0}}, {"drv", {1.0, 2.0, 3.0}}});
+  const auto batch = sc::expand_grid(
+      base, grid, [](sc::Scenario& s, const cnti::core::SweepPoint& p) {
+        s.workload.length_um = p.at("len");
+        s.workload.driver_resistance_kohm = p.at("drv");
+      });
+  ASSERT_EQ(batch.size(), 6u);
+  EXPECT_EQ(batch[0].label, "study/len=10/drv=1");
+  EXPECT_EQ(batch[5].label, "study/len=20/drv=3");
+  EXPECT_EQ(batch[4].workload.length_um, 20.0);
+  EXPECT_EQ(batch[4].workload.driver_resistance_kohm, 2.0);
+}
+
+TEST(ScenarioReport, CsvHasHeaderOneRowPerScenarioAndQuotedLabels) {
+  sc::ScenarioResult r;
+  r.label = "with,comma \"quoted\"";
+  r.line.resistance_kohm = 12.5;
+  sc::ScenarioResult plain;
+  plain.label = "plain";
+  plain.noise.emplace();
+  plain.noise->peak_noise_v = 0.001;
+  std::ostringstream os;
+  sc::write_report_csv(os, {r, plain});
+  const std::string text = os.str();
+  EXPECT_NE(text.find("label,fermi_shift_ev"), std::string::npos);
+  EXPECT_NE(text.find("\"with,comma \"\"quoted\"\"\""), std::string::npos);
+  int lines = 0;
+  for (const char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 3);  // header + 2 rows
+}
+
+TEST(ScenarioReport, JsonEscapesLabelsAndEmitsCacheStats) {
+  const sc::Scenario s = small_scenario();
+  const sc::ScenarioEngine engine;
+  auto result = engine.run(s);
+  result.label = "quote\" and\nnewline";
+  std::ostringstream os;
+  sc::write_report_json(os, {result}, &engine.cache());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("quote\\\" and\\u000anewline"), std::string::npos);
+  EXPECT_NE(text.find("\"cache\""), std::string::npos);
+  EXPECT_NE(text.find("\"atomistic\""), std::string::npos);
+  EXPECT_NE(text.find("\"misses\": 1"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Relocated JSON metric sink (the benches' CNTI_BENCH_JSON writer).
+
+TEST(JsonMetricSink, RejectsDuplicateAndReservedMetricNames) {
+  cnti::JsonMetricSink sink;
+  sink.set("speedup", 10.0);
+  EXPECT_THROW(sink.set("speedup", 11.0), cnti::PreconditionError);
+  EXPECT_THROW(sink.set("speedup", std::string("fast")),
+               cnti::PreconditionError);
+  sink.set("mode", std::string("cached"));
+  EXPECT_THROW(sink.set("mode", 1.0), cnti::PreconditionError);
+  EXPECT_THROW(sink.set("bench", 1.0), cnti::PreconditionError);
+}
+
+TEST(JsonMetricSink, EscapesMetricNamesAndValues) {
+  cnti::JsonMetricSink sink;
+  sink.set_name("weird\"name");
+  sink.set("metric\"with\\quote", 1.5);
+  sink.set("note", std::string("line\nbreak"));
+  std::ostringstream os;
+  sink.write_to(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"bench\": \"weird\\\"name\""), std::string::npos);
+  EXPECT_NE(text.find("\"metric\\\"with\\\\quote\": 1.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("line\\u000abreak"), std::string::npos);
+}
+
+TEST(JsonMetricSink, NonFiniteValuesBecomeNull) {
+  cnti::JsonMetricSink sink;
+  sink.set_name("degenerate");
+  sink.set("bad", std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  sink.write_to(os);
+  EXPECT_NE(os.str().find("\"bad\": null"), std::string::npos);
+}
+
+}  // namespace
