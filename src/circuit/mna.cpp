@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "numerics/ordering.hpp"
 #include "numerics/sparse.hpp"
 #include "numerics/sparse_lu.hpp"
 
@@ -119,11 +120,15 @@ class DenseBackend {
 
 /// Sparse linear backend: the stamp stream freezes a CSR pattern on the
 /// first assembly (stamp-slot replay afterwards) and the SparseLu reuses
-/// its symbolic analysis across every subsequent factorization.
+/// its symbolic analysis across every subsequent factorization. With
+/// OrderingKind::kAmd an approximate-minimum-degree column pre-permutation
+/// is computed from the frozen pattern before the first factorization —
+/// once per topology, like the symbolic analysis it feeds.
 class SparseBackend {
  public:
-  explicit SparseBackend(int size)
-      : assembler_(static_cast<std::size_t>(size)) {}
+  explicit SparseBackend(int size,
+                         OrderingKind ordering = OrderingKind::kAmd)
+      : assembler_(static_cast<std::size_t>(size)), ordering_(ordering) {}
 
   void begin() { assembler_.begin(); }
   void add(int r, int c, double v) {
@@ -133,6 +138,12 @@ class SparseBackend {
   void end() { assembler_.end(); }
 
   std::vector<double> solve(const std::vector<double>& b) {
+    if (ordering_ == OrderingKind::kAmd && !ordered_) {
+      // The pattern is frozen by the first end(); the stamp stream cannot
+      // diverge afterwards, so the ordering holds for the backend's life.
+      lu_.set_column_ordering(numerics::amd_ordering(assembler_.matrix()));
+      ordered_ = true;
+    }
     lu_.factorize(assembler_.matrix());
     return lu_.solve(b);
   }
@@ -140,6 +151,8 @@ class SparseBackend {
  private:
   CsrAssembler assembler_;
   SparseLu lu_;
+  OrderingKind ordering_;
+  bool ordered_ = false;
 };
 
 /// Backend-generic stamp helpers that skip the ground row/column.
@@ -440,7 +453,7 @@ struct DcSolver::Impl {
 DcSolver::DcSolver(const Circuit& ckt, const MnaOptions& mna)
     : impl_(std::make_unique<Impl>(Impl{ckt, Layout(ckt), {}, {}})) {
   if (use_sparse(mna, impl_->layout.size)) {
-    impl_->sparse.emplace(impl_->layout.size);
+    impl_->sparse.emplace(impl_->layout.size, mna.ordering);
   } else {
     impl_->dense.emplace(impl_->layout.size);
   }
@@ -468,7 +481,7 @@ TransientResult simulate_transient(const Circuit& ckt,
                "dt must be positive and below t_stop");
   const Layout layout(ckt);
   if (use_sparse(opt.mna, layout.size)) {
-    SparseBackend backend(layout.size);
+    SparseBackend backend(layout.size, opt.mna.ordering);
     return simulate_transient_with(backend, ckt, layout, opt);
   }
   DenseBackend backend(layout.size);

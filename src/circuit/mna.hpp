@@ -24,12 +24,25 @@ enum class SolverKind {
   kAuto,    ///< kSparse above MnaOptions::sparse_threshold unknowns.
 };
 
+/// Fill-reducing column pre-ordering for the sparse backend's LU.
+enum class OrderingKind {
+  kNatural,  ///< Factor in assembly order (segment-major buses are
+             ///< near-banded already).
+  kAmd,      ///< Approximate-minimum-degree pre-permutation of the
+             ///< symmetrized MNA pattern, computed once per topology.
+};
+
 struct MnaOptions {
   SolverKind solver = SolverKind::kAuto;
   /// kAuto picks the sparse backend at or above this many MNA unknowns
   /// (node voltages + source/inductor branch currents). Below it the dense
   /// engine wins on constant factors.
   int sparse_threshold = 192;
+  /// Column pre-permutation applied ahead of the sparse LU's symbolic
+  /// analysis. Computed once per frozen pattern, so the Newton/timestep
+  /// refactorization reuse contract is unchanged. Ignored by the dense
+  /// backend.
+  OrderingKind ordering = OrderingKind::kAmd;
 };
 
 /// DC operating point.

@@ -7,7 +7,9 @@
 // allocation and no pivot search, which is what makes a Newton loop with a
 // frozen MNA pattern cheap. A refactorization whose reused pivot degrades
 // numerically falls back to a fresh fully-pivoted factorization
-// automatically.
+// automatically. A fill-reducing column pre-permutation (see ordering.hpp)
+// can be installed ahead of the analysis; it participates in the same
+// once-per-pattern reuse.
 #pragma once
 
 #include <algorithm>
@@ -22,10 +24,26 @@ namespace cnti::numerics {
 
 /// Reusable sparse LU factorization. Factor once with factorize(), solve
 /// many right-hand sides with solve(); re-factorize cheaply whenever the
-/// matrix values change but the pattern does not.
+/// matrix values change but the pattern does not. An optional fill-reducing
+/// column pre-permutation (set_column_ordering, e.g. from amd_ordering)
+/// reorders the elimination; rows stay free for partial pivoting.
 class SparseLu {
  public:
   SparseLu() = default;
+
+  /// Installs a column pre-permutation `perm` (new column j factors
+  /// original column perm[j]); empty restores the natural order. Changing
+  /// the ordering invalidates the stored symbolic analysis — the next
+  /// factorize() runs fresh; subsequent same-pattern factorizations reuse
+  /// the new analysis as usual. solve() still returns x in original
+  /// variable order.
+  void set_column_ordering(std::vector<std::size_t> perm) {
+    if (perm == q_) return;
+    q_ = std::move(perm);
+    analyzed_ = false;
+  }
+
+  const std::vector<std::size_t>& column_ordering() const { return q_; }
 
   /// Factorizes `a` (square CSR). If `a` has the same sparsity pattern as
   /// the previous factorization, the symbolic analysis and pivot order are
@@ -66,7 +84,7 @@ class SparseLu {
       }
     }
     // Back substitution U x = y (U strict upper in ui_/ux_, diagonal in
-    // udiag_). No column permutation, so x is already in variable order.
+    // udiag_), in factored (column-permuted) variable order.
     for (std::size_t jj = n_; jj-- > 0;) {
       const double xj = y[jj] / udiag_[jj];
       y[jj] = xj;
@@ -75,7 +93,10 @@ class SparseLu {
         y[ui_[t]] -= ux_[t] * xj;
       }
     }
-    return y;
+    if (q_.empty()) return y;  // natural order: y is already x
+    std::vector<double> x(n_);
+    for (std::size_t j = 0; j < n_; ++j) x[q_[j]] = y[j];
+    return x;
   }
 
  private:
@@ -86,17 +107,37 @@ class SparseLu {
 
   /// Builds the column (CSC) view of the pattern and the CSR->CSC value
   /// scatter map so refactorizations can gather values column-by-column.
+  /// With a column ordering installed, original column c lands in factored
+  /// column qinv_[c] — the permutation is baked into the view once, so the
+  /// factorization and refactorization loops never see it.
   void build_column_view(const SparseMatrix& a) {
+    if (!q_.empty()) {
+      CNTI_EXPECTS(q_.size() == n_,
+                   "SparseLu: column ordering length != matrix size");
+      qinv_.assign(n_, kUnpivoted);
+      for (std::size_t j = 0; j < n_; ++j) {
+        CNTI_EXPECTS(q_[j] < n_ && qinv_[q_[j]] == kUnpivoted,
+                     "SparseLu: column ordering is not a permutation");
+        qinv_[q_[j]] = j;
+      }
+    } else {
+      qinv_.clear();
+    }
+    const auto pcol = [this](std::size_t c) {
+      return qinv_.empty() ? c : qinv_[c];
+    };
     const std::size_t nnz = a.nnz();
     acol_ptr_.assign(n_ + 1, 0);
     acol_row_.resize(nnz);
     csr_to_csc_.resize(nnz);
-    for (std::size_t t = 0; t < nnz; ++t) ++acol_ptr_[a.col_indices()[t] + 1];
+    for (std::size_t t = 0; t < nnz; ++t) {
+      ++acol_ptr_[pcol(a.col_indices()[t]) + 1];
+    }
     for (std::size_t c = 0; c < n_; ++c) acol_ptr_[c + 1] += acol_ptr_[c];
     std::vector<std::size_t> next(acol_ptr_.begin(), acol_ptr_.end() - 1);
     for (std::size_t r = 0; r < n_; ++r) {
       for (std::size_t t = a.row_ptr()[r]; t < a.row_ptr()[r + 1]; ++t) {
-        const std::size_t pos = next[a.col_indices()[t]]++;
+        const std::size_t pos = next[pcol(a.col_indices()[t])]++;
         acol_row_[pos] = r;
         csr_to_csc_[t] = pos;
       }
@@ -307,6 +348,10 @@ class SparseLu {
   std::vector<std::size_t> a_row_ptr_, a_col_;
   std::vector<std::size_t> acol_ptr_, acol_row_, csr_to_csc_;
   std::vector<double> acol_val_;
+
+  // Optional fill-reducing column pre-permutation (q_: factored -> original
+  // column; qinv_: its inverse). Empty = natural order.
+  std::vector<std::size_t> q_, qinv_;
 
   // L (unit lower; row ids are original rows) and U (strict upper in pivot
   // space + diagonal), both column-compressed; prow_/pinv_ is the row

@@ -14,7 +14,10 @@
 #pragma once
 
 #include "circuit/crosstalk.hpp"
+#include "numerics/solvers.hpp"
+#include "numerics/sparse.hpp"
 #include "rom/prima.hpp"
+#include "rom/rom_preconditioner.hpp"
 
 namespace cnti::rom {
 
@@ -24,6 +27,16 @@ struct BusScenario {
   double receiver_load_f = 0.2e-15;  ///< Shunt load at every far end.
   double vdd_v = 1.0;
   double edge_time_s = 20e-12;
+};
+
+/// Full-order terminated bus system A x = b at one (real) frequency-like
+/// shift: A = G + Gdrv + s (C + Cload) over the bare-bus state vector,
+/// with the aggressor's Norton drive current on the right-hand side. The
+/// companion system of one backward-Euler step is exactly this form with
+/// s = 1/dt, so it doubles as the iterative-solver benchmark system.
+struct BusSystem {
+  numerics::SparseMatrix a;
+  std::vector<double> rhs;
 };
 
 class BusRom {
@@ -60,10 +73,31 @@ class BusRom {
   circuit::BusCrosstalkResult evaluate(const BusScenario& scenario,
                                        int time_steps = 1500) const;
 
+  /// Assembles the full-order terminated system at shift `s` [rad/s]
+  /// (s >= 0): driver conductances fold onto the head diagonals, receiver
+  /// loads onto the far-end diagonals, and the aggressor head gets its
+  /// Norton current vdd / R_driver. Solving it with SparseLu gives the
+  /// steady full-network response the ROM approximates; solving it with a
+  /// Krylov method is what preconditioner() accelerates.
+  BusSystem full_system(const BusScenario& scenario, double s) const;
+
+  /// Default shift for full_system: the reduction's expansion corner
+  /// 20 / settle_time, where the ROM basis is most informative.
+  double nominal_shift_rad_per_s() const;
+
+  /// Two-level ROM+Jacobi preconditioner for Krylov solves of `a` (any
+  /// matrix over the same state vector, typically full_system().a at some
+  /// shift). Pass to numerics::bicgstab / numerics::gmres via fn().
+  RomPreconditioner preconditioner(const numerics::SparseMatrix& a) const {
+    return RomPreconditioner(a, rom_.basis());
+  }
+
  private:
   circuit::BusConfig config_;
   int aggressor_ = 0;
-  ReducedModel rom_;
+  StateSpace ss_;  ///< Bare-bus descriptor (filled by reduce_bus).
+  std::vector<std::size_t> head_states_, far_states_;  ///< Per line.
+  ReducedModel rom_;  ///< Declared last: its init populates the above.
 };
 
 }  // namespace cnti::rom

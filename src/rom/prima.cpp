@@ -129,9 +129,10 @@ ReducedModel prima_reduce(const StateSpace& ss, const PrimaOptions& options) {
       lr(i, j) = s;
     }
   }
-  return ReducedModel(std::move(gr), std::move(cr), std::move(br),
-                      std::move(lr), ss.input_names, ss.output_names,
-                      ss.size);
+  ReducedModel rm(std::move(gr), std::move(cr), std::move(br),
+                  std::move(lr), ss.input_names, ss.output_names, ss.size);
+  if (options.keep_basis) rm.set_basis(std::move(basis));
+  return rm;
 }
 
 }  // namespace cnti::rom

@@ -31,6 +31,11 @@ struct PrimaOptions {
   /// pre-orthogonalization norm is considered linearly dependent and
   /// deflated from the block.
   double deflation_tol = 1e-8;
+  /// Retain the orthonormal projection basis V (n x q) on the returned
+  /// model. Costs n*q doubles of storage; required for uses that map
+  /// between full and reduced coordinates, e.g. two-level ROM
+  /// preconditioning of full-system Krylov solves (rom_preconditioner.hpp).
+  bool keep_basis = false;
 };
 
 /// Runs block Arnoldi + congruence projection on an extracted descriptor

@@ -85,8 +85,10 @@ ReducedModel ReducedModel::terminated(
       }
     }
   }
-  return ReducedModel(std::move(g), std::move(c), br_, lr_, input_names_,
-                      output_names_, full_order_);
+  ReducedModel out(std::move(g), std::move(c), br_, lr_, input_names_,
+                   output_names_, full_order_);
+  out.basis_ = basis_;  // same projection span; see basis()
+  return out;
 }
 
 complex<double> ReducedModel::transfer(double frequency_hz, int output,

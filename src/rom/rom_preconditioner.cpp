@@ -1,0 +1,97 @@
+#include "rom/rom_preconditioner.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace cnti::rom {
+
+namespace {
+
+using numerics::LuFactorization;
+using numerics::MatrixD;
+using numerics::SparseMatrix;
+
+std::vector<double> inverse_diagonal(const SparseMatrix& a) {
+  const std::size_t n = a.rows();
+  std::vector<double> dinv(n, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t t = a.row_ptr()[r]; t < a.row_ptr()[r + 1]; ++t) {
+      if (a.col_indices()[t] == r) {
+        const double d = a.values()[t];
+        // Same guard as numerics::jacobi_preconditioner: identity on
+        // (near-)zero pivots rather than a blow-up.
+        if (std::abs(d) > 1e-300) dinv[r] = 1.0 / d;
+        break;
+      }
+    }
+  }
+  return dinv;
+}
+
+LuFactorization<double> coarse_factorization(
+    const SparseMatrix& a, const std::vector<std::vector<double>>& v) {
+  const std::size_t n = a.rows();
+  const std::size_t q = v.size();
+  // W = A V once (q sparse matvecs), then Gramian entries are dense dots.
+  std::vector<std::vector<double>> w(q);
+  for (std::size_t j = 0; j < q; ++j) a.multiply(v[j], w[j]);
+  MatrixD ata(q, q);
+  for (std::size_t i = 0; i < q; ++i) {
+    for (std::size_t j = 0; j < q; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < n; ++r) s += v[i][r] * w[j][r];
+      ata(i, j) = s;
+    }
+  }
+  return LuFactorization<double>(std::move(ata));
+}
+
+}  // namespace
+
+RomPreconditioner::RomPreconditioner(
+    const SparseMatrix& a, const std::vector<std::vector<double>>& basis) {
+  CNTI_EXPECTS(a.rows() == a.cols(),
+               "RomPreconditioner: matrix must be square");
+  CNTI_EXPECTS(!basis.empty(),
+               "RomPreconditioner: empty basis (reduce with keep_basis)");
+  for (const auto& col : basis) {
+    CNTI_EXPECTS(col.size() == a.rows(),
+                 "RomPreconditioner: basis column length != matrix size");
+  }
+  state_ = std::make_shared<const State>(State{
+      inverse_diagonal(a), basis, coarse_factorization(a, basis)});
+}
+
+void RomPreconditioner::apply(const std::vector<double>& r,
+                              std::vector<double>& z) const {
+  const State& st = *state_;
+  const std::size_t n = st.dinv.size();
+  CNTI_EXPECTS(r.size() == n, "RomPreconditioner: residual size mismatch");
+  const std::size_t q = st.v.size();
+
+  // Coarse correction: y = (V^T A V)^{-1} V^T r, z = V y.
+  std::vector<double> t(q);
+  for (std::size_t j = 0; j < q; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += st.v[j][i] * r[i];
+    t[j] = s;
+  }
+  const std::vector<double> y = st.coarse.solve(t);
+  z.assign(n, 0.0);
+  for (std::size_t j = 0; j < q; ++j) {
+    const double yj = y[j];
+    if (yj == 0.0) continue;
+    for (std::size_t i = 0; i < n; ++i) z[i] += yj * st.v[j][i];
+  }
+  // Jacobi smoother handles everything outside the coarse span.
+  for (std::size_t i = 0; i < n; ++i) z[i] += st.dinv[i] * r[i];
+}
+
+numerics::PreconditionerFn RomPreconditioner::fn() const {
+  return [self = *this](const std::vector<double>& r,
+                        std::vector<double>& z) { self.apply(r, z); };
+}
+
+}  // namespace cnti::rom

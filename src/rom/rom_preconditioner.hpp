@@ -1,0 +1,58 @@
+// Two-level preconditioner for full-system Krylov solves built from a
+// PRIMA projection basis: the reduced model's span captures exactly the
+// smooth, strongly-coupled modes that plain Jacobi leaves to the Krylov
+// iteration, so combining a coarse ROM correction with a Jacobi smoother
+//
+//   M^{-1} r = V (V^T A V)^{-1} V^T r  +  D^{-1} r
+//
+// (V = the n x q orthonormal basis, D = diag(A)) collapses both ends of
+// the spectrum. The q x q coarse matrix is formed and LU-factorized once
+// at construction; each apply costs two n x q products plus a q x q
+// triangular solve on top of the diagonal scale — O(nq), negligible next
+// to the solver's matvec for the q << n regime ROMs live in.
+//
+// Intended use: hand fn() to numerics::bicgstab / numerics::gmres as the
+// `precond` argument when solving (G + sC) x = b on the full network whose
+// reduction produced V (see BusRom::preconditioner). apply() is const and
+// allocates only scratch; one preconditioner can be shared across threads.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+#include "numerics/solvers.hpp"
+#include "numerics/sparse.hpp"
+
+namespace cnti::rom {
+
+class RomPreconditioner {
+ public:
+  /// Builds the coarse operator V^T A V and factorizes it. `basis` holds q
+  /// orthonormal columns of length a.rows() (ReducedModel::basis form).
+  /// Throws PreconditionError on an empty basis or a size mismatch and
+  /// NumericalError when the coarse matrix is singular (a basis column in
+  /// the nullspace of A).
+  RomPreconditioner(const numerics::SparseMatrix& a,
+                    const std::vector<std::vector<double>>& basis);
+
+  std::size_t size() const { return state_->dinv.size(); }
+  std::size_t coarse_order() const { return state_->v.size(); }
+
+  /// z = M^{-1} r.
+  void apply(const std::vector<double>& r, std::vector<double>& z) const;
+
+  /// Copyable callback for numerics::IterativeOptions-style solver entry
+  /// points; shares this preconditioner's (immutable) state.
+  numerics::PreconditionerFn fn() const;
+
+ private:
+  struct State {
+    std::vector<double> dinv;              ///< 1 / diag(A), zeros kept as 1.
+    std::vector<std::vector<double>> v;    ///< q columns of length n.
+    numerics::LuFactorization<double> coarse;  ///< LU of V^T A V.
+  };
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace cnti::rom

@@ -45,6 +45,7 @@ ContentKey topology_drive_key(const char* schema,
       .add(drive.receiver_load_f)
       .add(drive.mna.solver)
       .add(drive.mna.sparse_threshold)
+      .add(drive.mna.ordering)
       .add(time_steps);
   return h.key();
 }

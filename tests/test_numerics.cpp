@@ -11,11 +11,13 @@
 #include "numerics/interp.hpp"
 #include "numerics/leastsq.hpp"
 #include "numerics/matrix.hpp"
+#include "numerics/ordering.hpp"
 #include "numerics/quadrature.hpp"
 #include "numerics/rng.hpp"
 #include "numerics/roots.hpp"
 #include "numerics/solvers.hpp"
 #include "numerics/sparse.hpp"
+#include "numerics/sparse_lu.hpp"
 #include "numerics/stats.hpp"
 
 namespace cn = cnti::numerics;
@@ -180,6 +182,244 @@ TEST(Solvers, TridiagonalZeroFinalPivotThrows) {
   // 1x1 degenerate case goes through the same final-pivot check.
   EXPECT_THROW(cn::solve_tridiagonal({}, {0.0}, {}, {1.0}),
                cnti::NumericalError);
+}
+
+TEST(Solvers, BicgstabRejectsMismatchedSizes) {
+  // Regression: bicgstab used to trust b.size() and a non-empty x0's size
+  // blindly, reading out of bounds instead of throwing.
+  const auto a = laplacian_1d(8);
+  EXPECT_THROW(cn::bicgstab(a, std::vector<double>(7, 1.0)),
+               cnti::PreconditionError);
+  EXPECT_THROW(cn::bicgstab(a, std::vector<double>(8, 1.0), {},
+                            std::vector<double>(5, 0.0)),
+               cnti::PreconditionError);
+}
+
+TEST(Solvers, BicgstabBreakdownReturnsFiniteIterateAndTrueResidual) {
+  // Regression: alpha = rho / (rhat'v) was formed unguarded. On this
+  // rotation rhat'v is exactly zero at the first iteration (r0 = b = rhat,
+  // A r0 is orthogonal to r0), which used to poison x with inf/NaN. The
+  // guarded solver must break cleanly: finite iterate and the *true*
+  // residual of that iterate, not a stale recurrence value.
+  cn::SparseBuilder bld(2, 2);
+  bld.add(0, 1, 1.0);
+  bld.add(1, 0, -1.0);
+  const auto a = bld.build();
+  const std::vector<double> b = {1.0, 1.0};
+  const auto res = cn::bicgstab(a, b, {.max_iterations = 50,
+                                       .tolerance = 1e-12});
+  EXPECT_FALSE(res.converged);
+  for (const double v : res.x) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(std::isfinite(res.residual));
+  // x is still the zero start, so the true relative residual is exactly 1.
+  EXPECT_NEAR(res.residual, 1.0, 1e-12);
+}
+
+TEST(Solvers, CgExactSeedConvergesInZeroIterations) {
+  // Regression: a seed already at the solution made the very first p'Ap
+  // breakdown check trip, reporting converged=false with residual 0.0.
+  const std::size_t n = 40;
+  const auto a = laplacian_1d(n);
+  cn::Rng rng(7);
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-1, 1);
+  const auto b = a * x_true;
+  const auto res =
+      cn::conjugate_gradient(a, b, {.tolerance = 1e-10}, x_true);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);
+  EXPECT_LT(res.residual, 1e-10);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(res.x[i], x_true[i]);
+}
+
+TEST(Solvers, BicgstabExactSeedConvergesInZeroIterations) {
+  const std::size_t n = 40;
+  const auto a = laplacian_1d(n);
+  std::vector<double> x_true(n, 2.5);
+  const auto b = a * x_true;
+  const auto res = cn::bicgstab(a, b, {.tolerance = 1e-10}, x_true);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(res.x[i], x_true[i]);
+}
+
+TEST(Solvers, GmresSolvesNonsymmetric) {
+  const std::size_t n = 50;
+  cn::SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, 4.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < n) b.add(i, i + 1, -2.0);  // non-symmetric
+  }
+  const auto a = b.build();
+  std::vector<double> x_true(n, 1.0);
+  const auto rhs = a * x_true;
+  const auto res = cn::gmres(a, rhs, {.max_iterations = 2000,
+                                      .tolerance = 1e-12});
+  ASSERT_TRUE(res.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(res.x[i], 1.0, 1e-8);
+}
+
+TEST(Solvers, GmresShortRestartStillConverges) {
+  // Restart length far below the Krylov dimension the problem needs:
+  // convergence must survive the restarts (right preconditioning keeps the
+  // monitored residual the true one across cycles).
+  const std::size_t n = 60;
+  const auto a = laplacian_1d(n);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = std::sin(0.37 * static_cast<double>(i));
+  }
+  const auto rhs = a * x_true;
+  const auto res = cn::gmres(a, rhs, {.max_iterations = 20000,
+                                      .tolerance = 1e-11,
+                                      .restart = 5});
+  ASSERT_TRUE(res.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(res.x[i], x_true[i], 1e-6);
+}
+
+TEST(Solvers, GmresGuardsMatchBicgstab) {
+  const auto a = laplacian_1d(8);
+  EXPECT_THROW(cn::gmres(a, std::vector<double>(3, 1.0)),
+               cnti::PreconditionError);
+  EXPECT_THROW(cn::gmres(a, std::vector<double>(8, 1.0), {},
+                         std::vector<double>(2, 0.0)),
+               cnti::PreconditionError);
+  // Exact seed: zero iterations, like CG/BiCGSTAB.
+  std::vector<double> x_true(8, 1.0);
+  const auto rhs = a * x_true;
+  const auto res = cn::gmres(a, rhs, {.tolerance = 1e-10}, x_true);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);
+}
+
+// --- Fill-reducing ordering ----------------------------------------------
+
+/// Arrow matrix: dense first row/column plus the diagonal. Eliminating the
+/// hub first fills the factor completely; any minimum-degree method must
+/// defer it to the end, keeping the factor O(n).
+cn::SparseMatrix arrow_matrix(std::size_t n) {
+  cn::SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) b.add(i, i, 4.0);
+  for (std::size_t i = 1; i < n; ++i) {
+    b.add(0, i, -1.0);
+    b.add(i, 0, -1.0);
+  }
+  return b.build();
+}
+
+TEST(Ordering, AmdReturnsValidPermutation) {
+  const auto a = laplacian_1d(50);
+  const auto perm = cn::amd_ordering(a);
+  ASSERT_EQ(perm.size(), 50u);
+  std::vector<char> seen(50, 0);
+  for (const std::size_t p : perm) {
+    ASSERT_LT(p, 50u);
+    EXPECT_FALSE(seen[p]) << "index " << p << " appears twice";
+    seen[p] = 1;
+  }
+}
+
+TEST(Ordering, AmdDefersArrowHubToEnd) {
+  const auto a = arrow_matrix(30);
+  const auto perm = cn::amd_ordering(a);
+  ASSERT_EQ(perm.size(), 30u);
+  // Every leaf has degree 1, the hub degree n-1: the hub must wait until
+  // its degree has decayed. Once a single leaf remains both have degree 1
+  // and the lowest-index tie-break may pick the hub first, so "deferred"
+  // means one of the final two positions.
+  const auto hub = std::find(perm.begin(), perm.end(), 0u) - perm.begin();
+  EXPECT_GE(hub, 28);
+}
+
+TEST(Ordering, AmdOrderingReducesArrowFill) {
+  const std::size_t n = 64;
+  const auto a = arrow_matrix(n);
+  cn::SparseLu natural;
+  natural.factorize(a);
+  cn::SparseLu amd;
+  amd.set_column_ordering(cn::amd_ordering(a));
+  amd.factorize(a);
+  const std::size_t nnz_natural = natural.nnz_l() + natural.nnz_u();
+  const std::size_t nnz_amd = amd.nnz_l() + amd.nnz_u();
+  // Natural order eliminates the hub first -> dense factor, O(n^2)
+  // entries; AMD keeps it O(n).
+  EXPECT_LT(nnz_amd * 4, nnz_natural);
+  EXPECT_LE(nnz_amd, 4 * n);
+}
+
+TEST(Ordering, OrderedLuMatchesDenseSolve) {
+  const std::size_t n = 40;
+  cn::Rng rng(11);
+  // Random sparse diagonally-dominant system with symmetric pattern.
+  cn::SparseBuilder b(n, n);
+  cn::MatrixD dense(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, 8.0);
+    dense(i, i) += 8.0;
+  }
+  for (int k = 0; k < 120; ++k) {
+    const auto i =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n) - 1));
+    const auto j =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n) - 1));
+    if (i == j) continue;
+    const double v = rng.uniform(-1, 1);
+    b.add(i, j, v);
+    b.add(j, i, 0.0);  // keep the pattern symmetric, values free
+    dense(i, j) += v;
+  }
+  const auto a = b.build();
+  std::vector<double> rhs(n);
+  for (auto& v : rhs) v = rng.uniform(-1, 1);
+
+  cn::SparseLu lu;
+  lu.set_column_ordering(cn::amd_ordering(a));
+  lu.factorize(a);
+  const auto x = lu.solve(rhs);
+  const auto x_ref = cn::solve_dense(dense, rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-10);
+}
+
+TEST(Ordering, OrderedLuReusesSymbolicAcrossRefactorize) {
+  const auto a = arrow_matrix(24);
+  cn::SparseLu lu;
+  lu.set_column_ordering(cn::amd_ordering(a));
+  lu.factorize(a);
+  EXPECT_FALSE(lu.reused_symbolic());
+
+  // Same pattern, same ordering: the symbolic analysis must be replayed,
+  // exactly as on the unordered path.
+  lu.factorize(a);
+  EXPECT_TRUE(lu.reused_symbolic());
+
+  // Re-setting the identical ordering must not invalidate the analysis...
+  lu.set_column_ordering(cn::amd_ordering(a));
+  lu.factorize(a);
+  EXPECT_TRUE(lu.reused_symbolic());
+
+  // ...but a different ordering must.
+  std::vector<std::size_t> natural(24);
+  for (std::size_t i = 0; i < 24; ++i) natural[i] = i;
+  lu.set_column_ordering(natural);
+  lu.factorize(a);
+  EXPECT_FALSE(lu.reused_symbolic());
+
+  const std::vector<double> rhs(24, 1.0);
+  const auto x = lu.solve(rhs);
+  std::vector<double> ax(24);
+  a.multiply(x, ax);
+  for (std::size_t i = 0; i < 24; ++i) EXPECT_NEAR(ax[i], 1.0, 1e-10);
+}
+
+TEST(Ordering, InvalidPermutationIsRejected) {
+  const auto a = laplacian_1d(6);
+  cn::SparseLu lu;
+  lu.set_column_ordering({0, 0, 1, 2, 3, 4});  // duplicate
+  EXPECT_THROW(lu.factorize(a), cnti::PreconditionError);
+  cn::SparseLu lu2;
+  lu2.set_column_ordering({0, 1, 2});  // wrong length
+  EXPECT_THROW(lu2.factorize(a), cnti::PreconditionError);
 }
 
 TEST(Quadrature, AdaptiveSimpsonPolynomial) {

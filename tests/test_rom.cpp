@@ -18,8 +18,12 @@
 #include "core/mwcnt_line.hpp"
 #include "core/sweep_engine.hpp"
 #include "numerics/interp.hpp"
+#include "numerics/solvers.hpp"
+#include "numerics/sparse.hpp"
+#include "numerics/sparse_lu.hpp"
 #include "rom/interconnect_rom.hpp"
 #include "rom/prima.hpp"
+#include "rom/rom_preconditioner.hpp"
 
 namespace cir = cnti::circuit;
 namespace cc = cnti::core;
@@ -512,6 +516,97 @@ TEST(RomSweep, ParallelScenarioSweepIsThreadCountInvariant) {
   }
   // And the sweep found a nonzero noise landscape.
   EXPECT_GT(*std::max_element(serial.begin(), serial.end()), 0.0);
+}
+
+// --- ROM as a preconditioner for full-system Krylov solves ---------------
+
+TEST(RomPrecond, BasisIsRetainedAndSurvivesTermination) {
+  const rom::BusRom bus(paper_bus(4, 12));
+  const rom::ReducedModel& m = bus.model();
+  ASSERT_TRUE(m.has_basis());
+  EXPECT_EQ(static_cast<int>(m.basis().size()), m.order());
+  for (const auto& col : m.basis()) {
+    EXPECT_EQ(static_cast<int>(col.size()), m.full_order());
+  }
+  // Terminations are reduced-space updates: the span (and the stored V)
+  // is unchanged.
+  const rom::ReducedModel term = m.terminated({{0, 0, 1e-4, 0.0}});
+  EXPECT_TRUE(term.has_basis());
+  EXPECT_EQ(term.basis().size(), m.basis().size());
+
+  // Without keep_basis (the prima_reduce default) nothing is stored and
+  // the preconditioner constructor rejects the empty basis.
+  cir::NodeId out = 0;
+  cir::Circuit ckt = rc_lowpass(&out);
+  const rom::ReducedModel plain =
+      rom::prima_reduce(rom::extract_state_space(ckt), {.order = 2});
+  EXPECT_FALSE(plain.has_basis());
+  cnti::numerics::SparseBuilder b(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) b.add(i, i, 1.0);
+  EXPECT_THROW(rom::RomPreconditioner(b.build(), plain.basis()),
+               cnti::PreconditionError);
+}
+
+TEST(RomPrecond, FullSystemSolvesMatchSparseLu) {
+  // full_system() must assemble the same terminated network evaluate()
+  // folds into the reduced matrices; its LU solution is the oracle for
+  // every iterative variant below.
+  const rom::BusRom bus(paper_bus(8, 32));
+  const rom::BusScenario sc;
+  const auto sys = bus.full_system(sc, bus.nominal_shift_rad_per_s());
+  ASSERT_EQ(static_cast<int>(sys.a.rows()), bus.full_order());
+
+  cnti::numerics::SparseLu lu;
+  lu.factorize(sys.a);
+  const auto x_lu = lu.solve(sys.rhs);
+
+  cnti::numerics::IterativeOptions opt;
+  opt.max_iterations = 20000;
+  opt.tolerance = 1e-12;
+  const auto pre = bus.preconditioner(sys.a);
+  const auto bicg =
+      cnti::numerics::bicgstab(sys.a, sys.rhs, opt, {}, pre.fn());
+  ASSERT_TRUE(bicg.converged);
+  const auto gm = cnti::numerics::gmres(sys.a, sys.rhs, opt, {}, pre.fn());
+  ASSERT_TRUE(gm.converged);
+  for (std::size_t i = 0; i < x_lu.size(); ++i) {
+    EXPECT_NEAR(bicg.x[i], x_lu[i], 1e-8);
+    EXPECT_NEAR(gm.x[i], x_lu[i], 1e-8);
+  }
+}
+
+TEST(RomPrecond, RomPreconditionedBicgstabBeatsJacobiOnPaperBus) {
+  // The acceptance benchmark of the iterative path: on the 16 x 128 paper
+  // bus (2096 unknowns) the two-level ROM preconditioner must converge at
+  // least 5x faster than plain Jacobi at 1e-10 relative residual while
+  // matching the sparse LU solution to 1e-8. (Empirically Jacobi stalls
+  // near 1e-7 without converging at all; the 5x bound holds either way.)
+  const rom::BusRom bus(paper_bus(16, 128));
+  const rom::BusScenario sc;
+  const auto sys = bus.full_system(sc, bus.nominal_shift_rad_per_s());
+
+  cnti::numerics::SparseLu lu;
+  lu.factorize(sys.a);
+  const auto x_lu = lu.solve(sys.rhs);
+
+  cnti::numerics::IterativeOptions opt;
+  opt.max_iterations = 20000;
+  opt.tolerance = 1e-10;
+  const auto jac = cnti::numerics::bicgstab(sys.a, sys.rhs, opt);
+  const auto pre = bus.preconditioner(sys.a);
+  const auto romit =
+      cnti::numerics::bicgstab(sys.a, sys.rhs, opt, {}, pre.fn());
+
+  ASSERT_TRUE(romit.converged);
+  EXPECT_GT(romit.iterations, 0u);
+  const std::size_t jacobi_cost =
+      jac.converged ? jac.iterations : opt.max_iterations;
+  EXPECT_GE(jacobi_cost, 5 * romit.iterations)
+      << "jacobi: " << jac.iterations << " (converged=" << jac.converged
+      << "), rom: " << romit.iterations;
+  for (std::size_t i = 0; i < x_lu.size(); ++i) {
+    EXPECT_NEAR(romit.x[i], x_lu[i], 1e-8);
+  }
 }
 
 }  // namespace

@@ -559,4 +559,34 @@ TEST(DenseSparseDifferential, AutoRoutingMatchesExplicitBackends) {
   }
 }
 
+TEST(DenseSparseDifferential, AmdAndNaturalOrderingAgreeOnCoupledBus) {
+  // The fill-reducing ordering changes the factorization's elimination
+  // order, not the solution: a bus transient under kAmd (the default) and
+  // kNatural must agree to the differential tolerance, and both must
+  // match the dense oracle.
+  cir::BusConfig cfg;
+  cfg.line = cnti::core::make_paper_mwcnt(10, 4.0, 20e3).rlc();
+  cfg.coupling_cap_per_m = 30e-12;
+  cfg.length_m = 50e-6;
+  cfg.lines = 6;
+  cfg.segments = 16;
+  cfg.aggressor = 2;
+
+  cfg.mna = sparse_opts();  // ordering defaults to kAmd
+  const cir::BusCrosstalkResult amd = cir::analyze_bus_crosstalk(cfg, 400);
+  cfg.mna.ordering = cir::OrderingKind::kNatural;
+  const cir::BusCrosstalkResult nat = cir::analyze_bus_crosstalk(cfg, 400);
+  cfg.mna = dense_opts();
+  const cir::BusCrosstalkResult dense = cir::analyze_bus_crosstalk(cfg, 400);
+
+  EXPECT_EQ(amd.worst_victim, nat.worst_victim);
+  EXPECT_EQ(amd.worst_victim, dense.worst_victim);
+  EXPECT_NEAR(amd.peak_noise_v, nat.peak_noise_v,
+              1e-8 * std::max(1.0, std::abs(nat.peak_noise_v)));
+  EXPECT_NEAR(amd.peak_noise_v, dense.peak_noise_v,
+              1e-8 * std::max(1.0, std::abs(dense.peak_noise_v)));
+  EXPECT_NEAR(amd.aggressor_delay_s, dense.aggressor_delay_s,
+              1e-8 * dense.aggressor_delay_s + 1e-18);
+}
+
 }  // namespace
