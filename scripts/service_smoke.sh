@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the scenario service's warm-restart contract:
+#   1. start scenario_server with a fresh disk cache, run a cold study;
+#   2. SIGTERM the daemon (graceful), restart it on the same cache dir;
+#   3. rerun the identical study with --require-warm — the client exits 3
+#      if the server recomputed anything (every stage must come from disk);
+#   4. results must be byte-identical across the restart (cmp of the CSVs);
+#   5. stop the daemon through the wire protocol and check exit codes.
+#
+# usage: service_smoke.sh <build-dir>
+set -eu
+build="${1:-build}"
+server="$build/scenario_server"
+client="$build/scenario_client"
+[ -x "$server" ] || { echo "missing $server"; exit 2; }
+[ -x "$client" ] || { echo "missing $client"; exit 2; }
+
+work="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2> /dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+start_server() {
+  "$server" --port 0 --cache-dir "$work/cache" --threads 4 \
+    > "$work/server.log" 2>&1 &
+  server_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^SERVICE_PORT=//p' "$work/server.log" | head -1)"
+    [ -n "$port" ] && return 0
+    kill -0 "$server_pid" 2> /dev/null || { cat "$work/server.log"; exit 1; }
+    sleep 0.1
+  done
+  echo "server never reported its port"; cat "$work/server.log"; exit 1
+}
+
+echo "== cold run =="
+start_server
+"$client" --port "$port" --demo 6 --csv "$work/cold.csv"
+
+echo "== graceful SIGTERM restart =="
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "server exited non-zero on SIGTERM"; exit 1; }
+server_pid=""
+
+start_server
+echo "== warm run (must hit the disk cache for every stage) =="
+"$client" --port "$port" --demo 6 --csv "$work/warm.csv" --require-warm
+
+echo "== results bit-identical across restart =="
+cmp "$work/cold.csv" "$work/warm.csv"
+
+echo "== protocol shutdown =="
+"$client" --port "$port" --demo 0 --shutdown
+wait "$server_pid" || { echo "server exited non-zero on shutdown"; exit 1; }
+server_pid=""
+
+echo "service smoke OK"

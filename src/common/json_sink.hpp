@@ -10,12 +10,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
 
 namespace cnti {
@@ -53,6 +54,10 @@ inline std::string json_number(double value) {
 /// Disabled (records silently dropped at write time) unless the
 /// CNTI_BENCH_JSON environment variable names a target: either a file
 /// ending in ".json" or a directory that receives BENCH_<bench name>.json.
+/// Thread-safe: benches and the scenario service record metrics from pool
+/// threads, so every accessor locks. The output file is published
+/// atomically (write_file_atomic) so a crash mid-write never leaves a
+/// truncated .json for the CI artifact collector to trip over.
 class JsonMetricSink {
  public:
   static JsonMetricSink& instance() {
@@ -63,38 +68,51 @@ class JsonMetricSink {
   JsonMetricSink() = default;
 
   /// Bench name used in the default output filename (set once per binary).
-  void set_name(const std::string& name) { name_ = name; }
+  void set_name(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    name_ = name;
+  }
 
   void set(const std::string& key, double value) {
+    const std::lock_guard<std::mutex> lock(mu_);
     check_new_key(key);
     numbers_[key] = value;
   }
   void set(const std::string& key, const std::string& value) {
+    const std::lock_guard<std::mutex> lock(mu_);
     check_new_key(key);
     strings_[key] = value;
   }
 
   /// Writes the recorded metrics if CNTI_BENCH_JSON is set; returns the
-  /// path written to (empty when disabled).
+  /// path written to (empty when disabled). Publication is atomic: the
+  /// bytes land in a temp sibling first and rename onto the final path.
   std::string write() const {
     const char* target = std::getenv("CNTI_BENCH_JSON");
     if (target == nullptr || *target == '\0') return {};
     std::string path(target);
-    if (path.size() < 5 || path.substr(path.size() - 5) != ".json") {
-      path += "/BENCH_" + (name_.empty() ? std::string("unnamed") : name_) +
-              ".json";
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (path.size() < 5 || path.substr(path.size() - 5) != ".json") {
+        path += "/BENCH_" +
+                (name_.empty() ? std::string("unnamed") : name_) + ".json";
+      }
     }
-    std::ofstream out(path);
-    if (!out) {
-      std::cerr << "bench: cannot write JSON results to " << path << "\n";
+    std::ostringstream body;
+    write_to(body);
+    try {
+      write_file_atomic(path, body.str());
+    } catch (const std::exception& e) {
+      std::cerr << "bench: cannot write JSON results to " << path << ": "
+                << e.what() << "\n";
       return {};
     }
-    write_to(out);
     return path;
   }
 
   /// Emits the metric object to an arbitrary stream (unit-test seam).
   void write_to(std::ostream& out) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     out << "{\n  \"bench\": \"" << json_escape(name_) << "\"";
     for (const auto& [key, value] : strings_) {
       out << ",\n  \"" << json_escape(key) << "\": \"" << json_escape(value)
@@ -107,7 +125,7 @@ class JsonMetricSink {
   }
 
  private:
-  void check_new_key(const std::string& key) const {
+  void check_new_key(const std::string& key) const {  // callers hold mu_
     CNTI_EXPECTS(key != "bench",
                  "metric name \"bench\" is reserved for the bench name");
     CNTI_EXPECTS(numbers_.find(key) == numbers_.end() &&
@@ -117,6 +135,7 @@ class JsonMetricSink {
                      "duplicate JSON keys)");
   }
 
+  mutable std::mutex mu_;
   std::string name_;
   std::map<std::string, double> numbers_;
   std::map<std::string, std::string> strings_;

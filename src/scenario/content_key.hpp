@@ -28,37 +28,52 @@ struct ContentKey {
 
 /// Accumulates typed field values into a ContentKey. Doubles are hashed by
 /// bit pattern with -0.0 normalized to +0.0; NaNs are rejected (a NaN field
-/// would compare unequal to itself, poisoning cache identity).
+/// would compare unequal to itself, poisoning cache identity). Every add()
+/// overload prefixes its payload with a type-domain byte, so values of
+/// different types never alias in the word stream: historically
+/// add(bool true) and add(int64 1) fed identical bytes, which let two
+/// specs whose adjacent fields were (bool, ...) vs (int, ...) hash equal.
+/// That matters doubly now that keys address persistent disk entries —
+/// which is also why every key schema string was bumped to ".v2" alongside
+/// this fix (pre-tag keys must not resolve post-tag entries or vice versa).
 class KeyHasher {
  public:
   KeyHasher() = default;
 
   /// Seeds the key space of a struct/stage so identical field streams from
-  /// different schemas cannot collide (e.g. "tech-v1" vs "workload-v1").
+  /// different schemas cannot collide (e.g. "tech-v2" vs "workload-v2").
   explicit KeyHasher(std::string_view schema) { add(schema); }
 
   KeyHasher& add(double v) {
     CNTI_EXPECTS(!std::isnan(v), "content key fields must not be NaN");
     if (v == 0.0) v = 0.0;  // collapse -0.0 and +0.0
+    mix(kTagDouble);
     return add_word(std::bit_cast<std::uint64_t>(v));
   }
 
   KeyHasher& add(std::int64_t v) {
+    mix(kTagInt);
     return add_word(static_cast<std::uint64_t>(v));
   }
   KeyHasher& add(int v) { return add(static_cast<std::int64_t>(v)); }
-  KeyHasher& add(bool v) { return add(static_cast<std::int64_t>(v ? 1 : 2)); }
+  KeyHasher& add(bool v) {
+    mix(kTagBool);
+    mix(v ? 1 : 0);
+    return *this;
+  }
 
   template <typename E>
     requires std::is_enum_v<E>
   KeyHasher& add(E v) {
-    return add(static_cast<std::int64_t>(v));
+    mix(kTagEnum);
+    return add_word(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
   }
 
   /// String literals must not decay to the bool overload.
   KeyHasher& add(const char* s) { return add(std::string_view(s)); }
 
   KeyHasher& add(std::string_view s) {
+    mix(kTagString);
     for (const char c : s) mix(static_cast<unsigned char>(c));
     // Length terminator keeps "ab" + "c" distinct from "a" + "bc".
     return add_word(static_cast<std::uint64_t>(s.size()) ^ kLenTag);
@@ -73,6 +88,13 @@ class KeyHasher {
   static constexpr std::uint64_t kPrime1 = 1099511628211ULL;
   static constexpr std::uint64_t kPrime2 = 1099511628211ULL;
   static constexpr std::uint64_t kLenTag = 0xa5a5a5a5a5a5a5a5ULL;
+
+  // Type-domain prefixes (arbitrary distinct bytes).
+  static constexpr unsigned char kTagDouble = 0xd0;
+  static constexpr unsigned char kTagInt = 0x17;
+  static constexpr unsigned char kTagBool = 0xb0;
+  static constexpr unsigned char kTagEnum = 0xe0;
+  static constexpr unsigned char kTagString = 0x50;
 
   void mix(unsigned char byte) {
     h1_ = (h1_ ^ byte) * kPrime1;

@@ -14,6 +14,7 @@
 // cost, never results (see docs/SCENARIO_ENGINE.md).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +38,7 @@ inline constexpr const char* kCapacitance = "capacitance";
 inline constexpr const char* kDelayMna = "delay-mna";
 inline constexpr const char* kBusNetlist = "bus-netlist";
 inline constexpr const char* kBusRom = "bus-rom";
+inline constexpr const char* kBusRomEval = "bus-rom-eval";
 inline constexpr const char* kBusMna = "bus-mna";
 inline constexpr const char* kThermal = "thermal";
 }  // namespace stage
@@ -56,6 +58,12 @@ struct EngineOptions {
   /// Disable to recompute every stage per scenario (the differential
   /// baseline the cached path must match bit-for-bit).
   bool cache_enabled = true;
+  /// Optional second-level store (typically a service::DiskCache): leaf
+  /// stage results survive process restarts and are shared across
+  /// engines/daemons pointed at the same store. Ignored when the cache is
+  /// disabled. Persistence changes cost, never values — a revived entry
+  /// is bit-identical to the computed one by the codecs' construction.
+  std::shared_ptr<CacheTier> tier;
   /// Batch execution (thread count / chunk grain) for run_batch.
   core::SweepOptions sweep{};
 };

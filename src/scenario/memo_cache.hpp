@@ -4,12 +4,23 @@
 // Every cached value must be a deterministic pure function of the hashed
 // content and immutable once published — that is what makes a cached batch
 // bit-identical to the uncached per-scenario path at any thread count.
+//
+// The cache is tiered: below the in-process future map an optional
+// CacheTier (the service layer's disk-backed DiskCache) persists encoded
+// stage values across restarts. A memory miss consults the tier before
+// computing; a computed value is stored back best-effort. The tier only
+// ever sees bytes produced by a StageCodec whose value-schema tag is
+// versioned independently of the key schema, so both a key-format change
+// (".v2" schema strings) and a value-layout change read as clean misses,
+// never as silently misdecoded entries.
 #pragma once
 
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <typeindex>
@@ -22,27 +33,65 @@ namespace cnti::scenario {
 
 /// Hit/miss counters of one stage (or the whole cache). As long as no
 /// compute throws, the once-per-key future scheme makes the counts
-/// thread-schedule independent: misses == distinct keys requested,
-/// hits == requests - misses. A throwing compute erases its entry so the
-/// key can retry, which re-counts that key (and requests racing the
+/// thread-schedule independent: misses == distinct keys computed,
+/// disk_hits == distinct keys revived from the tier, hits == requests
+/// that joined an in-memory entry. A throwing compute erases its entry so
+/// the key can retry, which re-counts that key (and requests racing the
 /// erase may count as hits yet receive the exception) — under failures
 /// the split is best-effort diagnostics, not an invariant.
 struct CacheStats {
   std::uint64_t hits = 0;
+  std::uint64_t disk_hits = 0;
   std::uint64_t misses = 0;
 
   CacheStats& operator+=(const CacheStats& o) {
     hits += o.hits;
+    disk_hits += o.disk_hits;
     misses += o.misses;
     return *this;
   }
 };
 
+/// Second-level store consulted on in-memory misses (disk, in production).
+/// Implementations must validate entry integrity on load — a corrupt,
+/// truncated or wrong-version entry is evicted and reported as a miss,
+/// never returned — and must swallow store failures (a broken disk
+/// degrades the cache to memory-only; it must not fail computations).
+class CacheTier {
+ public:
+  virtual ~CacheTier() = default;
+
+  /// Returns the encoded bytes stored for (stage, value_schema, key), or
+  /// nullopt on miss / failed validation.
+  virtual std::optional<std::string> load(std::string_view stage,
+                                          std::string_view value_schema,
+                                          const ContentKey& key) = 0;
+
+  /// Persists encoded bytes for (stage, value_schema, key). Best-effort.
+  virtual void store(std::string_view stage, std::string_view value_schema,
+                     const ContentKey& key, std::string_view bytes) = 0;
+};
+
+/// How a stage value crosses the tier boundary. `schema` is a versioned
+/// tag of the *encoded layout* ("bus-result.v1"); bump it whenever encode
+/// changes so stale disk entries read as misses. decode returns nullopt on
+/// any layout mismatch (the tier has already checksummed the bytes, so a
+/// decode failure means schema drift, which is recomputed, not trusted).
+template <typename T>
+struct StageCodec {
+  std::string schema;
+  std::function<std::string(const T&)> encode;
+  std::function<std::optional<T>(std::string_view)> decode;
+};
+
 class MemoCache {
  public:
-  explicit MemoCache(bool enabled = true) : enabled_(enabled) {}
+  explicit MemoCache(bool enabled = true,
+                     std::shared_ptr<CacheTier> tier = nullptr)
+      : enabled_(enabled), tier_(std::move(tier)) {}
 
   bool enabled() const { return enabled_; }
+  const std::shared_ptr<CacheTier>& tier() const { return tier_; }
 
   /// Returns the cached value for (stage, key), computing it via `compute`
   /// on the first request. `compute` must return std::shared_ptr<const T>
@@ -54,6 +103,21 @@ class MemoCache {
   std::shared_ptr<const T> get_or_compute(std::string_view stage,
                                           const ContentKey& key,
                                           Fn&& compute) {
+    return get_or_compute<T>(stage, key, std::forward<Fn>(compute),
+                             static_cast<const StageCodec<T>*>(nullptr));
+  }
+
+  /// Tiered variant: on an in-memory miss the owner first consults the
+  /// tier (if any) under the codec's value schema; only if that misses —
+  /// or fails to decode — does `compute` run, and the fresh value is then
+  /// stored back. Values revived from the tier count as disk_hits. The
+  /// disabled cache skips the tier entirely (it is the differential
+  /// baseline that must recompute everything).
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> get_or_compute(std::string_view stage,
+                                          const ContentKey& key,
+                                          Fn&& compute,
+                                          const StageCodec<T>* codec) {
     if (!enabled_) {
       {
         const std::lock_guard<std::mutex> lock(mu_);
@@ -72,15 +136,24 @@ class MemoCache {
         owner = true;
         fut = mine.get_future().share();
         entries_.emplace(std::pair<std::string, ContentKey>(stage, key), fut);
-        ++stats_map(stage).misses;
       } else {
         fut = it->second;
         ++stats_map(stage).hits;
       }
     }
     if (owner) {
+      std::shared_ptr<const T> value;
+      bool from_tier = false;
       try {
-        std::shared_ptr<const T> value = to_shared<T>(compute());
+        if (tier_ != nullptr && codec != nullptr) {
+          if (auto bytes = tier_->load(stage, codec->schema, key)) {
+            if (auto decoded = codec->decode(*bytes)) {
+              value = std::make_shared<const T>(std::move(*decoded));
+              from_tier = true;
+            }
+          }
+        }
+        if (value == nullptr) value = to_shared<T>(compute());
         mine.set_value(Value{want, value});
       } catch (...) {
         // Erase before publishing the exception: a waiter that catches it
@@ -89,10 +162,25 @@ class MemoCache {
         {
           const std::lock_guard<std::mutex> lock(mu_);
           entries_.erase({std::string(stage), key});
+          ++stats_map(stage).misses;
         }
         mine.set_exception(std::current_exception());
         throw;
       }
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        auto& s = stats_map(stage);
+        from_tier ? ++s.disk_hits : ++s.misses;
+      }
+      if (!from_tier && tier_ != nullptr && codec != nullptr) {
+        // After set_value so waiters never block on tier IO; best-effort
+        // (a tier/codec failure here must not fail a computed request).
+        try {
+          tier_->store(stage, codec->schema, key, codec->encode(*value));
+        } catch (...) {  // NOLINT(bugprone-empty-catch)
+        }
+      }
+      return value;
     }
     const Value& v = fut.get();
     CNTI_EXPECTS(v.type == want,
@@ -125,6 +213,8 @@ class MemoCache {
     return entries_.size();
   }
 
+  /// Drops the in-memory entries and counters; the tier is untouched (a
+  /// cleared cache re-populates from disk, which is the restart scenario).
   void clear() {
     const std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
@@ -152,6 +242,7 @@ class MemoCache {
   }
 
   bool enabled_ = true;
+  std::shared_ptr<CacheTier> tier_;
   mutable std::mutex mu_;
   std::map<std::pair<std::string, ContentKey>, std::shared_future<Value>>
       entries_;

@@ -1,6 +1,7 @@
 #include "scenario/report.hpp"
 
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -24,8 +25,11 @@ std::string csv_field(const std::string& s) {
 }
 
 std::string num_field(double v) {
+  // max_digits10: the engine guarantees bit-identical results, so the CSV
+  // must round-trip doubles exactly — precision(12) silently dropped the
+  // last ~5 bits of every value (the JSON writer was already exact).
   std::ostringstream os;
-  os.precision(12);
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << v;
   return os.str();
 }
@@ -109,66 +113,91 @@ void write_report_csv(const std::string& path,
   write_report_csv(out, results);
 }
 
+void write_result_json_object(std::ostream& out, const ScenarioResult& r,
+                              const std::string& indent) {
+  // Pretty (report) and compact (wire) modes share one schema: an empty
+  // indent collapses every break to a single space-free line, which is
+  // what the JSON-lines service protocol frames by.
+  const bool pretty = !indent.empty();
+  const std::string open = pretty ? "{\n" + indent + "  " : "{";
+  const std::string sep = pretty ? ",\n" + indent + "  " : ", ";
+  const std::string close = pretty ? "\n" + indent + "}" : "}";
+  out << (pretty ? indent : "") << open;
+  out << "\"label\": \"" << json_escape(r.label) << "\"" << sep;
+  out << "\"line\": {"
+      << "\"fermi_shift_ev\": " << json_number(r.line.fermi_shift_ev)
+      << ", \"channels_per_shell\": " << json_number(r.line.channels_per_shell)
+      << ", \"mfp_um\": " << json_number(r.line.mfp_um)
+      << ", \"shells\": " << r.line.shells
+      << ", \"resistance_kohm\": " << json_number(r.line.resistance_kohm)
+      << ", \"capacitance_ff\": " << json_number(r.line.capacitance_ff)
+      << ", \"electrostatic_cap_af_per_um\": "
+      << json_number(r.line.electrostatic_cap_af_per_um)
+      << ", \"delay_ps\": " << json_number(r.line.delay_ps)
+      << ", \"delay_method\": \"" << json_escape(r.line.delay_method)
+      << "\"}";
+  if (r.noise) {
+    out << sep << "\"noise\": {"
+        << "\"peak_noise_v\": " << json_number(r.noise->peak_noise_v)
+        << ", \"peak_time_s\": " << json_number(r.noise->peak_time_s)
+        << ", \"worst_victim\": " << r.noise->worst_victim
+        << ", \"aggressor_delay_s\": "
+        << json_number(r.noise->aggressor_delay_s)
+        << ", \"unknowns\": " << r.noise->unknowns << "}";
+  }
+  if (r.thermal) {
+    out << sep << "\"thermal\": {"
+        << "\"peak_rise_k\": " << json_number(r.thermal->peak_rise_k)
+        << ", \"hot_resistance_kohm\": "
+        << json_number(r.thermal->hot_resistance_kohm)
+        << ", \"thermal_runaway\": "
+        << (r.thermal->thermal_runaway ? "true" : "false")
+        << ", \"ampacity_ua\": " << json_number(r.thermal->ampacity_ua)
+        << ", \"current_density_a_cm2\": "
+        << json_number(r.thermal->current_density_a_cm2)
+        << ", \"cnt_em_immune\": "
+        << (r.thermal->cnt_em_immune ? "true" : "false")
+        << ", \"cu_reference_mttf_s\": "
+        << json_number(r.thermal->cu_reference_mttf_s) << "}";
+  }
+  out << close;
+}
+
+void write_cache_stats_json_object(std::ostream& out, const MemoCache& cache,
+                                   const std::string& indent) {
+  const bool pretty = !indent.empty();
+  const std::string open = pretty ? "{\n" + indent + "  " : "{";
+  const std::string sep = pretty ? ",\n" + indent + "  " : ", ";
+  const std::string close = pretty ? "\n" + indent + "}" : "}";
+  out << open << "\"enabled\": " << (cache.enabled() ? "true" : "false")
+      << sep << "\"stages\": {";
+  const auto stats = cache.all_stats();
+  bool first = true;
+  for (const auto& [stage, s] : stats) {
+    if (!first) out << ",";
+    if (pretty) out << "\n" << indent << "    ";
+    else if (!first) out << " ";
+    out << "\"" << json_escape(stage) << "\": {\"hits\": " << s.hits
+        << ", \"disk_hits\": " << s.disk_hits << ", \"misses\": " << s.misses
+        << "}";
+    first = false;
+  }
+  if (pretty && !first) out << "\n" << indent << "  ";
+  out << "}" << close;
+}
+
 void write_report_json(std::ostream& out,
                        const std::vector<ScenarioResult>& results,
                        const MemoCache* cache) {
   out << "{\n  \"scenarios\": [";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const ScenarioResult& r = results[i];
-    out << (i == 0 ? "\n" : ",\n") << "    {\n";
-    out << "      \"label\": \"" << json_escape(r.label) << "\",\n";
-    out << "      \"line\": {"
-        << "\"fermi_shift_ev\": " << json_number(r.line.fermi_shift_ev)
-        << ", \"channels_per_shell\": "
-        << json_number(r.line.channels_per_shell)
-        << ", \"mfp_um\": " << json_number(r.line.mfp_um)
-        << ", \"shells\": " << r.line.shells
-        << ", \"resistance_kohm\": " << json_number(r.line.resistance_kohm)
-        << ", \"capacitance_ff\": " << json_number(r.line.capacitance_ff)
-        << ", \"electrostatic_cap_af_per_um\": "
-        << json_number(r.line.electrostatic_cap_af_per_um)
-        << ", \"delay_ps\": " << json_number(r.line.delay_ps)
-        << ", \"delay_method\": \"" << json_escape(r.line.delay_method)
-        << "\"}";
-    if (r.noise) {
-      out << ",\n      \"noise\": {"
-          << "\"peak_noise_v\": " << json_number(r.noise->peak_noise_v)
-          << ", \"peak_time_s\": " << json_number(r.noise->peak_time_s)
-          << ", \"worst_victim\": " << r.noise->worst_victim
-          << ", \"aggressor_delay_s\": "
-          << json_number(r.noise->aggressor_delay_s)
-          << ", \"unknowns\": " << r.noise->unknowns << "}";
-    }
-    if (r.thermal) {
-      out << ",\n      \"thermal\": {"
-          << "\"peak_rise_k\": " << json_number(r.thermal->peak_rise_k)
-          << ", \"hot_resistance_kohm\": "
-          << json_number(r.thermal->hot_resistance_kohm)
-          << ", \"thermal_runaway\": "
-          << (r.thermal->thermal_runaway ? "true" : "false")
-          << ", \"ampacity_ua\": " << json_number(r.thermal->ampacity_ua)
-          << ", \"current_density_a_cm2\": "
-          << json_number(r.thermal->current_density_a_cm2)
-          << ", \"cnt_em_immune\": "
-          << (r.thermal->cnt_em_immune ? "true" : "false")
-          << ", \"cu_reference_mttf_s\": "
-          << json_number(r.thermal->cu_reference_mttf_s) << "}";
-    }
-    out << "\n    }";
+    out << (i == 0 ? "\n" : ",\n");
+    write_result_json_object(out, results[i], "    ");
   }
   out << "\n  ]";
   if (cache != nullptr) {
-    out << ",\n  \"cache\": {\n    \"enabled\": "
-        << (cache->enabled() ? "true" : "false") << ",\n    \"stages\": {";
-    const auto stats = cache->all_stats();
-    bool first = true;
-    for (const auto& [stage, s] : stats) {
-      out << (first ? "\n" : ",\n") << "      \"" << json_escape(stage)
-          << "\": {\"hits\": " << s.hits << ", \"misses\": " << s.misses
-          << "}";
-      first = false;
-    }
-    out << "\n    }\n  }";
+    out << ",\n  \"cache\": ";
+    write_cache_stats_json_object(out, *cache, "  ");
   }
   out << "\n}\n";
 }

@@ -21,12 +21,25 @@ void write_report_csv(std::ostream& out,
 void write_report_csv(const std::string& path,
                       const std::vector<ScenarioResult>& results);
 
-/// `cache` adds a "cache" section with per-stage hit/miss counts.
+/// `cache` adds a "cache" section with per-stage hit/disk-hit/miss counts.
 void write_report_json(std::ostream& out,
                        const std::vector<ScenarioResult>& results,
                        const MemoCache* cache = nullptr);
 void write_report_json(const std::string& path,
                        const std::vector<ScenarioResult>& results,
                        const MemoCache* cache = nullptr);
+
+/// One result as a JSON object in exactly the report's scenario schema.
+/// `indent` selects the layout: non-empty pretty-prints at that base indent
+/// (the report form), empty emits a single newline-free line (the service
+/// wire form — the protocol parser is the inverse of this writer).
+void write_result_json_object(std::ostream& out, const ScenarioResult& r,
+                              const std::string& indent);
+
+/// The report's "cache" section ({"enabled": ..., "stages": {...}}), also
+/// reused by the service's end-of-batch wire message. Empty indent =
+/// single-line form.
+void write_cache_stats_json_object(std::ostream& out, const MemoCache& cache,
+                                   const std::string& indent);
 
 }  // namespace cnti::scenario

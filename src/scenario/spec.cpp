@@ -5,7 +5,7 @@
 namespace cnti::scenario {
 
 ContentKey content_key(const TechnologySpec& t) {
-  KeyHasher h("cnti.tech.v1");
+  KeyHasher h("cnti.tech.v2");
   h.add(t.outer_diameter_nm)
       .add(t.dopant)
       .add(t.dopant_concentration)
@@ -23,7 +23,7 @@ ContentKey content_key(const TechnologySpec& t) {
 }
 
 ContentKey content_key(const WorkloadSpec& w) {
-  KeyHasher h("cnti.workload.v1");
+  KeyHasher h("cnti.workload.v2");
   h.add(w.length_um)
       .add(w.driver_resistance_kohm)
       .add(w.load_capacitance_ff)
@@ -41,7 +41,7 @@ ContentKey content_key(const WorkloadSpec& w) {
 }
 
 ContentKey content_key(const AnalysisRequest& a) {
-  KeyHasher h("cnti.analysis.v1");
+  KeyHasher h("cnti.analysis.v2");
   h.add(a.delay)
       .add(a.delay_model)
       .add(a.noise)
@@ -53,7 +53,7 @@ ContentKey content_key(const AnalysisRequest& a) {
 }
 
 ContentKey content_key(const Scenario& s) {
-  KeyHasher h("cnti.scenario.v1");
+  KeyHasher h("cnti.scenario.v2");
   const ContentKey t = content_key(s.tech);
   const ContentKey w = content_key(s.workload);
   const ContentKey a = content_key(s.analysis);

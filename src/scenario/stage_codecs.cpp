@@ -1,0 +1,184 @@
+#include "scenario/stage_codecs.hpp"
+
+#include <bit>
+
+namespace cnti::scenario {
+
+ByteWriter& ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  return *this;
+}
+
+ByteWriter& ByteWriter::f64(double v) {
+  return u64(std::bit_cast<std::uint64_t>(v));
+}
+
+ByteWriter& ByteWriter::i32(int v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((u >> (8 * i)) & 0xff));
+  }
+  return *this;
+}
+
+ByteWriter& ByteWriter::boolean(bool v) {
+  buf_.push_back(v ? '\1' : '\0');
+  return *this;
+}
+
+ByteWriter& ByteWriter::str(std::string_view s) {
+  u64(s.size());
+  buf_.append(s.data(), s.size());
+  return *this;
+}
+
+bool ByteReader::take(std::size_t n) {
+  if (!ok_ || buf_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  pos_ += n;
+  return true;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::size_t at = pos_;
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(buf_[at + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+int ByteReader::i32() {
+  const std::size_t at = pos_;
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(buf_[at + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return static_cast<int>(v);
+}
+
+bool ByteReader::boolean() {
+  const std::size_t at = pos_;
+  if (!take(1)) return false;
+  const unsigned char c = static_cast<unsigned char>(buf_[at]);
+  if (c > 1) {
+    ok_ = false;
+    return false;
+  }
+  return c == 1;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  const std::size_t at = pos_;
+  if (!ok_ || n > buf_.size() - pos_) {
+    ok_ = false;
+    return {};
+  }
+  (void)take(static_cast<std::size_t>(n));
+  return std::string(buf_.substr(at, static_cast<std::size_t>(n)));
+}
+
+const StageCodec<double>& scalar_codec() {
+  static const StageCodec<double> codec{
+      "scalar.v1",
+      [](const double& v) { return ByteWriter().f64(v).take(); },
+      [](std::string_view bytes) -> std::optional<double> {
+        ByteReader r(bytes);
+        const double v = r.f64();
+        if (!r.done()) return std::nullopt;
+        return v;
+      }};
+  return codec;
+}
+
+const StageCodec<core::ChannelStage>& channel_stage_codec() {
+  static const StageCodec<core::ChannelStage> codec{
+      "channel-stage.v1",
+      [](const core::ChannelStage& v) {
+        return ByteWriter()
+            .f64(v.fermi_shift_ev)
+            .f64(v.channels_per_shell)
+            .take();
+      },
+      [](std::string_view bytes) -> std::optional<core::ChannelStage> {
+        ByteReader r(bytes);
+        core::ChannelStage v;
+        v.fermi_shift_ev = r.f64();
+        v.channels_per_shell = r.f64();
+        if (!r.done()) return std::nullopt;
+        return v;
+      }};
+  return codec;
+}
+
+const StageCodec<circuit::BusCrosstalkResult>& bus_result_codec() {
+  static const StageCodec<circuit::BusCrosstalkResult> codec{
+      "bus-result.v1",
+      [](const circuit::BusCrosstalkResult& v) {
+        return ByteWriter()
+            .f64(v.peak_noise_v)
+            .f64(v.peak_time_s)
+            .i32(v.worst_victim)
+            .f64(v.aggressor_delay_s)
+            .i32(v.unknowns)
+            .take();
+      },
+      [](std::string_view bytes)
+          -> std::optional<circuit::BusCrosstalkResult> {
+        ByteReader r(bytes);
+        circuit::BusCrosstalkResult v;
+        v.peak_noise_v = r.f64();
+        v.peak_time_s = r.f64();
+        v.worst_victim = r.i32();
+        v.aggressor_delay_s = r.f64();
+        v.unknowns = r.i32();
+        if (!r.done()) return std::nullopt;
+        return v;
+      }};
+  return codec;
+}
+
+const StageCodec<ThermalReport>& thermal_report_codec() {
+  static const StageCodec<ThermalReport> codec{
+      "thermal-report.v1",
+      [](const ThermalReport& v) {
+        return ByteWriter()
+            .f64(v.peak_rise_k)
+            .f64(v.hot_resistance_kohm)
+            .boolean(v.thermal_runaway)
+            .f64(v.ampacity_ua)
+            .f64(v.current_density_a_cm2)
+            .boolean(v.cnt_em_immune)
+            .f64(v.cu_reference_mttf_s)
+            .take();
+      },
+      [](std::string_view bytes) -> std::optional<ThermalReport> {
+        ByteReader r(bytes);
+        ThermalReport v;
+        v.peak_rise_k = r.f64();
+        v.hot_resistance_kohm = r.f64();
+        v.thermal_runaway = r.boolean();
+        v.ampacity_ua = r.f64();
+        v.current_density_a_cm2 = r.f64();
+        v.cnt_em_immune = r.boolean();
+        v.cu_reference_mttf_s = r.f64();
+        if (!r.done()) return std::nullopt;
+        return v;
+      }};
+  return codec;
+}
+
+}  // namespace cnti::scenario

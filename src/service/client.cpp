@@ -1,0 +1,144 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cnti::service {
+
+ScenarioClient::ScenarioClient(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("scenario client: socket: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("scenario client: cannot connect to 127.0.0.1:" +
+                             std::to_string(port) + ": " + why);
+  }
+}
+
+ScenarioClient::~ScenarioClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ScenarioClient::send_line(const std::string& body) {
+  std::string_view bytes_view;
+  const std::string framed = body + "\n";
+  bytes_view = framed;
+  while (!bytes_view.empty()) {
+    const ssize_t n =
+        ::send(fd_, bytes_view.data(), bytes_view.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("scenario client: send: ") +
+                               std::strerror(errno));
+    }
+    bytes_view.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+std::string ScenarioClient::read_line() {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw ProtocolError("scenario client: server closed the connection");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::vector<scenario::ScenarioResult> ScenarioClient::run(
+    const std::vector<scenario::Scenario>& scenarios) {
+  std::string req = "{\"type\": \"run\", \"scenarios\": [";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (i > 0) req += ", ";
+    req += scenario_to_json(scenarios[i]);
+  }
+  req += "]}";
+  send_line(req);
+
+  std::vector<scenario::ScenarioResult> results(scenarios.size());
+  std::vector<bool> seen(scenarios.size(), false);
+  while (true) {
+    const JsonValue msg = parse_json(read_line());
+    const std::string& type = msg.at("type").as_string();
+    if (type == "error") {
+      throw ProtocolError("server error: " + msg.at("message").as_string());
+    }
+    if (type == "result") {
+      const double raw_index = msg.at("index").as_number();
+      const auto index = static_cast<std::size_t>(raw_index);
+      if (static_cast<double>(index) != raw_index ||
+          index >= results.size() || seen[index]) {
+        throw ProtocolError("scenario client: bad result index");
+      }
+      results[index] = result_from_json(msg.at("result"));
+      seen[index] = true;
+      continue;
+    }
+    if (type == "done") {
+      const auto count = static_cast<std::size_t>(msg.at("count").as_number());
+      if (count != scenarios.size()) {
+        throw ProtocolError("scenario client: result count mismatch");
+      }
+      for (const bool s : seen) {
+        if (!s) throw ProtocolError("scenario client: missing result");
+      }
+      last_cache_stats_ = cache_stats_from_json(
+          msg.at("cache").at("stages"));
+      return results;
+    }
+    throw ProtocolError("scenario client: unexpected message type \"" + type +
+                        "\"");
+  }
+}
+
+bool ScenarioClient::ping() {
+  try {
+    send_line("{\"type\": \"ping\"}");
+    const JsonValue msg = parse_json(read_line());
+    return msg.at("type").as_string() == "pong";
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::map<std::string, scenario::CacheStats> ScenarioClient::stats() {
+  send_line("{\"type\": \"stats\"}");
+  const JsonValue msg = parse_json(read_line());
+  if (msg.at("type").as_string() == "error") {
+    throw ProtocolError("server error: " + msg.at("message").as_string());
+  }
+  return cache_stats_from_json(msg.at("cache").at("stages"));
+}
+
+void ScenarioClient::request_shutdown() {
+  send_line("{\"type\": \"shutdown\"}");
+  const JsonValue msg = parse_json(read_line());
+  if (msg.at("type").as_string() != "bye") {
+    throw ProtocolError("scenario client: unexpected shutdown reply");
+  }
+}
+
+}  // namespace cnti::service

@@ -1,0 +1,325 @@
+#include "service/disk_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+
+namespace cnti::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Entry layout (little-endian):
+//   magic[8] | u32 stage_len | stage | u32 schema_len | schema |
+//   u64 key.hi | u64 key.lo | u64 payload_len | payload | u64 checksum
+// The checksum is FNV-1a-64 over every preceding byte and sits at the
+// *end* so any truncation moves or destroys it.
+constexpr char kMagic[8] = {'C', 'N', 'T', 'I', 'C', 'A', 'C', '2'};
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Bounds-checked little-endian cursor; any overrun latches failure.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  bool take(std::size_t n, std::string_view* out) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    if (out != nullptr) *out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool u32(std::uint32_t* out) {
+    std::string_view raw;
+    if (!take(4, &raw)) return false;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(raw[static_cast<size_t>(i)]);
+    }
+    *out = v;
+    return true;
+  }
+
+  bool u64(std::uint64_t* out) {
+    std::string_view raw;
+    if (!take(8, &raw)) return false;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(raw[static_cast<size_t>(i)]);
+    }
+    *out = v;
+    return true;
+  }
+
+  bool done() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::string encode_entry(std::string_view stage, std::string_view schema,
+                         const scenario::ContentKey& key,
+                         std::string_view payload) {
+  std::string out;
+  out.reserve(sizeof(kMagic) + stage.size() + schema.size() + payload.size() +
+              40);
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, static_cast<std::uint32_t>(stage.size()));
+  out.append(stage);
+  put_u32(out, static_cast<std::uint32_t>(schema.size()));
+  out.append(schema);
+  put_u64(out, key.hi);
+  put_u64(out, key.lo);
+  put_u64(out, payload.size());
+  out.append(payload);
+  put_u64(out, fnv1a64(out));
+  return out;
+}
+
+/// Validates a raw entry file against the expected identity; returns the
+/// payload, or nullopt on *any* mismatch (corrupt, truncated, different
+/// schema version, foreign key).
+std::optional<std::string> decode_entry(std::string_view raw,
+                                        std::string_view stage,
+                                        std::string_view schema,
+                                        const scenario::ContentKey& key) {
+  if (raw.size() < 8) return std::nullopt;
+  const std::string_view body = raw.substr(0, raw.size() - 8);
+  Cursor trailer(raw.substr(raw.size() - 8));
+  std::uint64_t checksum = 0;
+  trailer.u64(&checksum);
+  if (checksum != fnv1a64(body)) return std::nullopt;
+
+  Cursor c(body);
+  std::string_view magic;
+  if (!c.take(sizeof(kMagic), &magic) ||
+      magic != std::string_view(kMagic, sizeof(kMagic))) {
+    return std::nullopt;
+  }
+  std::uint32_t len = 0;
+  std::string_view got_stage;
+  if (!c.u32(&len) || !c.take(len, &got_stage) || got_stage != stage) {
+    return std::nullopt;
+  }
+  std::string_view got_schema;
+  if (!c.u32(&len) || !c.take(len, &got_schema) || got_schema != schema) {
+    return std::nullopt;
+  }
+  std::uint64_t hi = 0, lo = 0;
+  if (!c.u64(&hi) || !c.u64(&lo) || hi != key.hi || lo != key.lo) {
+    return std::nullopt;
+  }
+  std::uint64_t payload_len = 0;
+  std::string_view payload;
+  if (!c.u64(&payload_len) || !c.take(payload_len, &payload) || !c.done()) {
+    return std::nullopt;
+  }
+  return std::string(payload);
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return bytes;
+}
+
+/// Stage names become filename prefixes; anything outside [A-Za-z0-9._-]
+/// is replaced so a hostile stage string cannot traverse directories.
+std::string sanitize(std::string_view stage) {
+  std::string out(stage);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+}  // namespace
+
+DiskCache::DiskCache(DiskCacheOptions options) : options_(std::move(options)) {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    throw std::runtime_error("disk cache: cannot create directory " +
+                             options_.dir + ": " + ec.message());
+  }
+  // Index survivors in mtime order so their relative recency carries over;
+  // sweep temp files a crashed writer left behind (their renames never
+  // happened, so they are garbage by construction).
+  struct Found {
+    std::string path;
+    std::uint64_t size;
+    fs::file_time_type mtime;
+  };
+  std::vector<Found> found;
+  for (const auto& de : fs::directory_iterator(options_.dir, ec)) {
+    if (!de.is_regular_file(ec)) continue;
+    const std::string name = de.path().filename().string();
+    if (name.find(kAtomicTempMarker) != std::string::npos) {
+      fs::remove(de.path(), ec);
+      continue;
+    }
+    if (name.size() < 6 || name.substr(name.size() - 6) != ".cache") continue;
+    found.push_back({de.path().string(),
+                     static_cast<std::uint64_t>(de.file_size(ec)),
+                     de.last_write_time(ec)});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Found& a, const Found& b) { return a.mtime < b.mtime; });
+  for (const Found& f : found) {
+    index_[f.path] = Entry{f.size, ++use_counter_};
+    total_bytes_ += f.size;
+  }
+  stats_.entries = index_.size();
+  stats_.bytes = total_bytes_;
+}
+
+std::string DiskCache::entry_path(std::string_view stage,
+                                  const scenario::ContentKey& key) const {
+  return options_.dir + "/" + sanitize(stage) + "." + hex16(key.hi) +
+         hex16(key.lo) + ".cache";
+}
+
+void DiskCache::drop_entry(const std::string& path) {
+  const auto it = index_.find(path);
+  if (it != index_.end()) {
+    total_bytes_ -= std::min(total_bytes_, it->second.size);
+    index_.erase(it);
+  }
+  std::error_code ec;
+  fs::remove(path, ec);
+  stats_.entries = index_.size();
+  stats_.bytes = total_bytes_;
+}
+
+void DiskCache::enforce_budget(const std::string& keep) {
+  while (total_bytes_ > options_.max_bytes && index_.size() > 1) {
+    auto victim = index_.end();
+    for (auto it = index_.begin(); it != index_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == index_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == index_.end()) break;
+    const std::string path = victim->first;
+    drop_entry(path);
+    ++stats_.lru_evictions;
+  }
+}
+
+std::optional<std::string> DiskCache::load(std::string_view stage,
+                                           std::string_view value_schema,
+                                           const scenario::ContentKey& key) {
+  const std::string path = entry_path(stage, key);
+  std::optional<std::string> raw;
+  try {
+    raw = read_file(path);
+  } catch (...) {
+    raw = std::nullopt;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!raw) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::optional<std::string> payload =
+      decode_entry(*raw, stage, value_schema, key);
+  if (!payload) {
+    // Corrupt, truncated, or written under a different schema version:
+    // delete it so the slot heals, and recompute.
+    drop_entry(path);
+    ++stats_.corrupt_evictions;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  auto it = index_.find(path);
+  if (it == index_.end()) {
+    // Readable entry the startup scan never saw (e.g. shared directory);
+    // adopt it.
+    it = index_.emplace(path, Entry{raw->size(), 0}).first;
+    total_bytes_ += raw->size();
+    stats_.entries = index_.size();
+    stats_.bytes = total_bytes_;
+  }
+  it->second.last_use = ++use_counter_;
+  ++stats_.hits;
+  return payload;
+}
+
+void DiskCache::store(std::string_view stage, std::string_view value_schema,
+                      const scenario::ContentKey& key,
+                      std::string_view bytes) {
+  const std::string path = entry_path(stage, key);
+  const std::string entry = encode_entry(stage, value_schema, key, bytes);
+  try {
+    write_file_atomic(path, entry);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.store_failures;
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(path);
+  if (it != index_.end()) {
+    total_bytes_ -= std::min(total_bytes_, it->second.size);
+    it->second.size = entry.size();
+  } else {
+    it = index_.emplace(path, Entry{entry.size(), 0}).first;
+  }
+  total_bytes_ += entry.size();
+  it->second.last_use = ++use_counter_;
+  ++stats_.stores;
+  enforce_budget(path);
+  stats_.entries = index_.size();
+  stats_.bytes = total_bytes_;
+}
+
+DiskCacheStats DiskCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cnti::service

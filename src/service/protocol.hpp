@@ -1,0 +1,59 @@
+// Wire-format serialization for the scenario service: Scenario and
+// ScenarioResult as single-line JSON, with the result schema shared
+// byte-for-byte with scenario/report.cpp's writers (the parser here is the
+// inverse of the report schema, so report files and wire messages stay one
+// format). Doubles cross the wire at max_digits10 precision, which makes a
+// serialize -> parse round trip bit-identical — the property the
+// N-clients-vs-direct-API differential tests pin.
+//
+// Scenario JSON shape (all fields optional; absent = spec default):
+//
+//   {"label": "...",
+//    "tech": {"outer_diameter_nm": 10.0, "dopant": "iodine-internal", ...,
+//             "environment": {"radius_m": ..., ...},
+//             "capacitance_model": "analytic" | "tcad"},
+//    "workload": {"length_um": ..., ...},
+//    "analysis": {"delay": true, "delay_model": "elmore" | "mna-transient",
+//                 "noise": false, "noise_model": "reduced-order" | "full-mna",
+//                 "thermal": false, "time_steps": ..., "delay_segments": ...}}
+//
+// Parsing is strict: unknown members anywhere are a ProtocolError (they
+// are far more likely a misspelled study axis than an extension).
+#pragma once
+
+#include <string>
+
+#include "scenario/engine.hpp"
+#include "scenario/spec.hpp"
+#include "service/json.hpp"
+
+namespace cnti::service {
+
+// Enum <-> wire-name mappings (throw ProtocolError on unknown names).
+std::string to_wire(scenario::CapacitanceModel m);
+std::string to_wire(scenario::DelayModel m);
+std::string to_wire(scenario::NoiseModel m);
+std::string to_wire(atomistic::DopantSpecies s);
+scenario::CapacitanceModel capacitance_model_from_wire(const std::string& s);
+scenario::DelayModel delay_model_from_wire(const std::string& s);
+scenario::NoiseModel noise_model_from_wire(const std::string& s);
+atomistic::DopantSpecies dopant_from_wire(const std::string& s);
+
+/// One-line JSON for a Scenario (every field emitted explicitly).
+std::string scenario_to_json(const scenario::Scenario& s);
+/// Inverse of scenario_to_json; starts from a default-constructed
+/// Scenario, so absent members keep their spec defaults.
+scenario::Scenario scenario_from_json(const JsonValue& v);
+
+/// One-line JSON identical in schema to the report writer's per-scenario
+/// objects (delegates to scenario::write_result_json_object).
+std::string result_to_json(const scenario::ScenarioResult& r);
+/// Inverse of result_to_json / the report schema.
+scenario::ScenarioResult result_from_json(const JsonValue& v);
+
+/// Parses the report JSON's "stages" cache-stats object
+/// ({"<stage>": {"hits": h, "disk_hits": d, "misses": m}, ...}).
+std::map<std::string, scenario::CacheStats> cache_stats_from_json(
+    const JsonValue& stages);
+
+}  // namespace cnti::service

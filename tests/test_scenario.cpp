@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -113,6 +115,30 @@ TEST(ContentKey, StringBoundariesAreUnambiguous) {
   const auto ab_c = sc::KeyHasher("t").add("ab").add("c").key();
   const auto a_bc = sc::KeyHasher("t").add("a").add("bc").key();
   EXPECT_NE(ab_c, a_bc);
+}
+
+TEST(ContentKey, TypeDomainsNeverAlias) {
+  // Regression: add(bool) used to feed the same word stream as add(int64)
+  // of 0/1, so two specs whose adjacent fields were (bool, x) vs (int, x)
+  // could hash equal. Each overload now prefixes a type-domain tag.
+  EXPECT_NE(sc::KeyHasher("t").add(true).key(),
+            sc::KeyHasher("t").add(std::int64_t{1}).key());
+  EXPECT_NE(sc::KeyHasher("t").add(false).key(),
+            sc::KeyHasher("t").add(std::int64_t{0}).key());
+  // The adjacent-field form of the same collision.
+  EXPECT_NE(sc::KeyHasher("t").add(true).add(2.0).key(),
+            sc::KeyHasher("t").add(1).add(2.0).key());
+  // A double whose bit pattern equals a small integer is still a double.
+  const double tricky = std::bit_cast<double>(std::uint64_t{42});
+  EXPECT_NE(sc::KeyHasher("t").add(tricky).key(),
+            sc::KeyHasher("t").add(std::int64_t{42}).key());
+  // Enums and ints of equal value live in different domains too.
+  EXPECT_NE(sc::KeyHasher("t").add(sc::CapacitanceModel::kTcad).key(),
+            sc::KeyHasher("t").add(std::int64_t{1}).key());
+  // And a bool is not a denormal double of the same bit pattern.
+  EXPECT_NE(sc::KeyHasher("t").add(true).key(),
+            sc::KeyHasher("t").add(std::bit_cast<double>(std::uint64_t{1}))
+                .key());
 }
 
 // ---------------------------------------------------------------------------
@@ -628,6 +654,117 @@ TEST(JsonMetricSink, NonFiniteValuesBecomeNull) {
   std::ostringstream os;
   sink.write_to(os);
   EXPECT_NE(os.str().find("\"bad\": null"), std::string::npos);
+}
+
+TEST(JsonMetricSink, ConcurrentRecordingIsSerializedAndLossless) {
+  // Regression: set()/write_to() had no synchronization, so pool threads
+  // recording metrics raced the map inserts. Every recorded metric must
+  // survive and the emitted JSON must stay well-formed.
+  cnti::JsonMetricSink sink;
+  sink.set_name("concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sink.set("m" + std::to_string(t) + "_" + std::to_string(i),
+                 t + i * 0.5);
+        std::ostringstream scratch;
+        sink.write_to(scratch);  // concurrent reads must not tear
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::ostringstream os;
+  sink.write_to(os);
+  const std::string text = os.str();
+  int recorded = 0;
+  for (std::size_t at = text.find("\"m"); at != std::string::npos;
+       at = text.find("\"m", at + 1)) {
+    ++recorded;
+  }
+  EXPECT_EQ(recorded, kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// CSV report precision.
+
+TEST(ScenarioReport, CsvRoundTripsDoublesBitFaithfully) {
+  // Regression: the CSV writer used precision(12), silently dropping the
+  // last ~5 bits of every double — so "bit-identical" studies diffed as
+  // unequal CSVs. Fields are now max_digits10 and must round-trip.
+  sc::ScenarioResult r;
+  r.label = "bits";
+  r.line.fermi_shift_ev = -0.123456789012345678;
+  r.line.resistance_kohm = 1.0 / 3.0;
+  r.line.capacitance_ff = 2.0 / 7.0;
+  r.line.delay_ps = 1e-3 + 1e-19;
+  r.noise.emplace();
+  r.noise->peak_noise_v = 0.0123456789012345678;
+  std::ostringstream os;
+  sc::write_report_csv(os, {r});
+  const std::string text = os.str();
+  const std::size_t row_at = text.find("bits,");
+  ASSERT_NE(row_at, std::string::npos);
+  std::vector<std::string> fields;
+  std::istringstream row(text.substr(row_at));
+  for (std::string field; std::getline(row, field, ',');) {
+    fields.push_back(field);
+  }
+  ASSERT_GE(fields.size(), 11u);
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  const auto parsed = [&](int i) {
+    return std::strtod(fields[static_cast<std::size_t>(i)].c_str(), nullptr);
+  };
+  EXPECT_EQ(bits(parsed(1)), bits(r.line.fermi_shift_ev));
+  EXPECT_EQ(bits(parsed(5)), bits(r.line.resistance_kohm));
+  EXPECT_EQ(bits(parsed(6)), bits(r.line.capacitance_ff));
+  EXPECT_EQ(bits(parsed(8)), bits(r.line.delay_ps));
+  // Scaled columns must round-trip the emitted (scaled) value exactly.
+  EXPECT_EQ(bits(parsed(10)), bits(r.noise->peak_noise_v * 1e3));
+}
+
+// ---------------------------------------------------------------------------
+// Memo cache failure/retry under concurrency.
+
+TEST(MemoCache, ConcurrentThrowThenRetryConvergesToOneValue) {
+  // A compute that fails a few times must leave the key retryable even
+  // while other threads are racing the same key; once one compute
+  // succeeds, everyone converges on that single published value.
+  sc::MemoCache cache;
+  const auto key = sc::KeyHasher("retry").add(1).key();
+  std::atomic<int> attempts{0};
+  constexpr int kFailures = 3;
+  constexpr int kThreads = 8;
+  std::vector<int> got(kThreads, -1);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (true) {
+        try {
+          const auto v = cache.get_or_compute<int>("stage", key, [&] {
+            const int n = attempts.fetch_add(1) + 1;
+            if (n <= kFailures) {
+              throw cnti::NumericalError("transient failure");
+            }
+            return n;
+          });
+          got[static_cast<std::size_t>(t)] = *v;
+          return;
+        } catch (const cnti::NumericalError&) {
+          std::this_thread::yield();  // retry until a compute succeeds
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const int v : got) EXPECT_EQ(v, got[0]);
+  EXPECT_GT(got[0], kFailures);
+  // Exactly one compute succeeded; the cache holds exactly that entry.
+  EXPECT_EQ(cache.entry_count(), 1u);
 }
 
 }  // namespace

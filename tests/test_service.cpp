@@ -1,0 +1,675 @@
+// Scenario service tests: the JSON wire parser, the Scenario/Result
+// serialization round trips (bit-identical doubles), the crash-safe
+// disk cache (corruption/truncation/version eviction, LRU bounds,
+// restart persistence), the MemoCache tier integration, and the daemon
+// itself — including the acceptance contract that N concurrent wire
+// clients receive results bit-identical to direct ScenarioEngine::run
+// calls, cold or warm.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/json_sink.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/stage_codecs.hpp"
+#include "service/client.hpp"
+#include "service/disk_cache.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace fs = std::filesystem;
+namespace sc = cnti::scenario;
+namespace sv = cnti::service;
+
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Unique scratch directory, removed on scope exit.
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (fs::temp_directory_path() / "cnti_service_XXXXXX").string();
+    path_ = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Small but full-coverage scenario: every disk-persisted stage engaged
+/// (TCAD capacitance, MNA delay, ROM bus noise, thermal) on a tiny grid.
+sc::Scenario full_scenario(int i = 0) {
+  sc::Scenario s;
+  s.label = "svc/" + std::to_string(i);
+  s.tech.capacitance_model = sc::CapacitanceModel::kTcad;
+  s.tech.dopant_concentration = 0.5;
+  s.tech.contact_resistance_kohm = 20.0;
+  s.workload.length_um = 20.0 + 5.0 * i;
+  s.workload.driver_resistance_kohm = 5.0;
+  s.workload.bus_lines = 4;
+  s.workload.bus_segments = 8;
+  s.analysis.delay_model = sc::DelayModel::kMnaTransient;
+  s.analysis.delay_segments = 6;
+  s.analysis.noise = true;
+  s.analysis.thermal = true;
+  s.analysis.time_steps = 150;
+  return s;
+}
+
+std::vector<sc::Scenario> full_batch(int n) {
+  std::vector<sc::Scenario> batch;
+  for (int i = 0; i < n; ++i) batch.push_back(full_scenario(i));
+  return batch;
+}
+
+void expect_bit_identical(const sc::ScenarioResult& a,
+                          const sc::ScenarioResult& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(bits(a.line.fermi_shift_ev), bits(b.line.fermi_shift_ev));
+  EXPECT_EQ(bits(a.line.channels_per_shell), bits(b.line.channels_per_shell));
+  EXPECT_EQ(bits(a.line.mfp_um), bits(b.line.mfp_um));
+  EXPECT_EQ(a.line.shells, b.line.shells);
+  EXPECT_EQ(bits(a.line.resistance_kohm), bits(b.line.resistance_kohm));
+  EXPECT_EQ(bits(a.line.capacitance_ff), bits(b.line.capacitance_ff));
+  EXPECT_EQ(bits(a.line.electrostatic_cap_af_per_um),
+            bits(b.line.electrostatic_cap_af_per_um));
+  EXPECT_EQ(bits(a.line.delay_ps), bits(b.line.delay_ps));
+  EXPECT_EQ(a.line.delay_method, b.line.delay_method);
+  ASSERT_EQ(a.noise.has_value(), b.noise.has_value());
+  if (a.noise) {
+    EXPECT_EQ(bits(a.noise->peak_noise_v), bits(b.noise->peak_noise_v));
+    EXPECT_EQ(bits(a.noise->peak_time_s), bits(b.noise->peak_time_s));
+    EXPECT_EQ(a.noise->worst_victim, b.noise->worst_victim);
+    EXPECT_EQ(bits(a.noise->aggressor_delay_s),
+              bits(b.noise->aggressor_delay_s));
+    EXPECT_EQ(a.noise->unknowns, b.noise->unknowns);
+  }
+  ASSERT_EQ(a.thermal.has_value(), b.thermal.has_value());
+  if (a.thermal) {
+    EXPECT_EQ(bits(a.thermal->peak_rise_k), bits(b.thermal->peak_rise_k));
+    EXPECT_EQ(bits(a.thermal->hot_resistance_kohm),
+              bits(b.thermal->hot_resistance_kohm));
+    EXPECT_EQ(a.thermal->thermal_runaway, b.thermal->thermal_runaway);
+    EXPECT_EQ(bits(a.thermal->ampacity_ua), bits(b.thermal->ampacity_ua));
+    EXPECT_EQ(bits(a.thermal->current_density_a_cm2),
+              bits(b.thermal->current_density_a_cm2));
+    EXPECT_EQ(a.thermal->cnt_em_immune, b.thermal->cnt_em_immune);
+    EXPECT_EQ(bits(a.thermal->cu_reference_mttf_s),
+              bits(b.thermal->cu_reference_mttf_s));
+  }
+}
+
+/// Raw wire access for protocol-level tests the typed client can't
+/// express (malformed lines, schema-violating requests).
+class RawConnection {
+ public:
+  explicit RawConnection(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  /// Best-effort framed send (a server-side close surfaces on read_line).
+  void send_line(const std::string& body) {
+    std::string framed = body + "\n";
+    std::string_view rest = framed;
+    while (!rest.empty()) {
+      const ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+      if (n <= 0) return;
+      rest.remove_prefix(static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string read_line() {
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return {};
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::size_t nl = buffer_.find('\n');
+    std::string line = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// ---------------------------------------------------------------------------
+// Wire JSON parser.
+
+TEST(ServiceJson, ParsesScalarsArraysAndNestedObjects) {
+  const sv::JsonValue v = sv::parse_json(
+      R"({"a": 1.5, "b": [true, false, null, "x"], "c": {"d": -2}})");
+  EXPECT_EQ(v.at("a").as_number(), 1.5);
+  const auto& arr = v.at("b").as_array();
+  ASSERT_EQ(arr.size(), 4u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_FALSE(arr[1].as_bool());
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_EQ(arr[3].as_string(), "x");
+  EXPECT_EQ(v.at("c").at("d").as_number(), -2.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), sv::ProtocolError);
+  EXPECT_THROW(v.at("a").as_string(), sv::ProtocolError);
+}
+
+TEST(ServiceJson, NumbersRoundTripDoubleBitsAt17Digits) {
+  const double values[] = {1.0 / 3.0,  2.0 / 7.0, 1e-300,
+                           6.02214e23, -0.0,      123456.789012345678};
+  for (const double v : values) {
+    const std::string text = cnti::json_number(v);
+    const double back = sv::parse_json(text).as_number();
+    EXPECT_EQ(bits(back), bits(v)) << text;
+  }
+}
+
+TEST(ServiceJson, DecodesEscapesIncludingSurrogatePairs) {
+  const sv::JsonValue v =
+      sv::parse_json(R"("a\"b\\c\ndAé中😀")");
+  EXPECT_EQ(v.as_string(),
+            "a\"b\\c\nd"
+            "A\xc3\xa9\xe4\xb8\xad\xf0\x9f\x98\x80");
+}
+
+TEST(ServiceJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(sv::parse_json("{"), sv::ProtocolError);
+  EXPECT_THROW(sv::parse_json("{} trailing"), sv::ProtocolError);
+  EXPECT_THROW(sv::parse_json(R"({"a": 1, "a": 2})"), sv::ProtocolError);
+  EXPECT_THROW(sv::parse_json("\"\x01\""), sv::ProtocolError);
+  EXPECT_THROW(sv::parse_json(R"("\ud800 lonely")"), sv::ProtocolError);
+  EXPECT_THROW(sv::parse_json("truthy"), sv::ProtocolError);
+  EXPECT_THROW(sv::parse_json("1.2.3"), sv::ProtocolError);
+  EXPECT_THROW(sv::parse_json(""), sv::ProtocolError);
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_THROW(sv::parse_json(deep), sv::ProtocolError);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario / result wire serialization.
+
+TEST(ServiceProtocol, ScenarioRoundTripPreservesContentKeyAndLabel) {
+  sc::Scenario s = full_scenario(3);
+  s.label = "weird \"label\"\nwith breaks";
+  s.tech.dopant = cnti::atomistic::DopantSpecies::kPtCl4External;
+  s.analysis.noise_model = sc::NoiseModel::kFullMna;
+  const sc::Scenario back =
+      sv::scenario_from_json(sv::parse_json(sv::scenario_to_json(s)));
+  EXPECT_EQ(back.label, s.label);
+  EXPECT_EQ(sc::content_key(back), sc::content_key(s));
+  EXPECT_EQ(sc::content_key(back.tech), sc::content_key(s.tech));
+  EXPECT_EQ(sc::content_key(back.workload), sc::content_key(s.workload));
+  EXPECT_EQ(sc::content_key(back.analysis), sc::content_key(s.analysis));
+}
+
+TEST(ServiceProtocol, AbsentScenarioMembersKeepSpecDefaults) {
+  const sc::Scenario parsed = sv::scenario_from_json(sv::parse_json("{}"));
+  EXPECT_EQ(sc::content_key(parsed), sc::content_key(sc::Scenario{}));
+  const sc::Scenario partial = sv::scenario_from_json(
+      sv::parse_json(R"({"workload": {"length_um": 42.0}})"));
+  EXPECT_EQ(partial.workload.length_um, 42.0);
+  EXPECT_EQ(partial.workload.bus_lines, sc::WorkloadSpec{}.bus_lines);
+}
+
+TEST(ServiceProtocol, UnknownMembersAreRejectedEverywhere) {
+  EXPECT_THROW(sv::scenario_from_json(sv::parse_json(R"({"bogus": 1})")),
+               sv::ProtocolError);
+  EXPECT_THROW(
+      sv::scenario_from_json(sv::parse_json(R"({"tech": {"lenght": 1}})")),
+      sv::ProtocolError);
+  EXPECT_THROW(sv::scenario_from_json(sv::parse_json(
+                   R"({"analysis": {"delay_segments": 1.5}})")),
+               sv::ProtocolError);
+  EXPECT_THROW(sv::scenario_from_json(sv::parse_json(
+                   R"({"tech": {"dopant": "unobtainium"}})")),
+               sv::ProtocolError);
+}
+
+TEST(ServiceProtocol, ResultRoundTripIsBitIdentical) {
+  const sc::ScenarioEngine engine;
+  const sc::ScenarioResult r = engine.run(full_scenario());
+  ASSERT_TRUE(r.noise.has_value());
+  ASSERT_TRUE(r.thermal.has_value());
+  const sc::ScenarioResult back =
+      sv::result_from_json(sv::parse_json(sv::result_to_json(r)));
+  expect_bit_identical(back, r);
+}
+
+TEST(ServiceProtocol, EnumWireNamesRoundTrip) {
+  using cnti::atomistic::DopantSpecies;
+  for (const auto d :
+       {DopantSpecies::kIodineInternal, DopantSpecies::kIodineExternal,
+        DopantSpecies::kPtCl4External, DopantSpecies::kPtClInternal}) {
+    EXPECT_EQ(sv::dopant_from_wire(sv::to_wire(d)), d);
+  }
+  for (const auto m :
+       {sc::CapacitanceModel::kAnalytic, sc::CapacitanceModel::kTcad}) {
+    EXPECT_EQ(sv::capacitance_model_from_wire(sv::to_wire(m)), m);
+  }
+  for (const auto m :
+       {sc::DelayModel::kElmore, sc::DelayModel::kMnaTransient}) {
+    EXPECT_EQ(sv::delay_model_from_wire(sv::to_wire(m)), m);
+  }
+  for (const auto m :
+       {sc::NoiseModel::kReducedOrder, sc::NoiseModel::kFullMna}) {
+    EXPECT_EQ(sv::noise_model_from_wire(sv::to_wire(m)), m);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Disk cache.
+
+sc::ContentKey test_key(int i) {
+  return sc::KeyHasher("test.v1").add(i).key();
+}
+
+TEST(DiskCache, StoreLoadRoundTripAndStats) {
+  const TempDir dir;
+  sv::DiskCache cache({dir.path()});
+  EXPECT_FALSE(cache.load("stage", "s.v1", test_key(1)).has_value());
+  cache.store("stage", "s.v1", test_key(1), "payload bytes");
+  const auto loaded = cache.load("stage", "s.v1", test_key(1));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "payload bytes");
+  const sv::DiskCacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.stores, 1u);
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_GT(st.bytes, 0u);
+}
+
+TEST(DiskCache, PersistsAcrossInstances) {
+  const TempDir dir;
+  {
+    sv::DiskCache cache({dir.path()});
+    cache.store("stage", "s.v1", test_key(7), "survives restart");
+  }
+  sv::DiskCache reborn({dir.path()});
+  const auto loaded = reborn.load("stage", "s.v1", test_key(7));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "survives restart");
+  EXPECT_EQ(reborn.stats().entries, 1u);
+}
+
+TEST(DiskCache, WrongValueSchemaVersionIsEvictedAsStale) {
+  const TempDir dir;
+  sv::DiskCache cache({dir.path()});
+  cache.store("stage", "s.v1", test_key(2), "old layout");
+  // A value-schema bump must read as a clean miss (the stale file is
+  // removed, never misdecoded).
+  EXPECT_FALSE(cache.load("stage", "s.v2", test_key(2)).has_value());
+  EXPECT_EQ(cache.stats().corrupt_evictions, 1u);
+  EXPECT_FALSE(cache.load("stage", "s.v1", test_key(2)).has_value());
+}
+
+TEST(DiskCache, CorruptAndTruncatedEntriesAreEvicted) {
+  const TempDir dir;
+  sv::DiskCache cache({dir.path()});
+  cache.store("stage", "s.v1", test_key(3), "corrupt me");
+  cache.store("stage", "s.v1", test_key(4), "truncate me");
+  std::vector<std::string> files;
+  for (const auto& de : fs::directory_iterator(dir.path())) {
+    files.push_back(de.path().string());
+  }
+  ASSERT_EQ(files.size(), 2u);
+  std::sort(files.begin(), files.end());
+  {
+    // XOR one byte so the checksum can no longer match.
+    std::fstream f(files[0], std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(40);
+    const char c = static_cast<char>(f.get());
+    f.seekp(40);
+    f.put(static_cast<char>(c ^ 0x5a));
+  }
+  fs::resize_file(files[1], fs::file_size(files[1]) / 2);
+
+  EXPECT_FALSE(cache.load("stage", "s.v1", test_key(3)).has_value());
+  EXPECT_FALSE(cache.load("stage", "s.v1", test_key(4)).has_value());
+  EXPECT_EQ(cache.stats().corrupt_evictions, 2u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_TRUE(fs::is_empty(dir.path()));
+}
+
+TEST(DiskCache, LruEvictionKeepsRecentEntriesUnderTheByteBudget) {
+  const TempDir dir;
+  sv::DiskCacheOptions options;
+  options.dir = dir.path();
+  const std::string payload(64, 'p');
+  // Room for roughly three entries (payload + ~60B header per entry).
+  options.max_bytes = 400;
+  sv::DiskCache cache(options);
+  for (int i = 0; i < 6; ++i) {
+    cache.store("stage", "s.v1", test_key(i), payload);
+  }
+  const sv::DiskCacheStats st = cache.stats();
+  EXPECT_GT(st.lru_evictions, 0u);
+  EXPECT_LE(st.bytes, options.max_bytes);
+  // The newest entry always survives; the oldest is gone.
+  EXPECT_TRUE(cache.load("stage", "s.v1", test_key(5)).has_value());
+  EXPECT_FALSE(cache.load("stage", "s.v1", test_key(0)).has_value());
+}
+
+TEST(DiskCache, StrayAtomicTempFilesAreSweptAtStartup) {
+  const TempDir dir;
+  const std::string stray =
+      dir.path() + "/stage.deadbeef.cache" +
+      std::string(cnti::kAtomicTempMarker) + "123.0";
+  std::ofstream(stray) << "a crashed writer left this";
+  ASSERT_TRUE(fs::exists(stray));
+  sv::DiskCache cache({dir.path()});
+  EXPECT_FALSE(fs::exists(stray));
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MemoCache + tier integration.
+
+TEST(MemoCacheTier, RevivesValuesAcrossCacheInstances) {
+  const TempDir dir;
+  auto tier = std::make_shared<sv::DiskCache>(
+      sv::DiskCacheOptions{dir.path()});
+  const sc::ContentKey key = test_key(11);
+  {
+    sc::MemoCache warm(true, tier);
+    const auto v = warm.get_or_compute<double>(
+        "stage", key, [] { return 42.5; }, &sc::scalar_codec());
+    EXPECT_EQ(*v, 42.5);
+    EXPECT_EQ(warm.stats("stage").misses, 1u);
+  }
+  sc::MemoCache fresh(true, tier);
+  bool computed = false;
+  const auto v = fresh.get_or_compute<double>(
+      "stage", key,
+      [&] {
+        computed = true;
+        return -1.0;
+      },
+      &sc::scalar_codec());
+  EXPECT_FALSE(computed);
+  EXPECT_EQ(bits(*v), bits(42.5));
+  EXPECT_EQ(fresh.stats("stage").disk_hits, 1u);
+  EXPECT_EQ(fresh.stats("stage").misses, 0u);
+}
+
+TEST(MemoCacheTier, DecodeFailureFallsBackToCompute) {
+  const TempDir dir;
+  auto tier = std::make_shared<sv::DiskCache>(
+      sv::DiskCacheOptions{dir.path()});
+  // Same value schema, but a decoder that rejects everything: the tier's
+  // bytes are intact, so this models codec/schema drift the checksum
+  // cannot see — it must recompute, not trust the bytes.
+  sc::StageCodec<double> broken = sc::scalar_codec();
+  broken.decode = [](std::string_view) { return std::optional<double>{}; };
+  tier->store("stage", broken.schema, test_key(12), "not a double");
+  sc::MemoCache cache(true, tier);
+  const auto v = cache.get_or_compute<double>(
+      "stage", test_key(12), [] { return 7.0; }, &broken);
+  EXPECT_EQ(*v, 7.0);
+  EXPECT_EQ(cache.stats("stage").misses, 1u);
+  EXPECT_EQ(cache.stats("stage").disk_hits, 0u);
+}
+
+TEST(MemoCacheTier, DisabledCacheNeverTouchesTheTier) {
+  const TempDir dir;
+  auto tier = std::make_shared<sv::DiskCache>(
+      sv::DiskCacheOptions{dir.path()});
+  sc::MemoCache disabled(false, tier);
+  const auto v = disabled.get_or_compute<double>(
+      "stage", test_key(13), [] { return 1.0; }, &sc::scalar_codec());
+  EXPECT_EQ(*v, 1.0);
+  EXPECT_EQ(tier->stats().stores, 0u);
+  EXPECT_EQ(tier->stats().misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine warm restart through the tier.
+
+sc::EngineOptions tiered_options(const std::string& dir) {
+  sc::EngineOptions options;
+  options.tier =
+      std::make_shared<sv::DiskCache>(sv::DiskCacheOptions{dir});
+  return options;
+}
+
+TEST(EngineTier, WarmRestartRecomputesNothingAndMatchesBitwise) {
+  const TempDir dir;
+  const auto batch = full_batch(3);
+  std::vector<sc::ScenarioResult> cold;
+  {
+    const sc::ScenarioEngine engine(tiered_options(dir.path()));
+    cold = engine.run_batch(batch);
+  }
+  // "Restart": a fresh engine + fresh DiskCache over the same directory.
+  const sc::ScenarioEngine warm_engine(tiered_options(dir.path()));
+  const auto warm = warm_engine.run_batch(batch);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    expect_bit_identical(warm[i], cold[i]);
+  }
+  // Zero recomputes anywhere — and the heavyweight memory-only stages
+  // (ROM reduction, netlist build) were never even entered.
+  std::uint64_t disk_hits = 0;
+  for (const auto& [stage, st] : warm_engine.cache().all_stats()) {
+    EXPECT_EQ(st.misses, 0u) << "stage " << stage << " recomputed";
+    disk_hits += st.disk_hits;
+  }
+  EXPECT_GT(disk_hits, 0u);
+  EXPECT_EQ(warm_engine.cache().stats(sc::stage::kBusRom).misses, 0u);
+  EXPECT_EQ(warm_engine.cache().stats(sc::stage::kBusRom).hits, 0u);
+}
+
+TEST(EngineTier, CorruptedEntrySelfHealsWithIdenticalResults) {
+  const TempDir dir;
+  const auto batch = full_batch(2);
+  std::vector<sc::ScenarioResult> cold;
+  {
+    const sc::ScenarioEngine engine(tiered_options(dir.path()));
+    cold = engine.run_batch(batch);
+  }
+  // Vandalize every cache file: flip a byte in some, truncate others.
+  int i = 0;
+  for (const auto& de : fs::directory_iterator(dir.path())) {
+    if (i++ % 2 == 0) {
+      std::fstream f(de.path(),
+                     std::ios::in | std::ios::out | std::ios::binary);
+      f.seekp(static_cast<std::streamoff>(fs::file_size(de.path()) / 2));
+      f.put('~');
+    } else {
+      fs::resize_file(de.path(), fs::file_size(de.path()) / 3);
+    }
+  }
+  ASSERT_GT(i, 0);
+  const auto options = tiered_options(dir.path());
+  const sc::ScenarioEngine engine(options);
+  const auto healed = engine.run_batch(batch);
+  ASSERT_EQ(healed.size(), cold.size());
+  for (std::size_t k = 0; k < healed.size(); ++k) {
+    expect_bit_identical(healed[k], cold[k]);
+  }
+  const auto* disk = dynamic_cast<sv::DiskCache*>(options.tier.get());
+  ASSERT_NE(disk, nullptr);
+  EXPECT_GT(disk->stats().corrupt_evictions, 0u);
+  // The vandalized entries were rewritten: a third engine sees all hits.
+  const sc::ScenarioEngine again(tiered_options(dir.path()));
+  (void)again.run_batch(batch);
+  for (const auto& [stage, st] : again.cache().all_stats()) {
+    EXPECT_EQ(st.misses, 0u) << "stage " << stage;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon + wire client.
+
+TEST(ScenarioService, PingStatsAndShutdownRequest) {
+  sv::ScenarioServer server(sv::ServerOptions{});
+  server.start();
+  ASSERT_GT(server.port(), 0);
+  sv::ScenarioClient client(server.port());
+  EXPECT_TRUE(client.ping());
+  EXPECT_TRUE(client.stats().empty());  // nothing run yet
+  EXPECT_FALSE(
+      server.wait_for_shutdown_request(std::chrono::milliseconds(10)));
+  client.request_shutdown();
+  EXPECT_TRUE(
+      server.wait_for_shutdown_request(std::chrono::milliseconds(2000)));
+  server.stop();
+}
+
+TEST(ScenarioService, MalformedRequestsErrorAndKeepTheConnectionUsable) {
+  sv::ScenarioServer server(sv::ServerOptions{});
+  server.start();
+  RawConnection conn(server.port());
+  ASSERT_TRUE(conn.ok());
+
+  conn.send_line("this is not json");
+  sv::JsonValue reply = sv::parse_json(conn.read_line());
+  EXPECT_EQ(reply.at("type").as_string(), "error");
+
+  conn.send_line(R"({"type": "run", "scenarios": [{"bogus": 1}]})");
+  reply = sv::parse_json(conn.read_line());
+  EXPECT_EQ(reply.at("type").as_string(), "error");
+  EXPECT_NE(reply.at("message").as_string().find("bogus"),
+            std::string::npos);
+
+  // An invalid spec value fails validation per request, not in the batch.
+  conn.send_line(
+      R"({"type": "run", "scenarios": [{"tech": {"outer_diameter_nm": -5}}]})");
+  reply = sv::parse_json(conn.read_line());
+  EXPECT_EQ(reply.at("type").as_string(), "error");
+
+  // The connection is still alive and serves valid requests.
+  conn.send_line(R"({"type": "ping"})");
+  reply = sv::parse_json(conn.read_line());
+  EXPECT_EQ(reply.at("type").as_string(), "pong");
+  server.stop();
+}
+
+TEST(ScenarioService, SingleClientMatchesDirectEngineBitwise) {
+  sv::ScenarioServer server(sv::ServerOptions{});
+  server.start();
+  const auto batch = full_batch(3);
+  sv::ScenarioClient client(server.port());
+  const auto via_wire = client.run(batch);
+  server.stop();
+
+  const sc::ScenarioEngine direct;
+  ASSERT_EQ(via_wire.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_bit_identical(via_wire[i], direct.run(batch[i]));
+  }
+  // The done message carried the engine's cache stats.
+  EXPECT_FALSE(client.last_cache_stats().empty());
+}
+
+TEST(ScenarioService, ConcurrentClientsAreBitIdenticalToDirectRuns) {
+  sv::ScenarioServer server(sv::ServerOptions{});
+  server.start();
+  constexpr int kClients = 4;
+  const auto batch = full_batch(3);
+  std::vector<std::vector<sc::ScenarioResult>> received(kClients);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        sv::ScenarioClient client(server.port());
+        received[static_cast<std::size_t>(c)] = client.run(batch);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const std::uint64_t batches = server.batches_dispatched();
+  EXPECT_GE(batches, 1u);
+  EXPECT_LE(batches, static_cast<std::uint64_t>(kClients));
+  server.stop();
+
+  const sc::ScenarioEngine direct;
+  const auto want = direct.run_batch(batch);
+  for (const auto& got : received) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      expect_bit_identical(got[i], want[i]);
+    }
+  }
+}
+
+TEST(ScenarioService, WarmRestartedDaemonServesFromDiskBitIdentically) {
+  const TempDir dir;
+  const auto batch = full_batch(3);
+  std::vector<sc::ScenarioResult> cold;
+  {
+    sv::ServerOptions options;
+    options.engine = tiered_options(dir.path());
+    sv::ScenarioServer server(options);
+    server.start();
+    sv::ScenarioClient client(server.port());
+    cold = client.run(batch);
+    server.stop();  // graceful: queue drained before exit
+  }
+  sv::ServerOptions options;
+  options.engine = tiered_options(dir.path());
+  sv::ScenarioServer server(options);
+  server.start();
+  sv::ScenarioClient client(server.port());
+  const auto warm = client.run(batch);
+  for (const auto& [stage, st] : client.last_cache_stats()) {
+    EXPECT_EQ(st.misses, 0u) << "stage " << stage << " recomputed";
+  }
+  server.stop();
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    expect_bit_identical(warm[i], cold[i]);
+  }
+}
+
+TEST(ScenarioService, RunAfterStopIsRefusedNotHung) {
+  sv::ScenarioServer server(sv::ServerOptions{});
+  server.start();
+  RawConnection conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  std::thread stopper([&] { server.stop(); });
+  stopper.join();
+  // The connection was shut down read-side; a run request now either
+  // errors or the socket reads EOF — never a hang.
+  conn.send_line(R"({"type": "ping"})");
+  (void)conn.read_line();
+  SUCCEED();
+}
+
+}  // namespace

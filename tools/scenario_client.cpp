@@ -1,0 +1,123 @@
+// scenario_client — submits a demo scenario study to a running
+// scenario_server and writes the results as CSV/JSON reports.
+//
+//   scenario_client --port N [--demo N] [--csv PATH] [--json PATH]
+//                   [--require-warm] [--shutdown]
+//
+// --demo N        Run an N-point study exercising every persisted stage
+//                 (TCAD capacitance, MNA delay, ROM bus noise, thermal).
+// --require-warm  Exit 3 unless the server computed *nothing* for this run
+//                 (every stage served from memory or disk cache) — the
+//                 warm-restart acceptance check.
+// --shutdown      Ask the daemon to stop gracefully afterwards.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/report.hpp"
+#include "service/client.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --port N [--demo N] [--csv PATH] [--json PATH]"
+               " [--require-warm] [--shutdown]\n";
+  return 2;
+}
+
+/// An N-point study whose scenarios exercise every disk-persisted stage.
+std::vector<cnti::scenario::Scenario> demo_batch(int n) {
+  using namespace cnti::scenario;
+  std::vector<Scenario> batch;
+  for (int i = 0; i < n; ++i) {
+    Scenario s;
+    s.label = "demo/" + std::to_string(i);
+    s.tech.capacitance_model = CapacitanceModel::kTcad;
+    s.tech.dopant_concentration = 0.01;
+    s.workload.length_um = 60.0 + 10.0 * i;
+    s.workload.bus_lines = 4;
+    s.workload.bus_segments = 8;
+    s.analysis.delay_model = DelayModel::kMnaTransient;
+    s.analysis.delay_segments = 8;
+    s.analysis.noise = true;
+    s.analysis.noise_model = NoiseModel::kReducedOrder;
+    s.analysis.thermal = true;
+    s.analysis.time_steps = 300;
+    batch.push_back(std::move(s));
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cnti;
+
+  int port = -1;
+  int demo = 4;
+  std::string csv_path;
+  std::string json_path;
+  bool require_warm = false;
+  bool shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--port" && has_value) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--demo" && has_value) {
+      demo = std::atoi(argv[++i]);
+    } else if (arg == "--csv" && has_value) {
+      csv_path = argv[++i];
+    } else if (arg == "--json" && has_value) {
+      json_path = argv[++i];
+    } else if (arg == "--require-warm") {
+      require_warm = true;
+    } else if (arg == "--shutdown") {
+      shutdown = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (port <= 0 || port > 65535) return usage(argv[0]);
+
+  try {
+    service::ScenarioClient client(static_cast<std::uint16_t>(port));
+    if (demo > 0) {
+      const auto results = client.run(demo_batch(demo));
+      std::cout << "scenario_client: " << results.size()
+                << " results received\n";
+      for (const auto& [stage, s] : client.last_cache_stats()) {
+        std::cout << "  " << stage << ": hits=" << s.hits
+                  << " disk_hits=" << s.disk_hits << " misses=" << s.misses
+                  << "\n";
+      }
+      if (!csv_path.empty()) scenario::write_report_csv(csv_path, results);
+      if (!json_path.empty()) {
+        scenario::write_report_json(json_path, results, nullptr);
+      }
+      if (require_warm) {
+        bool cold = false;
+        for (const auto& [stage, s] : client.last_cache_stats()) {
+          if (s.misses > 0) {
+            std::cerr << "scenario_client: stage \"" << stage
+                      << "\" recomputed " << s.misses
+                      << " entries on a supposedly warm cache\n";
+            cold = true;
+          }
+        }
+        if (cold) return 3;
+        std::cout << "scenario_client: warm run confirmed (zero misses)\n";
+      }
+    }
+    if (shutdown) {
+      client.request_shutdown();
+      std::cout << "scenario_client: shutdown acknowledged\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "scenario_client: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
