@@ -1,6 +1,8 @@
 #include "circuit/crosstalk.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "common/error.hpp"
@@ -31,6 +33,17 @@ TransientOptions settle_window(double r_total_ohm, double c_total_f,
   opt.dt_s = opt.t_stop_s / time_steps;
   opt.mna = mna;
   return opt;
+}
+
+/// first_crossing_time returns -1 when the level is never reached inside
+/// the window. A negative "delay" silently poisons downstream statistics
+/// (Monte Carlo summaries, CSV reports), so the crosstalk result paths all
+/// surface the sentinel as a quiet NaN instead — report writers emit it as
+/// null / an empty cell and the statistical layer rejects-and-counts it.
+double delay_or_nan(double first_crossing_s) {
+  return first_crossing_s < 0.0
+             ? std::numeric_limits<double>::quiet_NaN()
+             : first_crossing_s;
 }
 
 }  // namespace
@@ -68,9 +81,13 @@ double bus_settle_time_s(const BusTopology& topology, const BusDrive& drive) {
   const double r_total = drive.driver_ohm +
                          topology.line.series_resistance_ohm +
                          topology.line.resistance_per_m * topology.length_m;
+  // The receiver load hangs off the same drive path, so it belongs in the
+  // RC estimate: heavy-load scenarios (load >> line capacitance) would
+  // otherwise get a window that ends before the aggressor settles.
   const double c_total =
       (topology.line.capacitance_per_m + 2.0 * topology.coupling_cap_per_m) *
-      topology.length_m;
+          topology.length_m +
+      drive.receiver_load_f;
   return settle_time_s(r_total, c_total, drive.edge_time_s);
 }
 
@@ -160,8 +177,8 @@ CrosstalkResult analyze_crosstalk(const CrosstalkConfig& cfg,
       out.peak_time_s = t[i];
     }
   }
-  out.aggressor_delay_s = numerics::first_crossing_time(
-      t, res.voltage(agg_far), cfg.vdd_v / 2.0, /*rising=*/true);
+  out.aggressor_delay_s = delay_or_nan(numerics::first_crossing_time(
+      t, res.voltage(agg_far), cfg.vdd_v / 2.0, /*rising=*/true));
   return out;
 }
 
@@ -298,9 +315,9 @@ BusCrosstalkResult analyze_bus_crosstalk(BusNetlist bus,
       }
     }
   }
-  out.aggressor_delay_s = numerics::first_crossing_time(
+  out.aggressor_delay_s = delay_or_nan(numerics::first_crossing_time(
       t, res.voltage(far[static_cast<std::size_t>(agg)]), drive.vdd_v / 2.0,
-      /*rising=*/true);
+      /*rising=*/true));
   return out;
 }
 

@@ -31,7 +31,9 @@ struct CrosstalkConfig {
 struct CrosstalkResult {
   double peak_noise_v = 0.0;       ///< At the victim far end.
   double peak_time_s = 0.0;
-  double aggressor_delay_s = 0.0;  ///< 50% delay of the aggressor itself.
+  /// 50% delay of the aggressor itself; quiet NaN when the far end never
+  /// reaches vdd/2 inside the window (never a negative sentinel).
+  double aggressor_delay_s = 0.0;
 };
 
 /// Builds the coupled ladder, runs the MNA transient, measures the noise.
@@ -96,7 +98,10 @@ struct BusCrosstalkResult {
   double peak_noise_v = 0.0;       ///< Worst victim far-end noise.
   double peak_time_s = 0.0;
   int worst_victim = -1;           ///< Line index of the worst victim.
-  double aggressor_delay_s = 0.0;  ///< 50% delay of the aggressor far end.
+  /// 50% delay of the aggressor far end; quiet NaN when the waveform never
+  /// crosses vdd/2 inside the window (report writers emit null/empty, the
+  /// statistical layer counts the sample invalid).
+  double aggressor_delay_s = 0.0;
   int unknowns = 0;                ///< MNA system size actually solved.
 };
 
@@ -142,8 +147,9 @@ PulseWave bus_edge_wave(double vdd_v, double edge_time_s);
 
 /// Length of the transient window analyze_bus_crosstalk simulates: 12 RC
 /// time constants of the worst-case drive into the line (+ both-neighbour
-/// coupling) capacitance, floored at 20 edge times. Exposed so reduced-
-/// model evaluations run on the exact same grid as the full transient.
+/// coupling) capacitance plus the receiver load, floored at 20 edge
+/// times. Exposed so reduced-model evaluations run on the exact same grid
+/// as the full transient.
 double bus_settle_time_s(const BusConfig& config);
 double bus_settle_time_s(const BusTopology& topology, const BusDrive& drive);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,35 +18,16 @@ using circuit::BusConfig;
 using circuit::BusCrosstalkResult;
 
 /// Builds the reduced model for the bare bus with head/far ports. The
-/// descriptor system and the per-line head/far state indices (node id - 1:
-/// the bare bus has no vsource or inductor branches, so states are exactly
-/// the non-ground node voltages) are written to the output parameters for
-/// BusRom::full_system / preconditioner.
+/// descriptor system and the per-line head/far state indices are written
+/// to the output parameters for BusRom::full_system / preconditioner.
 ReducedModel reduce_bus(const BusConfig& cfg, PrimaOptions opt,
                         StateSpace& ss_out,
                         std::vector<std::size_t>& head_states,
                         std::vector<std::size_t>& far_states) {
-  circuit::BusNetlist bus = circuit::build_bus_netlist(cfg);
-  StateSpaceOptions ss_opt;
-  ss_opt.include_sources = false;  // the bare bus has none
-  for (int l = 0; l < cfg.lines; ++l) {
-    ss_opt.ports.push_back(
-        {"head" + std::to_string(l),
-         bus.head[static_cast<std::size_t>(l)]});
-  }
-  for (int l = 0; l < cfg.lines; ++l) {
-    ss_opt.ports.push_back(
-        {"far" + std::to_string(l), bus.far[static_cast<std::size_t>(l)]});
-  }
-  ss_out = extract_state_space(bus.ckt, ss_opt);
-  head_states.clear();
-  far_states.clear();
-  for (int l = 0; l < cfg.lines; ++l) {
-    head_states.push_back(
-        static_cast<std::size_t>(bus.head[static_cast<std::size_t>(l)] - 1));
-    far_states.push_back(
-        static_cast<std::size_t>(bus.far[static_cast<std::size_t>(l)] - 1));
-  }
+  BusStateSpace bss = extract_bus_state_space(cfg.topology());
+  ss_out = std::move(bss.ss);
+  head_states = std::move(bss.head_states);
+  far_states = std::move(bss.far_states);
 
   if (opt.order <= 0) {
     // Default budget: three block moments' worth of columns (ports at both
@@ -65,6 +47,90 @@ ReducedModel reduce_bus(const BusConfig& cfg, PrimaOptions opt,
 }
 
 }  // namespace
+
+BusStateSpace extract_bus_state_space(const circuit::BusTopology& topology) {
+  circuit::BusNetlist bus = circuit::build_bus_netlist(topology);
+  StateSpaceOptions ss_opt;
+  ss_opt.include_sources = false;  // the bare bus has none
+  for (int l = 0; l < topology.lines; ++l) {
+    ss_opt.ports.push_back(
+        {"head" + std::to_string(l), bus.head[static_cast<std::size_t>(l)]});
+  }
+  for (int l = 0; l < topology.lines; ++l) {
+    ss_opt.ports.push_back(
+        {"far" + std::to_string(l), bus.far[static_cast<std::size_t>(l)]});
+  }
+  BusStateSpace out;
+  out.ss = extract_state_space(bus.ckt, ss_opt);
+  for (int l = 0; l < topology.lines; ++l) {
+    out.head_states.push_back(
+        static_cast<std::size_t>(bus.head[static_cast<std::size_t>(l)] - 1));
+    out.far_states.push_back(
+        static_cast<std::size_t>(bus.far[static_cast<std::size_t>(l)] - 1));
+  }
+  return out;
+}
+
+BusCrosstalkResult evaluate_reduced_bus(const ReducedModel& bare, int lines,
+                                        int aggressor,
+                                        const BusScenario& sc,
+                                        double t_stop_s, int time_steps) {
+  CNTI_EXPECTS(sc.driver_ohm > 0, "BusRom: driver resistance must be > 0");
+  CNTI_EXPECTS(sc.receiver_load_f >= 0, "BusRom: load must be >= 0");
+  CNTI_EXPECTS(time_steps >= 2, "BusRom: need at least two time steps");
+  CNTI_EXPECTS(aggressor >= 0 && aggressor < lines,
+               "BusRom: aggressor index out of range");
+  CNTI_EXPECTS(bare.inputs() >= 2 * lines,
+               "BusRom: bare model is missing head/far ports");
+  const int nl = lines;
+
+  // Terminations: every head sees its driver's output conductance (the
+  // aggressor's Thevenin source becomes a Norton drive at the same port),
+  // every far end its receiver load. Port k is input k and output k by
+  // construction in extract_bus_state_space.
+  std::vector<PortTermination> loads;
+  loads.reserve(static_cast<std::size_t>(2 * nl));
+  for (int l = 0; l < nl; ++l) {
+    loads.push_back({l, l, 1.0 / sc.driver_ohm, 0.0});
+  }
+  for (int l = 0; l < nl; ++l) {
+    loads.push_back({nl + l, nl + l, 0.0, sc.receiver_load_f});
+  }
+  const ReducedModel terminated = bare.terminated(loads);
+
+  // Norton drive: i(t) = v_edge(t) / R_driver into the aggressor head.
+  circuit::PulseWave edge = circuit::bus_edge_wave(sc.vdd_v, sc.edge_time_s);
+  edge.v2 /= sc.driver_ohm;
+  std::vector<circuit::Waveform> waves(
+      static_cast<std::size_t>(bare.inputs()), circuit::DcWave{0.0});
+  waves[static_cast<std::size_t>(aggressor)] = edge;
+
+  const ReducedModel::Transient tr =
+      terminated.simulate(waves, t_stop_s, t_stop_s / time_steps);
+
+  BusCrosstalkResult out;
+  out.unknowns = bare.order();
+  out.worst_victim = aggressor == 0 ? 1 : 0;
+  for (int l = 0; l < nl; ++l) {
+    if (l == aggressor) continue;
+    const auto& vn = tr.outputs[static_cast<std::size_t>(nl + l)];
+    for (std::size_t i = 0; i < tr.time.size(); ++i) {
+      if (std::abs(vn[i]) > std::abs(out.peak_noise_v)) {
+        out.peak_noise_v = vn[i];
+        out.peak_time_s = tr.time[i];
+        out.worst_victim = l;
+      }
+    }
+  }
+  // Same sentinel policy as analyze_bus_crosstalk: never-crossed is a
+  // quiet NaN, not a negative delay.
+  const double crossing = numerics::first_crossing_time(
+      tr.time, tr.outputs[static_cast<std::size_t>(nl + aggressor)],
+      sc.vdd_v / 2.0, /*rising=*/true);
+  out.aggressor_delay_s =
+      crossing < 0.0 ? std::numeric_limits<double>::quiet_NaN() : crossing;
+  return out;
+}
 
 BusRom::BusRom(const BusConfig& config, PrimaOptions options)
     : config_(config),
@@ -136,62 +202,23 @@ BusScenario BusRom::nominal_scenario() const {
   return sc;
 }
 
+double BusRom::window_s(const BusScenario& sc) const {
+  // Same window/grid as the full transient of the matching BusConfig —
+  // every scenario field that enters the settle estimate (driver strength,
+  // edge time *and receiver load*) is propagated.
+  circuit::BusDrive drive;
+  drive.aggressor = aggressor_;
+  drive.driver_ohm = sc.driver_ohm;
+  drive.vdd_v = sc.vdd_v;
+  drive.edge_time_s = sc.edge_time_s;
+  drive.receiver_load_f = sc.receiver_load_f;
+  return circuit::bus_settle_time_s(config_.topology(), drive);
+}
+
 BusCrosstalkResult BusRom::evaluate(const BusScenario& sc,
                                     int time_steps) const {
-  CNTI_EXPECTS(sc.driver_ohm > 0, "BusRom: driver resistance must be > 0");
-  CNTI_EXPECTS(sc.receiver_load_f >= 0, "BusRom: load must be >= 0");
-  CNTI_EXPECTS(time_steps >= 2, "BusRom: need at least two time steps");
-  const int nl = config_.lines;
-
-  // Terminations: every head sees its driver's output conductance (the
-  // aggressor's Thevenin source becomes a Norton drive at the same port),
-  // every far end its receiver load. Port k is input k and output k by
-  // construction in reduce_bus.
-  std::vector<PortTermination> loads;
-  loads.reserve(static_cast<std::size_t>(2 * nl));
-  for (int l = 0; l < nl; ++l) {
-    loads.push_back({l, l, 1.0 / sc.driver_ohm, 0.0});
-  }
-  for (int l = 0; l < nl; ++l) {
-    loads.push_back({nl + l, nl + l, 0.0, sc.receiver_load_f});
-  }
-  const ReducedModel terminated = rom_.terminated(loads);
-
-  // Norton drive: i(t) = v_edge(t) / R_driver into the aggressor head.
-  circuit::PulseWave edge =
-      circuit::bus_edge_wave(sc.vdd_v, sc.edge_time_s);
-  edge.v2 /= sc.driver_ohm;
-  std::vector<circuit::Waveform> waves(
-      static_cast<std::size_t>(rom_.inputs()), circuit::DcWave{0.0});
-  waves[static_cast<std::size_t>(aggressor_)] = edge;
-
-  // Same window/grid as the full transient of the matching BusConfig.
-  BusConfig window_cfg = config_;
-  window_cfg.driver_ohm = sc.driver_ohm;
-  window_cfg.vdd_v = sc.vdd_v;
-  window_cfg.edge_time_s = sc.edge_time_s;
-  const double t_stop = circuit::bus_settle_time_s(window_cfg);
-  const ReducedModel::Transient tr =
-      terminated.simulate(waves, t_stop, t_stop / time_steps);
-
-  BusCrosstalkResult out;
-  out.unknowns = rom_.order();
-  out.worst_victim = aggressor_ == 0 ? 1 : 0;
-  for (int l = 0; l < nl; ++l) {
-    if (l == aggressor_) continue;
-    const auto& vn = tr.outputs[static_cast<std::size_t>(nl + l)];
-    for (std::size_t i = 0; i < tr.time.size(); ++i) {
-      if (std::abs(vn[i]) > std::abs(out.peak_noise_v)) {
-        out.peak_noise_v = vn[i];
-        out.peak_time_s = tr.time[i];
-        out.worst_victim = l;
-      }
-    }
-  }
-  out.aggressor_delay_s = numerics::first_crossing_time(
-      tr.time, tr.outputs[static_cast<std::size_t>(nl + aggressor_)],
-      sc.vdd_v / 2.0, /*rising=*/true);
-  return out;
+  return evaluate_reduced_bus(rom_, config_.lines, aggressor_, sc,
+                              window_s(sc), time_steps);
 }
 
 }  // namespace cnti::rom

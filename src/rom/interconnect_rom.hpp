@@ -29,6 +29,34 @@ struct BusScenario {
   double edge_time_s = 20e-12;
 };
 
+/// Bare-bus descriptor system with head/far ports plus the per-line state
+/// indices of the port nodes (node id - 1: the bare bus has no vsource or
+/// inductor branches, so states are exactly the non-ground node voltages).
+/// The extraction BusRom and ParametrizedBusRom share: ports are
+/// head0..head{N-1} then far0..far{N-1}, each both an input and an output.
+struct BusStateSpace {
+  StateSpace ss;
+  std::vector<std::size_t> head_states, far_states;
+};
+
+/// Builds the bare bus netlist of `topology` and extracts its ported
+/// descriptor system (see BusStateSpace for the port convention).
+BusStateSpace extract_bus_state_space(const circuit::BusTopology& topology);
+
+/// Runs one driver/load/stimulus scenario on a *bare* reduced bus model
+/// (ports as in BusStateSpace): folds the scenario terminations into the
+/// reduced matrices, replaces the aggressor's Thevenin driver by its
+/// Norton equivalent at the head port, simulates [0, t_stop_s] on
+/// `time_steps` backward-Euler steps and measures worst victim noise and
+/// the aggressor 50% delay (quiet NaN if never crossed). Shared by
+/// BusRom::evaluate and ParametrizedBusRom::evaluate so both stay
+/// field-for-field comparable with analyze_bus_crosstalk.
+circuit::BusCrosstalkResult evaluate_reduced_bus(const ReducedModel& bare,
+                                                 int lines, int aggressor,
+                                                 const BusScenario& scenario,
+                                                 double t_stop_s,
+                                                 int time_steps);
+
 /// Full-order terminated bus system A x = b at one (real) frequency-like
 /// shift: A = G + Gdrv + s (C + Cload) over the bare-bus state vector,
 /// with the aggressor's Norton drive current on the right-hand side. The
@@ -72,6 +100,12 @@ class BusRom {
   /// comparable with analyze_bus_crosstalk of the matching full config.
   circuit::BusCrosstalkResult evaluate(const BusScenario& scenario,
                                        int time_steps = 1500) const;
+
+  /// The transient window evaluate() simulates for `scenario`: exactly
+  /// circuit::bus_settle_time_s of the construction topology under the
+  /// scenario's drive — including its receiver load, so the ROM and the
+  /// full-MNA path can never disagree on the grid.
+  double window_s(const BusScenario& scenario) const;
 
   /// Assembles the full-order terminated system at shift `s` [rad/s]
   /// (s >= 0): driver conductances fold onto the head diagonals, receiver

@@ -93,13 +93,8 @@ circuit::BusDrive to_bus_drive(const Scenario& s) {
 ScenarioEngine::ScenarioEngine(EngineOptions options)
     : options_(options), cache_(options.cache_enabled, options.tier) {}
 
-ScenarioResult ScenarioEngine::run(const Scenario& s) const {
-  const core::MultiscaleInput in = to_multiscale_input(s);
-  core::validate_multiscale_input(in);
-
-  ScenarioResult out;
-  out.label = s.label;
-
+ScenarioEngine::LineStage ScenarioEngine::line_stage(
+    const Scenario& s, const core::MultiscaleInput& in) const {
   // --- Atomistic stage. ---
   const auto channels = cache_.get_or_compute<core::ChannelStage>(
       stage::kAtomistic,
@@ -134,7 +129,20 @@ ScenarioResult ScenarioEngine::run(const Scenario& s) const {
       &scalar_codec());
 
   // --- Materials + compact stage (cheap; computed inline). ---
-  const core::MwcntLine line(core::multiscale_line_spec(in, *channels, *ce));
+  return {channels, core::MwcntLine(core::multiscale_line_spec(in, *channels,
+                                                               *ce))};
+}
+
+ScenarioResult ScenarioEngine::run(const Scenario& s) const {
+  const core::MultiscaleInput in = to_multiscale_input(s);
+  core::validate_multiscale_input(in);
+
+  ScenarioResult out;
+  out.label = s.label;
+
+  const LineStage front = line_stage(s, in);
+  const auto& channels = front.channels;
+  const core::MwcntLine& line = front.line;
 
   // --- Circuit delay stage. ---
   double delay_s = 0.0;
@@ -182,7 +190,10 @@ ScenarioResult ScenarioEngine::run(const Scenario& s) const {
       // inside the compute, so one reduction per topology (+ aggressor
       // port choice) is shared across every driver/load/stimulus scenario
       // of the batch — and on a warm disk hit it is never rebuilt at all.
-      KeyHasher eval_key = line_rlc_hasher("stage.bus-rom-eval.v2",
+      // .v3: the settle window gained the receiver load and the delay
+      // sentinel became NaN — same key inputs, different values, so the
+      // schema bump retires every pre-fix persisted entry (PR-7 policy).
+      KeyHasher eval_key = line_rlc_hasher("stage.bus-rom-eval.v3",
                                            topology.line);
       eval_key.add(topology.coupling_cap_per_m)
           .add(topology.length_m)
@@ -197,7 +208,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& s) const {
       const auto result = cache_.get_or_compute<circuit::BusCrosstalkResult>(
           stage::kBusRomEval, eval_key.key(),
           [&] {
-            KeyHasher h = line_rlc_hasher("stage.bus-rom.v2", topology.line);
+            KeyHasher h = line_rlc_hasher("stage.bus-rom.v3", topology.line);
             h.add(topology.coupling_cap_per_m)
                 .add(topology.length_m)
                 .add(topology.lines)
@@ -223,7 +234,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& s) const {
       // memory-only, nested so a disk hit skips even the build.
       const auto result = cache_.get_or_compute<circuit::BusCrosstalkResult>(
           stage::kBusMna,
-          topology_drive_key("stage.bus-mna.v2", topology, drive,
+          topology_drive_key("stage.bus-mna.v3", topology, drive,
                              s.analysis.time_steps),
           [&] {
             const auto bare = cache_.get_or_compute<circuit::BusNetlist>(

@@ -21,12 +21,15 @@
 
 #include "circuit/crosstalk.hpp"
 #include "core/multiscale.hpp"
+#include "core/mwcnt_line.hpp"
 #include "core/sweep_engine.hpp"
 #include "scenario/memo_cache.hpp"
 #include "scenario/spec.hpp"
 #include "scenario/stages.hpp"
 
 namespace cnti::scenario {
+
+struct StatisticalShard;  // scenario/statistical.hpp
 
 /// Cache bucket names of the engine's memoized stages — the keys under
 /// which MemoCache::stats reports hit/miss counts. Exported so consumers
@@ -38,6 +41,7 @@ inline constexpr const char* kCapacitance = "capacitance";
 inline constexpr const char* kDelayMna = "delay-mna";
 inline constexpr const char* kBusNetlist = "bus-netlist";
 inline constexpr const char* kBusRom = "bus-rom";
+inline constexpr const char* kBusProm = "bus-prom";
 inline constexpr const char* kBusRomEval = "bus-rom-eval";
 inline constexpr const char* kBusMna = "bus-mna";
 inline constexpr const char* kThermal = "thermal";
@@ -81,10 +85,32 @@ class ScenarioEngine {
   std::vector<ScenarioResult> run_batch(
       const std::vector<Scenario>& batch) const;
 
+  /// Runs the scenario's deterministic Monte Carlo (variability.samples
+  /// technology draws, evaluated at ROM cost on a cached corner-anchored
+  /// ParametrizedBusRom) for the global sample range [begin, end) — one
+  /// shard of a possibly multi-process study. Requires analysis.noise and
+  /// variability.samples > 0; results are bit-identical at any thread
+  /// count and shard partition (see scenario/statistical.hpp).
+  StatisticalShard run_statistical(const Scenario& scenario,
+                                   std::uint64_t begin,
+                                   std::uint64_t end) const;
+
+  /// The whole study in one process: run_statistical(s, 0, samples).
+  StatisticalShard run_statistical(const Scenario& scenario) const;
+
   const EngineOptions& options() const { return options_; }
   const MemoCache& cache() const { return cache_; }
 
  private:
+  /// Shared front of run()/run_statistical(): the cached atomistic +
+  /// electrostatic stages and the compact line they imply.
+  struct LineStage {
+    std::shared_ptr<const core::ChannelStage> channels;
+    core::MwcntLine line;
+  };
+  LineStage line_stage(const Scenario& scenario,
+                       const core::MultiscaleInput& input) const;
+
   EngineOptions options_;
   mutable MemoCache cache_;
 };

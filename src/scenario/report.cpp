@@ -1,5 +1,6 @@
 #include "scenario/report.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <ostream>
@@ -86,10 +87,14 @@ void write_report_csv(std::ostream& out,
         << num_field(r.line.delay_ps) << ',' << csv_field(r.line.delay_method)
         << ',';
     if (r.noise) {
+      // A NaN aggressor delay (the 50% level was never crossed inside the
+      // window) is an empty cell, mirroring the JSON writer's null — a
+      // literal "nan" would not survive strict CSV consumers.
+      const double delay_ps = units::to_ps(r.noise->aggressor_delay_s);
       out << num_field(r.noise->peak_noise_v * 1e3) << ','
           << num_field(units::to_ps(r.noise->peak_time_s)) << ','
           << r.noise->worst_victim << ','
-          << num_field(units::to_ps(r.noise->aggressor_delay_s)) << ','
+          << (std::isfinite(delay_ps) ? num_field(delay_ps) : "") << ','
           << r.noise->unknowns << ',';
     } else {
       out << ",,,,,";

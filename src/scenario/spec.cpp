@@ -52,14 +52,29 @@ ContentKey content_key(const AnalysisRequest& a) {
   return h.key();
 }
 
+ContentKey content_key(const VariabilitySpec& v) {
+  KeyHasher h("cnti.variability.v1");
+  h.add(static_cast<std::int64_t>(v.seed))
+      .add(v.samples)
+      .add(v.resistance_span)
+      .add(v.capacitance_span)
+      .add(v.coupling_span);
+  return h.key();
+}
+
 ContentKey content_key(const Scenario& s) {
-  KeyHasher h("cnti.scenario.v2");
+  // v3: the variability axis joined the scenario identity (PR-7 schema-bump
+  // policy — every persisted entry keyed on a scenario recomputes rather
+  // than aliasing a pre-variability result).
+  KeyHasher h("cnti.scenario.v3");
   const ContentKey t = content_key(s.tech);
   const ContentKey w = content_key(s.workload);
   const ContentKey a = content_key(s.analysis);
+  const ContentKey v = content_key(s.variability);
   h.add(static_cast<std::int64_t>(t.hi)).add(static_cast<std::int64_t>(t.lo));
   h.add(static_cast<std::int64_t>(w.hi)).add(static_cast<std::int64_t>(w.lo));
   h.add(static_cast<std::int64_t>(a.hi)).add(static_cast<std::int64_t>(a.lo));
+  h.add(static_cast<std::int64_t>(v.hi)).add(static_cast<std::int64_t>(v.lo));
   return h.key();
 }
 

@@ -15,6 +15,7 @@
 // scenarios differ only in the other specs' fields.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -91,6 +92,27 @@ struct AnalysisRequest {
   int delay_segments = 12;
 };
 
+/// Deterministic Monte Carlo axis of a scenario: how many technology
+/// samples to draw, from which root seed, and how far each per-unit-length
+/// electrical axis spreads multiplicatively around its nominal value.
+/// `samples == 0` (the default) keeps the scenario deterministic —
+/// ScenarioEngine::run ignores the spec entirely; run_statistical requires
+/// samples > 0. Sample i draws its axis scales from
+/// Rng(seed).fork(i).fork(axis) sub-streams, a pure function of
+/// (seed, i, axis), so any shard/thread partition of [0, samples)
+/// reproduces identical per-sample technologies (see
+/// scenario/statistical.hpp).
+struct VariabilitySpec {
+  std::uint64_t seed = 0x5eed5eedULL;
+  int samples = 0;
+  /// Half-width of each axis's uniform multiplicative spread:
+  /// scale ~ U[1 - span, 1 + span]; 0 pins the axis at nominal. Spans must
+  /// lie in [0, 1) so scales stay positive.
+  double resistance_span = 0.0;   ///< line resistance_per_m.
+  double capacitance_span = 0.0;  ///< line capacitance_per_m.
+  double coupling_span = 0.0;     ///< neighbour coupling_cap_per_m.
+};
+
 /// One fully described study point. The label is reporting metadata only —
 /// it is excluded from every content key.
 struct Scenario {
@@ -98,12 +120,14 @@ struct Scenario {
   TechnologySpec tech;
   WorkloadSpec workload;
   AnalysisRequest analysis;
+  VariabilitySpec variability;
 };
 
 /// Content keys (label-free, schema-tagged, deterministic).
 ContentKey content_key(const TechnologySpec& t);
 ContentKey content_key(const WorkloadSpec& w);
 ContentKey content_key(const AnalysisRequest& a);
+ContentKey content_key(const VariabilitySpec& v);
 ContentKey content_key(const Scenario& s);
 
 /// Expands a base scenario over a sweep grid: `apply` rewrites the copy for

@@ -1,6 +1,7 @@
 #include "service/protocol.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "common/json_sink.hpp"
@@ -60,6 +61,37 @@ std::string str_or(const JsonValue& v, const char* key,
                    const std::string& fallback) {
   const JsonValue* m = v.find(key);
   return m == nullptr ? fallback : m->as_string();
+}
+
+/// 64-bit seeds travel as 16-hex-digit strings: a JSON number is a double
+/// and would silently drop the low bits of seeds past 2^53, breaking the
+/// reproduce-by-seed contract.
+std::string seed_to_wire(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t seed_or(const JsonValue& v, const char* key,
+                      std::uint64_t fallback) {
+  const JsonValue* m = v.find(key);
+  if (m == nullptr) return fallback;
+  const std::string& s = m->as_string();
+  if (s.size() != 16 ||
+      s.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    throw ProtocolError(std::string("member \"") + key +
+                        "\" must be a 16-hex-digit string");
+  }
+  std::uint64_t out = 0;
+  for (const char c : s) {
+    out = (out << 4) |
+          static_cast<std::uint64_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  return out;
 }
 
 }  // namespace
@@ -177,12 +209,21 @@ std::string scenario_to_json(const scenario::Scenario& s) {
       << ", \"thermal\": " << (s.analysis.thermal ? "true" : "false")
       << ", \"time_steps\": " << s.analysis.time_steps
       << ", \"delay_segments\": " << s.analysis.delay_segments << "}";
+  out << ", \"variability\": {"
+      << "\"seed\": \"" << seed_to_wire(s.variability.seed) << "\""
+      << ", \"samples\": " << s.variability.samples
+      << ", \"resistance_span\": " << json_number(s.variability.resistance_span)
+      << ", \"capacitance_span\": "
+      << json_number(s.variability.capacitance_span)
+      << ", \"coupling_span\": " << json_number(s.variability.coupling_span)
+      << "}";
   out << "}";
   return out.str();
 }
 
 scenario::Scenario scenario_from_json(const JsonValue& v) {
-  check_members(v, "scenario", {"label", "tech", "workload", "analysis"});
+  check_members(v, "scenario",
+                {"label", "tech", "workload", "analysis", "variability"});
   scenario::Scenario s;
   s.label = str_or(v, "label", "");
   if (const JsonValue* tech = v.find("tech")) {
@@ -269,6 +310,18 @@ scenario::Scenario scenario_from_json(const JsonValue& v) {
     a.time_steps = int_or(*an, "time_steps", a.time_steps);
     a.delay_segments = int_or(*an, "delay_segments", a.delay_segments);
   }
+  if (const JsonValue* var = v.find("variability")) {
+    check_members(*var, "variability",
+                  {"seed", "samples", "resistance_span", "capacitance_span",
+                   "coupling_span"});
+    auto& vr = s.variability;
+    vr.seed = seed_or(*var, "seed", vr.seed);
+    vr.samples = int_or(*var, "samples", vr.samples);
+    vr.resistance_span = num_or(*var, "resistance_span", vr.resistance_span);
+    vr.capacitance_span =
+        num_or(*var, "capacitance_span", vr.capacitance_span);
+    vr.coupling_span = num_or(*var, "coupling_span", vr.coupling_span);
+  }
   return s;
 }
 
@@ -305,7 +358,11 @@ scenario::ScenarioResult result_from_json(const JsonValue& v) {
     r.noise->peak_noise_v = noise->at("peak_noise_v").as_number();
     r.noise->peak_time_s = noise->at("peak_time_s").as_number();
     r.noise->worst_victim = int_or(*noise, "worst_victim", -1);
-    r.noise->aggressor_delay_s = noise->at("aggressor_delay_s").as_number();
+    // null is the wire form of the never-crossed NaN sentinel (json_number
+    // emits null for non-finite values).
+    const JsonValue& delay = noise->at("aggressor_delay_s");
+    r.noise->aggressor_delay_s =
+        delay.is_null() ? std::nan("") : delay.as_number();
     r.noise->unknowns = int_or(*noise, "unknowns", 0);
   }
   if (const JsonValue* thermal = v.find("thermal")) {

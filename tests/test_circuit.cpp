@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "circuit/builders.hpp"
+#include "circuit/crosstalk.hpp"
 #include "circuit/measure.hpp"
 #include "circuit/mna.hpp"
 #include "circuit/netlist.hpp"
@@ -456,6 +457,74 @@ TEST(Builders, Fig12DopingReducesDelayAt500um) {
   const double ratio = td / tp;
   EXPECT_LT(ratio, 1.0);
   EXPECT_GT(ratio, 0.7);  // paper: ~10% reduction for D = 10 nm
+}
+
+// --- Bus settle window and the never-crossed delay sentinel --------------
+
+cir::BusTopology settle_bus_topology() {
+  cir::BusTopology topology;
+  topology.line = cnti::core::make_paper_mwcnt(10, 4.0, 20e3).rlc();
+  topology.coupling_cap_per_m = 30e-12;
+  topology.length_m = 100e-6;
+  topology.lines = 3;
+  topology.segments = 6;
+  return topology;
+}
+
+TEST(BusCrosstalk, SettleWindowIncludesTheReceiverLoad) {
+  const cir::BusTopology topology = settle_bus_topology();
+  cir::BusDrive drive;
+  drive.receiver_load_f = 200e-15;
+  // 12 time constants of the full drive path: driver + contacts + line
+  // resistance into line + both-neighbour coupling + *receiver* C, floored
+  // at 20 edge times.
+  const double r_total = drive.driver_ohm +
+                         topology.line.series_resistance_ohm +
+                         topology.line.resistance_per_m * topology.length_m;
+  const double c_total = (topology.line.capacitance_per_m +
+                          2.0 * topology.coupling_cap_per_m) *
+                             topology.length_m +
+                         drive.receiver_load_f;
+  EXPECT_DOUBLE_EQ(
+      cir::bus_settle_time_s(topology, drive),
+      std::max(20.0 * drive.edge_time_s, 12.0 * r_total * c_total));
+
+  // A heavier receiver strictly widens the window.
+  cir::BusDrive light = drive;
+  light.receiver_load_f = 0.2e-15;
+  EXPECT_GT(cir::bus_settle_time_s(topology, drive),
+            cir::bus_settle_time_s(topology, light));
+}
+
+TEST(BusCrosstalk, HeavyLoadAggressorSettlesInsideTheWindow) {
+  // Regression: with a receiver load far above the line capacitance the
+  // old window (line C only) ended long before the aggressor reached
+  // vdd/2, so the reported "delay" was the never-crossed sentinel. The
+  // load-aware window must always contain the 50% crossing.
+  const cir::BusTopology topology = settle_bus_topology();
+  cir::BusDrive drive;
+  drive.receiver_load_f = 1e-12;  // 1 pF: ~90x the line + coupling C
+  const double window = cir::bus_settle_time_s(topology, drive);
+  const auto r = cir::analyze_bus_crosstalk(
+      cir::make_bus_config(topology, drive), 600);
+  ASSERT_TRUE(std::isfinite(r.aggressor_delay_s));
+  EXPECT_GT(r.aggressor_delay_s, 0.0);
+  EXPECT_LT(r.aggressor_delay_s, window);
+}
+
+TEST(BusCrosstalk, NeverCrossedDelayIsQuietNaNNotNegative) {
+  // A source impedance far above the MNA g_min leakage floor divides the
+  // far-end asymptote to a few percent of vdd — the 50% level is truly
+  // never reached, and the result must carry a quiet NaN, not -1.
+  const cir::BusTopology topology = settle_bus_topology();
+  cir::BusDrive drive;
+  drive.driver_ohm = 1e12;
+  const auto r = cir::analyze_bus_crosstalk(
+      cir::make_bus_config(topology, drive), 300);
+  EXPECT_TRUE(std::isnan(r.aggressor_delay_s));
+  // The peak-noise fields stay valid even when the delay does not.
+  EXPECT_TRUE(std::isfinite(r.peak_noise_v));
+  EXPECT_GE(r.worst_victim, 0);
 }
 
 }  // namespace

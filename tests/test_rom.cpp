@@ -22,6 +22,7 @@
 #include "numerics/sparse.hpp"
 #include "numerics/sparse_lu.hpp"
 #include "rom/interconnect_rom.hpp"
+#include "rom/parametrized_rom.hpp"
 #include "rom/prima.hpp"
 #include "rom/rom_preconditioner.hpp"
 
@@ -607,6 +608,134 @@ TEST(RomPrecond, RomPreconditionedBicgstabBeatsJacobiOnPaperBus) {
   for (std::size_t i = 0; i < x_lu.size(); ++i) {
     EXPECT_NEAR(romit.x[i], x_lu[i], 1e-8);
   }
+}
+
+// --- Corner-anchored parametrized bus ROM --------------------------------
+
+TEST(ParamRom, DegenerateBoxIsBitwiseBusRom) {
+  // A fully collapsed box (lo == hi == nominal) has a single corner, keeps
+  // that corner's PRIMA basis verbatim and must reproduce the plain
+  // topology-keyed BusRom bit for bit — window, transient and all.
+  const cir::BusConfig cfg = paper_bus(4, 8);
+  const rom::ParametrizedBusRom prom(cfg.topology(), rom::BusTechBox{});
+  const rom::BusRom bus(cfg.topology());
+  EXPECT_EQ(prom.corners(), 1);
+  EXPECT_EQ(prom.order(), bus.order());
+  EXPECT_EQ(prom.full_order(), bus.full_order());
+
+  rom::BusScenario sc;
+  sc.driver_ohm = 2e3;
+  sc.receiver_load_f = 0.5e-15;
+  const rom::BusTechPoint nominal;
+  EXPECT_EQ(prom.window_s(nominal, sc), bus.window_s(sc));
+  const auto a = prom.evaluate(nominal, sc, 300);
+  const auto b = bus.evaluate(sc, 300);
+  EXPECT_EQ(a.peak_noise_v, b.peak_noise_v);
+  EXPECT_EQ(a.peak_time_s, b.peak_time_s);
+  EXPECT_EQ(a.worst_victim, b.worst_victim);
+  EXPECT_EQ(a.aggressor_delay_s, b.aggressor_delay_s);
+}
+
+TEST(ParamRom, CornerAnchorsMatchFullMnaWithinOnePercent) {
+  const cir::BusConfig cfg = paper_bus(4, 8);
+  rom::BusTechBox box;
+  box.lo = {0.85, 0.90, 0.80};
+  box.hi = {1.15, 1.10, 1.20};
+  const rom::ParametrizedBusRom prom(cfg.topology(), box);
+  EXPECT_EQ(prom.corners(), 8);
+
+  rom::BusScenario sc;
+  for (const rom::BusTechPoint& p :
+       {box.lo, box.hi, rom::BusTechPoint{0.85, 1.10, 0.80}}) {
+    cir::BusDrive drive;
+    const auto full = cir::analyze_bus_crosstalk(
+        cir::make_bus_config(prom.topology_at(p), drive), 400);
+    const auto red = prom.evaluate(p, sc, 400);
+    EXPECT_EQ(red.worst_victim, full.worst_victim);
+    EXPECT_NEAR(red.peak_noise_v, full.peak_noise_v,
+                0.01 * std::abs(full.peak_noise_v));
+    EXPECT_NEAR(red.aggressor_delay_s, full.aggressor_delay_s,
+                0.01 * full.aggressor_delay_s);
+  }
+}
+
+TEST(ParamRom, InteriorProbesWithinOnePercentOfMna) {
+  // The error-bound policy itself: deterministic non-anchor probes vs the
+  // full sparse-MNA transient must stay inside the 1% acceptance band.
+  const cir::BusConfig cfg = paper_bus(4, 8);
+  rom::BusTechBox box;
+  box.lo = {0.85, 0.90, 0.80};
+  box.hi = {1.15, 1.10, 1.20};
+  const rom::ParametrizedBusRom prom(cfg.topology(), box);
+  const rom::ParamRomValidation v =
+      prom.validate_against_mna(rom::BusScenario{}, 4, 400);
+  EXPECT_EQ(v.probes, 4);
+  EXPECT_LE(v.max_noise_rel_err, 0.01);
+  EXPECT_LE(v.max_delay_rel_err, 0.01);
+}
+
+TEST(ParamRom, BlendedModelsStayStableAcrossTheBox) {
+  // The blend is a congruence projection of a passive network at every
+  // interior point, so stability must hold under any nonnegative
+  // termination — not just at the anchors.
+  const cir::BusConfig cfg = paper_bus(4, 8);
+  rom::BusTechBox box;
+  box.lo = {0.7, 0.8, 0.6};
+  box.hi = {1.3, 1.2, 1.4};
+  const rom::ParametrizedBusRom prom(cfg.topology(), box);
+  for (const rom::BusTechPoint& p :
+       {rom::BusTechPoint{0.7, 1.2, 1.0}, rom::BusTechPoint{1.0, 1.0, 1.0},
+        rom::BusTechPoint{1.29, 0.81, 1.39}}) {
+    const rom::ReducedModel m = prom.model_at(p);
+    std::vector<rom::PortTermination> loads;
+    for (int l = 0; l < 4; ++l) loads.push_back({l, l, 1.0 / 5e3, 0.0});
+    for (int l = 0; l < 4; ++l) loads.push_back({4 + l, 4 + l, 0.0, 1e-15});
+    EXPECT_TRUE(m.terminated(loads).stable())
+        << "r_scale = " << p.resistance_scale;
+  }
+}
+
+TEST(ParamRom, RejectsBadBoxesAndOutOfBoxPoints) {
+  const cir::BusConfig cfg = paper_bus(4, 8);
+  rom::BusTechBox zero;
+  zero.lo.resistance_scale = 0.0;  // scales must stay positive
+  EXPECT_THROW(rom::ParametrizedBusRom(cfg.topology(), zero),
+               cnti::PreconditionError);
+  rom::BusTechBox inverted;
+  inverted.lo.coupling_scale = 1.2;
+  inverted.hi.coupling_scale = 0.8;
+  EXPECT_THROW(rom::ParametrizedBusRom(cfg.topology(), inverted),
+               cnti::PreconditionError);
+
+  rom::BusTechBox box;
+  box.lo = {0.9, 0.9, 0.9};
+  box.hi = {1.1, 1.1, 1.1};
+  const rom::ParametrizedBusRom prom(cfg.topology(), box);
+  EXPECT_THROW(prom.model_at({1.2, 1.0, 1.0}), cnti::PreconditionError);
+  EXPECT_THROW(prom.evaluate({1.0, 0.5, 1.0}, rom::BusScenario{}, 100),
+               cnti::PreconditionError);
+}
+
+TEST(ParamRom, WindowTracksTheTechnologyPoint) {
+  // The simulated window must be bus_settle_time_s of the *scaled*
+  // topology under the scenario's drive — receiver load included — so the
+  // ROM grid can never diverge from the full-MNA grid at any sample.
+  const cir::BusConfig cfg = paper_bus(4, 8);
+  rom::BusTechBox box;
+  box.lo = {0.8, 0.8, 0.8};
+  box.hi = {1.2, 1.2, 1.2};
+  const rom::ParametrizedBusRom prom(cfg.topology(), box);
+  rom::BusScenario sc;
+  sc.driver_ohm = 3e3;
+  sc.receiver_load_f = 40e-15;
+  const rom::BusTechPoint p{1.15, 0.85, 1.05};
+  cir::BusDrive drive;
+  drive.driver_ohm = sc.driver_ohm;
+  drive.receiver_load_f = sc.receiver_load_f;
+  drive.vdd_v = sc.vdd_v;
+  drive.edge_time_s = sc.edge_time_s;
+  EXPECT_EQ(prom.window_s(p, sc),
+            cir::bus_settle_time_s(prom.topology_at(p), drive));
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // emission and the relocated JSON metric sink.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cmath>
@@ -27,6 +28,7 @@
 #include "scenario/report.hpp"
 #include "scenario/spec.hpp"
 #include "scenario/stages.hpp"
+#include "scenario/statistical.hpp"
 
 namespace sc = cnti::scenario;
 namespace cc = cnti::core;
@@ -765,6 +767,238 @@ TEST(MemoCache, ConcurrentThrowThenRetryConvergesToOneValue) {
   EXPECT_GT(got[0], kFailures);
   // Exactly one compute succeeded; the cache holds exactly that entry.
   EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Statistical studies: variability keys, deterministic sampling, shards.
+
+/// small_scenario with a variability axis: fast deterministic MC fixture.
+sc::Scenario statistical_scenario(int samples) {
+  sc::Scenario s = small_scenario();
+  s.analysis.delay = false;
+  s.analysis.noise = true;
+  s.variability.samples = samples;
+  s.variability.resistance_span = 0.15;
+  s.variability.capacitance_span = 0.10;
+  s.variability.coupling_span = 0.20;
+  return s;
+}
+
+std::string study_bytes(const sc::StatisticalStudy& study) {
+  std::ostringstream out;
+  sc::write_study_json(out, study);
+  return out.str();
+}
+
+TEST(ContentKey, EveryVariabilityFieldChangesTheKey) {
+  const sc::VariabilitySpec base;
+  const auto k0 = sc::content_key(base);
+  EXPECT_EQ(sc::content_key(base).hi, k0.hi);
+
+  sc::VariabilitySpec v = base;
+  v.seed ^= 1;
+  EXPECT_NE(sc::content_key(v).hi, k0.hi);
+  v = base;
+  v.samples += 1;
+  EXPECT_NE(sc::content_key(v).hi, k0.hi);
+  v = base;
+  v.resistance_span = 0.1;
+  EXPECT_NE(sc::content_key(v).hi, k0.hi);
+  v = base;
+  v.capacitance_span = 0.1;
+  EXPECT_NE(sc::content_key(v).hi, k0.hi);
+  v = base;
+  v.coupling_span = 0.1;
+  EXPECT_NE(sc::content_key(v).hi, k0.hi);
+
+  // The variability axis is folded into the scenario key (schema v3).
+  sc::Scenario s = small_scenario();
+  const auto sk = sc::content_key(s);
+  s.variability.samples = 7;
+  EXPECT_NE(sc::content_key(s).lo, sk.lo);
+}
+
+TEST(Statistical, SampleTechPointIsAPureFunctionOfSeedAndId) {
+  sc::VariabilitySpec spec;
+  spec.samples = 10;
+  spec.resistance_span = 0.2;
+  spec.capacitance_span = 0.1;
+  spec.coupling_span = 0.3;
+  const auto a = sc::sample_tech_point(spec, 12345);
+  const auto b = sc::sample_tech_point(spec, 12345);
+  EXPECT_EQ(a.resistance_scale, b.resistance_scale);
+  EXPECT_EQ(a.capacitance_scale, b.capacitance_scale);
+  EXPECT_EQ(a.coupling_scale, b.coupling_scale);
+
+  // Every draw lands inside the spec's box.
+  const auto box = sc::tech_box(spec);
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    const auto p = sc::sample_tech_point(spec, id);
+    EXPECT_GE(p.resistance_scale, box.lo.resistance_scale);
+    EXPECT_LT(p.resistance_scale, box.hi.resistance_scale);
+    EXPECT_GE(p.capacitance_scale, box.lo.capacitance_scale);
+    EXPECT_LT(p.capacitance_scale, box.hi.capacitance_scale);
+  }
+
+  // A pinned axis (span 0) is exactly 1 and consumes no stream: the other
+  // axes' draws must not shift when one span collapses.
+  sc::VariabilitySpec pinned = spec;
+  pinned.capacitance_span = 0.0;
+  const auto q = sc::sample_tech_point(pinned, 12345);
+  EXPECT_EQ(q.capacitance_scale, 1.0);
+  EXPECT_EQ(q.resistance_scale, a.resistance_scale);
+  EXPECT_EQ(q.coupling_scale, a.coupling_scale);
+}
+
+TEST(Statistical, ShardRangePartitionsEveryTotalExactly) {
+  for (const std::uint64_t total : {0ULL, 1ULL, 7ULL, 100ULL, 1000003ULL}) {
+    for (const std::uint64_t count : {1ULL, 2ULL, 3ULL, 8ULL, 13ULL}) {
+      std::uint64_t next = 0;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto [begin, end] = sc::shard_range(total, i, count);
+        EXPECT_EQ(begin, next);
+        EXPECT_LE(begin, end);
+        next = end;
+      }
+      EXPECT_EQ(next, total);
+    }
+  }
+  EXPECT_THROW(sc::shard_range(10, 3, 3), cnti::PreconditionError);
+  EXPECT_THROW(sc::shard_range(10, 0, 0), cnti::PreconditionError);
+}
+
+TEST(Statistical, RunIsThreadAndGrainInvariant) {
+  const sc::Scenario s = statistical_scenario(48);
+  sc::EngineOptions serial;
+  serial.sweep.threads = 1;
+  sc::EngineOptions wide;
+  wide.sweep.threads = 4;
+  wide.sweep.grain = 5;
+  const auto a = sc::ScenarioEngine(serial).run_statistical(s);
+  const auto b = sc::ScenarioEngine(wide).run_statistical(s);
+  ASSERT_EQ(a.noise_v.size(), 48u);
+  EXPECT_EQ(a.study_key.hi, b.study_key.hi);
+  EXPECT_EQ(a.study_key.lo, b.study_key.lo);
+  EXPECT_EQ(a.noise_v, b.noise_v);
+  EXPECT_EQ(a.delay_s, b.delay_s);
+}
+
+TEST(Statistical, ShardedRunsMergeBitIdenticalToTheFullRange) {
+  const sc::Scenario s = statistical_scenario(48);
+  const sc::ScenarioEngine engine;
+  const auto full = engine.run_statistical(s);
+  const std::string reference = study_bytes(sc::reduce_shards({full}));
+
+  // Uneven decomposition with an empty middle shard, evaluated out of
+  // order — the merge must still stream in global sample order.
+  std::vector<sc::StatisticalShard> shards;
+  shards.push_back(engine.run_statistical(s, 17, 48));
+  shards.push_back(engine.run_statistical(s, 17, 17));
+  shards.push_back(engine.run_statistical(s, 0, 17));
+  EXPECT_EQ(study_bytes(sc::reduce_shards(std::move(shards))), reference);
+}
+
+TEST(Statistical, MergeRejectsGapsOverlapsAndForeignShards) {
+  const sc::Scenario s = statistical_scenario(12);
+  const sc::ScenarioEngine engine;
+  const auto a = engine.run_statistical(s, 0, 6);
+  const auto b = engine.run_statistical(s, 6, 12);
+
+  EXPECT_THROW(sc::reduce_shards({a, a}), cnti::PreconditionError);  // overlap
+  EXPECT_THROW(sc::reduce_shards({a}), cnti::PreconditionError);     // gap
+  EXPECT_THROW(sc::reduce_shards({b}), cnti::PreconditionError);     // gap
+
+  auto foreign = b;
+  foreign.study_key.lo ^= 1;  // same range, different study
+  EXPECT_THROW(sc::reduce_shards({a, foreign}), cnti::PreconditionError);
+
+  auto truncated = b;
+  truncated.noise_v.pop_back();  // KPI arrays disagree with the range
+  EXPECT_THROW(sc::reduce_shards({a, truncated}), cnti::PreconditionError);
+}
+
+TEST(Statistical, ShardJsonRoundTripsBitExactlyIncludingNaN) {
+  const sc::Scenario s = statistical_scenario(12);
+  sc::StatisticalShard shard = sc::ScenarioEngine().run_statistical(s);
+  shard.delay_s[3] = std::numeric_limits<double>::quiet_NaN();
+
+  std::ostringstream out;
+  sc::write_shard_json(out, shard);
+  EXPECT_NE(out.str().find("null"), std::string::npos);
+  const sc::StatisticalShard back = sc::read_shard_json(out.str());
+  EXPECT_EQ(back.study_key.hi, shard.study_key.hi);
+  EXPECT_EQ(back.study_key.lo, shard.study_key.lo);
+  EXPECT_EQ(back.total_samples, shard.total_samples);
+  EXPECT_EQ(back.begin, shard.begin);
+  EXPECT_EQ(back.end, shard.end);
+  EXPECT_EQ(back.noise_v, shard.noise_v);
+  ASSERT_EQ(back.delay_s.size(), shard.delay_s.size());
+  for (std::size_t i = 0; i < shard.delay_s.size(); ++i) {
+    if (std::isnan(shard.delay_s[i])) {
+      EXPECT_TRUE(std::isnan(back.delay_s[i]));
+    } else {
+      EXPECT_EQ(back.delay_s[i], shard.delay_s[i]);
+    }
+  }
+
+  EXPECT_THROW(sc::read_shard_json("{\"schema\": \"cnti.shard.v1\"}"),
+               cnti::ParseError);
+}
+
+TEST(Statistical, InvalidDelaysAreCountedNotPoisoned) {
+  // A shard whose delays are all NaN reduces to a zero-count delay summary
+  // and a full invalid count — the noise statistics stay untouched.
+  sc::StatisticalShard shard;
+  shard.total_samples = 4;
+  shard.begin = 0;
+  shard.end = 4;
+  shard.noise_v = {0.1, 0.2, 0.3, 0.4};
+  shard.delay_s.assign(4, std::numeric_limits<double>::quiet_NaN());
+  const sc::StatisticalStudy study = sc::reduce_shards({shard});
+  EXPECT_EQ(study.delay_valid, 0u);
+  EXPECT_EQ(study.delay_invalid, 4u);
+  EXPECT_EQ(study.delay_s.count, 0u);
+  EXPECT_EQ(study.noise_v.count, 4u);
+  EXPECT_DOUBLE_EQ(study.noise_v.mean, 0.25);
+  // The study report renders without throwing and carries the counts.
+  const std::string json = study_bytes(study);
+  EXPECT_NE(json.find("\"delay_invalid\": 4"), std::string::npos);
+}
+
+TEST(ScenarioReport, NeverCrossedDelayIsNullInJsonAndEmptyInCsv) {
+  // End-to-end sentinel path: a source impedance far above the g_min
+  // leakage floor keeps the aggressor far end below vdd/2 forever, so the
+  // full-MNA noise stage reports a NaN delay — which must surface as JSON
+  // null and an empty CSV cell, never as -1 or "nan".
+  sc::Scenario s = small_scenario();
+  s.analysis.delay = false;
+  s.analysis.noise = true;
+  s.analysis.noise_model = sc::NoiseModel::kFullMna;
+  s.workload.driver_resistance_kohm = 1e9;  // 1e12 Ohm
+  const sc::ScenarioResult r = sc::ScenarioEngine().run(s);
+  ASSERT_TRUE(r.noise.has_value());
+  ASSERT_TRUE(std::isnan(r.noise->aggressor_delay_s));
+
+  std::ostringstream json;
+  sc::write_result_json_object(json, r, "");
+  EXPECT_NE(json.str().find("\"aggressor_delay_s\": null"),
+            std::string::npos);
+
+  std::ostringstream csv;
+  sc::write_report_csv(csv, {r});
+  std::string line = csv.str();
+  line = line.substr(line.find('\n') + 1);  // data row
+  std::vector<std::string> fields;
+  std::istringstream row(line);
+  for (std::string f; std::getline(row, f, ',');) fields.push_back(f);
+  const auto& header = sc::report_csv_header();
+  const std::size_t col =
+      static_cast<std::size_t>(std::find(header.begin(), header.end(),
+                                         "aggressor_delay_ps") -
+                               header.begin());
+  ASSERT_LT(col, fields.size());
+  EXPECT_EQ(fields[col], "");
+  EXPECT_EQ(line.find("nan"), std::string::npos);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -258,6 +259,59 @@ TEST(ServiceProtocol, UnknownMembersAreRejectedEverywhere) {
   EXPECT_THROW(sv::scenario_from_json(sv::parse_json(
                    R"({"tech": {"dopant": "unobtainium"}})")),
                sv::ProtocolError);
+}
+
+TEST(ServiceProtocol, VariabilityRoundTripsIncludingFullWidthSeed) {
+  sc::Scenario s = full_scenario(2);
+  // A seed above 2^53 would lose low bits as a JSON double; the wire
+  // carries it as a 16-hex-digit string instead.
+  s.variability.seed = 0xdeadbeefcafebabeULL;
+  s.variability.samples = 100000;
+  s.variability.resistance_span = 0.15;
+  s.variability.capacitance_span = 0.05;
+  s.variability.coupling_span = 0.25;
+  const std::string wire = sv::scenario_to_json(s);
+  EXPECT_NE(wire.find("\"deadbeefcafebabe\""), std::string::npos);
+  const sc::Scenario back = sv::scenario_from_json(sv::parse_json(wire));
+  EXPECT_EQ(back.variability.seed, s.variability.seed);
+  EXPECT_EQ(back.variability.samples, s.variability.samples);
+  EXPECT_EQ(bits(back.variability.resistance_span),
+            bits(s.variability.resistance_span));
+  EXPECT_EQ(bits(back.variability.capacitance_span),
+            bits(s.variability.capacitance_span));
+  EXPECT_EQ(bits(back.variability.coupling_span),
+            bits(s.variability.coupling_span));
+  EXPECT_EQ(sc::content_key(back), sc::content_key(s));
+  EXPECT_EQ(sc::content_key(back.variability), sc::content_key(s.variability));
+}
+
+TEST(ServiceProtocol, VariabilityRejectsUnknownMembersAndBadSeeds) {
+  EXPECT_THROW(sv::scenario_from_json(sv::parse_json(
+                   R"({"variability": {"sample": 3}})")),
+               sv::ProtocolError);
+  EXPECT_THROW(sv::scenario_from_json(sv::parse_json(
+                   R"({"variability": {"seed": "not-hex-at-all!"}})")),
+               sv::ProtocolError);
+  EXPECT_THROW(sv::scenario_from_json(sv::parse_json(
+                   R"({"variability": {"seed": 17}})")),
+               sv::ProtocolError);
+}
+
+TEST(ServiceProtocol, NullAggressorDelayParsesBackToNaN) {
+  sc::ScenarioResult r;
+  r.label = "never-crossed";
+  r.noise.emplace();
+  r.noise->peak_noise_v = 0.012;
+  r.noise->worst_victim = 1;
+  r.noise->aggressor_delay_s = std::nan("");
+  const std::string wire = sv::result_to_json(r);
+  EXPECT_NE(wire.find("\"aggressor_delay_s\": null"), std::string::npos);
+  const sc::ScenarioResult back = sv::result_from_json(sv::parse_json(wire));
+  ASSERT_TRUE(back.noise.has_value());
+  EXPECT_TRUE(std::isnan(back.noise->aggressor_delay_s));
+  EXPECT_EQ(bits(back.noise->peak_noise_v), bits(r.noise->peak_noise_v));
+  // And the round trip is stable: serializing again yields the same wire.
+  EXPECT_EQ(sv::result_to_json(back), wire);
 }
 
 TEST(ServiceProtocol, ResultRoundTripIsBitIdentical) {

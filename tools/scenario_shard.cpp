@@ -1,0 +1,187 @@
+// scenario_shard — sharded deterministic Monte Carlo statistical-SI
+// studies, one process per shard, merged to a single report.
+//
+//   scenario_shard run --samples N --out shard.json
+//                      [--shard I --shards S] [--seed U64]
+//                      [--span-r X] [--span-c X] [--span-cc X]
+//                      [--lines N] [--segments N] [--steps N]
+//                      [--length-um X] [--threads N] [--grain N]
+//   scenario_shard merge --out study.json [--csv study.csv] SHARD.json...
+//
+// Every `run` invocation evaluates only its global sample range
+// [I*N/S, (I+1)*N/S) but derives each sample's technology point from
+// (seed, global sample id) alone, so `merge` produces byte-identical
+// reports for any shard count — the acceptance check scripted in
+// scripts/shard_smoke.sh.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/engine.hpp"
+#include "scenario/statistical.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " run --samples N --out shard.json [--shard I --shards S]\n"
+         "        [--seed U64] [--span-r X] [--span-c X] [--span-cc X]\n"
+         "        [--lines N] [--segments N] [--steps N] [--length-um X]\n"
+         "        [--threads N] [--grain N]\n"
+         "   or: " << argv0
+      << " merge --out study.json [--csv study.csv] SHARD.json...\n";
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  return body.str();
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << bytes;
+}
+
+int run_mode(int argc, char** argv) {
+  using namespace cnti;
+
+  scenario::Scenario s;
+  s.label = "statistical-si";
+  s.workload.bus_lines = 4;
+  s.workload.bus_segments = 8;
+  s.analysis.delay = false;
+  s.analysis.noise = true;
+  s.analysis.noise_model = scenario::NoiseModel::kReducedOrder;
+  s.analysis.time_steps = 300;
+  s.variability.resistance_span = 0.15;
+  s.variability.capacitance_span = 0.10;
+  s.variability.coupling_span = 0.20;
+
+  std::uint64_t shard = 0;
+  std::uint64_t shards = 1;
+  std::string out_path;
+  scenario::EngineOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (!has_value) return usage(argv[0]);
+    const char* value = argv[++i];
+    if (arg == "--samples") {
+      s.variability.samples = std::atoi(value);
+    } else if (arg == "--shard") {
+      shard = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--shards") {
+      shards = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--seed") {
+      s.variability.seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--span-r") {
+      s.variability.resistance_span = std::atof(value);
+    } else if (arg == "--span-c") {
+      s.variability.capacitance_span = std::atof(value);
+    } else if (arg == "--span-cc") {
+      s.variability.coupling_span = std::atof(value);
+    } else if (arg == "--lines") {
+      s.workload.bus_lines = std::atoi(value);
+    } else if (arg == "--segments") {
+      s.workload.bus_segments = std::atoi(value);
+    } else if (arg == "--steps") {
+      s.analysis.time_steps = std::atoi(value);
+    } else if (arg == "--length-um") {
+      s.workload.length_um = std::atof(value);
+    } else if (arg == "--threads") {
+      options.sweep.threads = std::atoi(value);
+    } else if (arg == "--grain") {
+      options.sweep.grain = static_cast<std::size_t>(std::atoll(value));
+    } else if (arg == "--out") {
+      out_path = value;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (s.variability.samples <= 0 || shards < 1 || shard >= shards ||
+      out_path.empty()) {
+    return usage(argv[0]);
+  }
+
+  const scenario::ScenarioEngine engine(options);
+  const auto [begin, end] = scenario::shard_range(
+      static_cast<std::uint64_t>(s.variability.samples), shard, shards);
+  const scenario::StatisticalShard report =
+      engine.run_statistical(s, begin, end);
+
+  std::ostringstream body;
+  scenario::write_shard_json(body, report);
+  spill(out_path, body.str());
+  std::cout << "scenario_shard: shard " << shard << "/" << shards
+            << " evaluated samples [" << begin << ", " << end << ") -> "
+            << out_path << "\n";
+  return 0;
+}
+
+int merge_mode(int argc, char** argv) {
+  using namespace cnti;
+
+  std::string out_path;
+  std::string csv_path;
+  std::vector<std::string> shard_paths;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (out_path.empty() || shard_paths.empty()) return usage(argv[0]);
+
+  std::vector<scenario::StatisticalShard> shards;
+  shards.reserve(shard_paths.size());
+  for (const std::string& path : shard_paths) {
+    shards.push_back(scenario::read_shard_json(slurp(path)));
+  }
+  const scenario::StatisticalStudy study =
+      scenario::reduce_shards(std::move(shards));
+
+  std::ostringstream body;
+  scenario::write_study_json(body, study);
+  spill(out_path, body.str());
+  if (!csv_path.empty()) {
+    std::ostringstream csv;
+    scenario::write_study_csv(csv, study);
+    spill(csv_path, csv.str());
+  }
+  std::cout << "scenario_shard: merged " << shard_paths.size()
+            << " shard(s), " << study.samples << " samples ("
+            << study.delay_invalid << " invalid delays) -> " << out_path
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string mode = argv[1];
+  try {
+    if (mode == "run") return run_mode(argc, argv);
+    if (mode == "merge") return merge_mode(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "scenario_shard: " << e.what() << "\n";
+    return 1;
+  }
+  return usage(argv[0]);
+}
