@@ -136,7 +136,7 @@ void print_reproduction() {
     // are independent of the port list.
     const rom::StateSpace ss = rom::extract_state_space(
         circuit::build_bus_netlist(cfg).ckt,
-        {.ports = {{"p0", 1}}, .include_sources = false});
+        {.ports = {{"p0", 1}}, .observe = {}, .include_sources = false});
     const double s0 = 20.0 / circuit::bus_settle_time_s(cfg);
     numerics::SparseBuilder pencil(ss.g.rows(), ss.g.rows());
     for (std::size_t row = 0; row < ss.g.rows(); ++row) {

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/report.hpp"
 
@@ -145,6 +146,49 @@ void print_reproduction() {
   bench::json().set("cache_hits", static_cast<double>(total.hits));
   bench::json().set("cache_misses", static_cast<double>(total.misses));
   bench::json().set("bit_identical", identical ? 1.0 : 0.0);
+
+  // --- Observability overhead guard: compiled-in spans must stay noise.
+  // The per-site cost below is the *disabled* fast path (one relaxed load
+  // + branch) unless a trace/timing session is live — run this bench
+  // without CNTI_TRACE when reading obs_overhead_pct as the guard.
+  constexpr int kProbeIters = 5'000'000;
+  const auto tp0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kProbeIters; ++i) {
+    obs::ObsSpan span("bench.probe", "engine");
+  }
+  const double span_ns = 1e9 * seconds_since(tp0) / kProbeIters;
+
+  const obs::Counter probe_counter = obs::counter("cnti.engine.bench_probe");
+  const auto tp1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kProbeIters; ++i) probe_counter.add();
+  const double counter_ns = 1e9 * seconds_since(tp1) / kProbeIters;
+
+  // Span sites actually crossed by one warm scenario, counted by tracing
+  // it (tracing is bit-effect-free, so this cannot perturb the results
+  // already collected above).
+  std::size_t spans_per_scenario = 0;
+  {
+    obs::TraceSession probe;
+    (void)cached.run(batch[0]);
+    spans_per_scenario = probe.stop().size();
+  }
+
+  const double scenario_ns = 1e9 * t_cached / static_cast<double>(n);
+  const double overhead_pct =
+      100.0 * (static_cast<double>(spans_per_scenario) * span_ns) /
+      scenario_ns;
+  std::cout << "\nObservability disabled-path cost: span "
+            << Table::num(span_ns, 3) << " ns, counter add "
+            << Table::num(counter_ns, 3) << " ns; " << spans_per_scenario
+            << " span sites per warm scenario -> "
+            << Table::num(overhead_pct, 4) << "% of scenario time ("
+            << (overhead_pct < 2.0 ? "PASS" : "FAIL") << " < 2%)\n";
+
+  bench::json().set("obs_disabled_span_ns", span_ns);
+  bench::json().set("obs_counter_add_ns", counter_ns);
+  bench::json().set("obs_spans_per_scenario",
+                    static_cast<double>(spans_per_scenario));
+  bench::json().set("obs_overhead_pct", overhead_pct);
 }
 
 void BM_CachedScenario(benchmark::State& state) {

@@ -18,10 +18,20 @@ client="$build/scenario_client"
 work="$(mktemp -d)"
 server_pid=""
 cleanup() {
-  [ -n "$server_pid" ] && kill "$server_pid" 2> /dev/null || true
+  # Kill AND reap the daemon before removing its working tree: a server
+  # mid-store could otherwise recreate cache files under a half-deleted
+  # directory (or leak an orphan holding the log open).
+  if [ -n "$server_pid" ]; then
+    kill "$server_pid" 2> /dev/null || true
+    wait "$server_pid" 2> /dev/null || true
+  fi
   rm -rf "$work"
 }
 trap cleanup EXIT
+# On Ctrl-C / TERM, exit through the EXIT trap with the conventional
+# 128+signal status instead of dying mid-cleanup.
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 start_server() {
   "$server" --port 0 --cache-dir "$work/cache" --threads 4 \

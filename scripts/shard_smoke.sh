@@ -16,8 +16,15 @@ shard="$build/scenario_shard"
 [ -x "$shard" ] || { echo "missing $shard"; exit 2; }
 
 work="$(mktemp -d)"
-cleanup() { rm -rf "$work"; }
+cleanup() {
+  # Reap any shard still running (set -e kills the script mid-loop on a
+  # failed run) so rm -rf cannot race a writer recreating files.
+  wait 2> /dev/null || true
+  rm -rf "$work"
+}
 trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 samples=240
 

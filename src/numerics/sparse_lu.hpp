@@ -19,6 +19,7 @@
 
 #include "common/error.hpp"
 #include "numerics/sparse.hpp"
+#include "obs/obs.hpp"
 
 namespace cnti::numerics {
 
@@ -53,12 +54,29 @@ class SparseLu {
   void factorize(const SparseMatrix& a) {
     CNTI_EXPECTS(a.rows() == a.cols(), "SparseLu needs a square matrix");
     CNTI_EXPECTS(a.rows() > 0, "SparseLu: empty system");
-    if (analyzed_ && same_pattern(a) && refactorize(a)) {
+    static const obs::Counter replays = obs::counter("cnti.solver.refactorizations");
+    static const obs::Counter fulls = obs::counter("cnti.solver.factorizations");
+    static const obs::Counter fallbacks =
+        obs::counter("cnti.solver.repivot_fallbacks");
+    static const obs::Gauge nnz_gauge = obs::gauge("cnti.solver.nnz_lu");
+    static const obs::Histogram factor_hist =
+        obs::histogram("cnti.solver.factor_ns");
+    const std::uint64_t t0 = obs::span_start();
+    const bool replayable = analyzed_ && same_pattern(a);
+    if (replayable && refactorize(a)) {
       reused_symbolic_ = true;
+      replays.add();
+      obs::span_end("sparse_lu.refactorize", "solver", t0, factor_hist);
       return;
     }
+    // A failed replay means a pivot degraded past the growth bound and we
+    // fell back to a fresh partial-pivoting pass.
+    if (replayable) fallbacks.add();
     full_factorize(a);
     reused_symbolic_ = false;
+    fulls.add();
+    nnz_gauge.set(static_cast<double>(nnz_l() + nnz_u()));
+    obs::span_end("sparse_lu.factorize", "solver", t0, factor_hist);
   }
 
   std::size_t size() const { return n_; }
@@ -72,6 +90,11 @@ class SparseLu {
   std::vector<double> solve(const std::vector<double>& b) const {
     CNTI_EXPECTS(analyzed_, "SparseLu: factorize before solve");
     CNTI_EXPECTS(b.size() == n_, "SparseLu: rhs size mismatch");
+    static const obs::Counter solves = obs::counter("cnti.solver.solves");
+    static const obs::Histogram solve_hist =
+        obs::histogram("cnti.solver.solve_ns");
+    solves.add();
+    const obs::ObsSpan span("sparse_lu.solve", "solver", solve_hist);
     // Forward substitution L y = P b (L unit lower triangular in pivot
     // space; li_ stores original row ids, pinv_ maps them to pivot space).
     std::vector<double> y(n_);

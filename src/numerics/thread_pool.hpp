@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace cnti::numerics {
 
@@ -100,6 +101,12 @@ class ThreadPool {
     if (n == 0) return;
     if (grain == 0) grain = 1;
     const std::size_t n_chunks = (n + grain - 1) / grain;
+    static const obs::Counter jobs = obs::counter("cnti.pool.jobs");
+    static const obs::Counter chunk_count = obs::counter("cnti.pool.chunks");
+    static const obs::Histogram job_hist = obs::histogram("cnti.pool.job_ns");
+    jobs.add();
+    chunk_count.add(n_chunks);
+    const obs::ObsSpan job_span("pool.job", "pool", job_hist);
     if (thread_count() == 1 || n_chunks == 1 || inside_chunk_body()) {
       for (std::size_t c = 0; c < n_chunks; ++c) {
         body(c * grain, std::min(c * grain + grain, n));
@@ -118,6 +125,7 @@ class ThreadPool {
     job.grain = grain;
     job.n_chunks = n_chunks;
     job.body = &body;
+    job.t_submit = obs::span_start();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       job_ = &job;
@@ -140,6 +148,7 @@ class ThreadPool {
     std::size_t grain = 1;
     std::size_t n_chunks = 0;
     const ChunkBody* body = nullptr;
+    std::uint64_t t_submit = 0;  // obs: set at submission while timing
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     std::mutex error_mutex;
@@ -152,6 +161,13 @@ class ThreadPool {
   }
 
   static void run_chunks(Job& job) {
+    static const obs::Histogram wait_hist =
+        obs::histogram("cnti.pool.queue_wait_ns");
+    static const obs::Histogram run_hist = obs::histogram("cnti.pool.run_ns");
+    const std::uint64_t t_run0 = obs::span_start();
+    if (t_run0 != 0 && job.t_submit != 0 && t_run0 > job.t_submit) {
+      wait_hist.record_ns(t_run0 - job.t_submit);
+    }
     inside_chunk_body() = true;
     for (std::size_t c = job.next.fetch_add(1); c < job.n_chunks;
          c = job.next.fetch_add(1)) {
@@ -167,6 +183,7 @@ class ThreadPool {
       }
     }
     inside_chunk_body() = false;
+    obs::span_end("pool.run", "pool", t_run0, run_hist);
   }
 
   void worker_loop() {

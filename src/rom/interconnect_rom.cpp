@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "numerics/interp.hpp"
+#include "obs/obs.hpp"
 
 namespace cnti::rom {
 
@@ -82,6 +83,11 @@ BusCrosstalkResult evaluate_reduced_bus(const ReducedModel& bare, int lines,
                "BusRom: aggressor index out of range");
   CNTI_EXPECTS(bare.inputs() >= 2 * lines,
                "BusRom: bare model is missing head/far ports");
+  static const obs::Counter evaluations = obs::counter("cnti.rom.evaluations");
+  static const obs::Histogram eval_hist =
+      obs::histogram("cnti.rom.evaluate_ns");
+  evaluations.add();
+  const obs::ObsSpan eval_span("rom.evaluate", "rom", eval_hist);
   const int nl = lines;
 
   // Terminations: every head sees its driver's output conductance (the

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "rom/detail.hpp"
 
 namespace cnti::rom {
@@ -65,6 +66,7 @@ ParametrizedBusRom::ParametrizedBusRom(const circuit::BusTopology& nominal,
       aggressor_(aggressor < 0 ? nominal.lines / 2 : aggressor) {
   CNTI_EXPECTS(aggressor_ >= 0 && aggressor_ < topology_.lines,
                "ParametrizedBusRom: aggressor index out of range");
+  const obs::ObsSpan build_span("prom.build", "rom");
   const std::array<Axis, 3> axes = axes_of(box_);
   for (const Axis& a : axes) {
     CNTI_EXPECTS(a.lo > 0.0 && a.hi >= a.lo,
@@ -246,6 +248,7 @@ circuit::BusCrosstalkResult ParametrizedBusRom::evaluate(
 ParamRomValidation ParametrizedBusRom::validate_against_mna(
     const BusScenario& sc, int probes, int time_steps) const {
   CNTI_EXPECTS(probes >= 1, "ParametrizedBusRom: need at least one probe");
+  const obs::ObsSpan validate_span("prom.validate", "rom");
   const std::array<Axis, 3> axes = axes_of(box_);
   ParamRomValidation out;
   out.probes = probes;
@@ -287,6 +290,10 @@ ParamRomValidation ParametrizedBusRom::validate_against_mna(
               mna_res.aggressor_delay_s);
     }
   }
+  static const obs::Gauge error_gauge =
+      obs::gauge("cnti.rom.validate_error_pct");
+  error_gauge.set(100.0 *
+                  std::max(out.max_noise_rel_err, out.max_delay_rel_err));
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "numerics/sparse.hpp"
 #include "numerics/sparse_lu.hpp"
+#include "obs/obs.hpp"
 #include "rom/detail.hpp"
 
 namespace cnti::rom {
@@ -54,6 +55,16 @@ ReducedModel prima_reduce(const StateSpace& ss, const PrimaOptions& options) {
   const int q_target =
       std::min(options.order, ss.size);  // cannot exceed the full order
 
+  static const obs::Counter reductions = obs::counter("cnti.rom.reductions");
+  static const obs::Counter arnoldi_vectors =
+      obs::counter("cnti.rom.arnoldi_vectors");
+  static const obs::Counter deflations = obs::counter("cnti.rom.deflations");
+  static const obs::Gauge basis_gauge = obs::gauge("cnti.rom.basis_size");
+  static const obs::Histogram reduce_hist =
+      obs::histogram("cnti.rom.reduce_ns");
+  reductions.add();
+  const obs::ObsSpan reduce_span("prima.reduce", "rom", reduce_hist);
+
   SparseLu lu;
   lu.factorize(shifted_pencil(ss.g, ss.c, options.expansion_rad_per_s));
 
@@ -61,8 +72,12 @@ ReducedModel prima_reduce(const StateSpace& ss, const PrimaOptions& options) {
   // (deflation) when the direction is linearly dependent on the basis.
   std::vector<std::vector<double>> basis;
   const auto orthonormalize_into_basis = [&](std::vector<double> w) {
+    arnoldi_vectors.add();
     const double initial = norm2(w);
-    if (initial == 0.0) return false;
+    if (initial == 0.0) {
+      deflations.add();
+      return false;
+    }
     for (int pass = 0; pass < 2; ++pass) {
       for (const auto& v : basis) {
         const double h = dot(v, w);
@@ -71,7 +86,10 @@ ReducedModel prima_reduce(const StateSpace& ss, const PrimaOptions& options) {
       }
     }
     const double remaining = norm2(w);
-    if (remaining <= options.deflation_tol * initial) return false;
+    if (remaining <= options.deflation_tol * initial) {
+      deflations.add();
+      return false;
+    }
     for (double& x : w) x /= remaining;
     basis.push_back(std::move(w));
     return true;
@@ -106,6 +124,7 @@ ReducedModel prima_reduce(const StateSpace& ss, const PrimaOptions& options) {
 
   // Congruence projection onto the span of the basis.
   const std::size_t q = basis.size();
+  basis_gauge.set(static_cast<double>(q));
   MatrixD gr(q, q), cr(q, q);
   std::vector<double> gv(n);
   for (std::size_t j = 0; j < q; ++j) {

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/units.hpp"
+#include "obs/obs.hpp"
 #include "rom/interconnect_rom.hpp"
 #include "scenario/stage_codecs.hpp"
 
@@ -134,6 +135,11 @@ ScenarioEngine::LineStage ScenarioEngine::line_stage(
 }
 
 ScenarioResult ScenarioEngine::run(const Scenario& s) const {
+  static const obs::Counter scenarios = obs::counter("cnti.engine.scenarios");
+  static const obs::Histogram scenario_hist =
+      obs::histogram("cnti.engine.scenario_ns");
+  scenarios.add();
+  const obs::ObsSpan run_span("engine.run", "engine", scenario_hist);
   const core::MultiscaleInput in = to_multiscale_input(s);
   core::validate_multiscale_input(in);
 
@@ -273,6 +279,9 @@ ScenarioResult ScenarioEngine::run(const Scenario& s) const {
 std::vector<ScenarioResult> ScenarioEngine::run_batch(
     const std::vector<Scenario>& batch) const {
   if (batch.empty()) return {};
+  static const obs::Counter batches = obs::counter("cnti.engine.batches");
+  batches.add();
+  const obs::ObsSpan batch_span("engine.run_batch", "engine");
   // The batch rides the generic sweep engine: one index axis, evaluated in
   // flat order on the thread pool, results slot-indexed (deterministic).
   std::vector<double> indices(batch.size());

@@ -27,6 +27,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "scenario/content_key.hpp"
 
 namespace cnti::scenario {
@@ -119,18 +120,24 @@ class MemoCache {
                                           Fn&& compute,
                                           const StageCodec<T>* codec) {
     if (!enabled_) {
+      StageObs so;
       {
         const std::lock_guard<std::mutex> lock(mu_);
         ++stats_map(stage).misses;
+        so = stage_obs(stage);
       }
+      so.misses.add();
+      const obs::ObsSpan compute_span(so.compute_name, "cache");
       return to_shared<T>(compute());
     }
     const std::type_index want(typeid(T));
     std::shared_future<Value> fut;
     std::promise<Value> mine;
     bool owner = false;
+    StageObs so;
     {
       const std::lock_guard<std::mutex> lock(mu_);
+      so = stage_obs(stage);
       auto it = entries_.find({std::string(stage), key});
       if (it == entries_.end()) {
         owner = true;
@@ -141,19 +148,27 @@ class MemoCache {
         ++stats_map(stage).hits;
       }
     }
+    if (!owner) so.hits.add();
     if (owner) {
       std::shared_ptr<const T> value;
       bool from_tier = false;
       try {
         if (tier_ != nullptr && codec != nullptr) {
+          const std::uint64_t t_revive = obs::span_start();
           if (auto bytes = tier_->load(stage, codec->schema, key)) {
             if (auto decoded = codec->decode(*bytes)) {
               value = std::make_shared<const T>(std::move(*decoded));
               from_tier = true;
             }
           }
+          if (from_tier) {
+            obs::span_end(so.revive_name, "cache", t_revive, so.revive_hist);
+          }
         }
-        if (value == nullptr) value = to_shared<T>(compute());
+        if (value == nullptr) {
+          const obs::ObsSpan compute_span(so.compute_name, "cache");
+          value = to_shared<T>(compute());
+        }
         mine.set_value(Value{want, value});
       } catch (...) {
         // Erase before publishing the exception: a waiter that catches it
@@ -164,6 +179,7 @@ class MemoCache {
           entries_.erase({std::string(stage), key});
           ++stats_map(stage).misses;
         }
+        so.misses.add();
         mine.set_exception(std::current_exception());
         throw;
       }
@@ -172,6 +188,7 @@ class MemoCache {
         auto& s = stats_map(stage);
         from_tier ? ++s.disk_hits : ++s.misses;
       }
+      (from_tier ? so.disk_hits : so.misses).add();
       if (!from_tier && tier_ != nullptr && codec != nullptr) {
         // After set_value so waiters never block on tier IO; best-effort
         // (a tier/codec failure here must not fail a computed request).
@@ -241,12 +258,41 @@ class MemoCache {
     return stats_[std::string(stage)];  // callers hold mu_
   }
 
+  /// Per-stage obs handles (`cnti.cache.<stage>.*` counters, the revive
+  /// latency histogram, and interned span names), registered on the first
+  /// touch of a stage. Handle copies are cheap and safe to use after mu_
+  /// is released. Lock order is mu_ -> obs registry mutex; obs never calls
+  /// back into the cache.
+  struct StageObs {
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Counter disk_hits;
+    obs::Histogram revive_hist;
+    const char* compute_name = "stage.?";
+    const char* revive_name = "revive.?";
+  };
+
+  StageObs& stage_obs(std::string_view stage) {  // callers hold mu_
+    const auto it = obs_.find(stage);
+    if (it != obs_.end()) return it->second;
+    const std::string s(stage);
+    StageObs so;
+    so.hits = obs::counter("cnti.cache." + s + ".hits");
+    so.misses = obs::counter("cnti.cache." + s + ".misses");
+    so.disk_hits = obs::counter("cnti.cache." + s + ".disk_hits");
+    so.revive_hist = obs::histogram("cnti.cache." + s + ".revive_ns");
+    so.compute_name = obs::intern_name("stage." + s);
+    so.revive_name = obs::intern_name("revive." + s);
+    return obs_.emplace(s, so).first->second;
+  }
+
   bool enabled_ = true;
   std::shared_ptr<CacheTier> tier_;
   mutable std::mutex mu_;
   std::map<std::pair<std::string, ContentKey>, std::shared_future<Value>>
       entries_;
   std::map<std::string, CacheStats> stats_;
+  std::map<std::string, StageObs, std::less<>> obs_;
 };
 
 }  // namespace cnti::scenario

@@ -11,6 +11,7 @@
 #include "common/json_sink.hpp"
 #include "numerics/rng.hpp"
 #include "numerics/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "scenario/engine.hpp"
 #include "service/json.hpp"
 
@@ -288,6 +289,11 @@ StatisticalShard ScenarioEngine::run_statistical(const Scenario& s) const {
 StatisticalShard ScenarioEngine::run_statistical(const Scenario& s,
                                                  std::uint64_t begin,
                                                  std::uint64_t end) const {
+  static const obs::Counter samples_counter =
+      obs::counter("cnti.engine.samples");
+  static const obs::Gauge rate_gauge = obs::gauge("cnti.engine.samples_per_s");
+  const obs::ObsSpan stat_span("engine.run_statistical", "engine");
+  const std::uint64_t t_stat0 = obs::now_ns();
   const VariabilitySpec& var = s.variability;
   CNTI_EXPECTS(var.samples > 0,
                "run_statistical: variability.samples must be > 0");
@@ -361,6 +367,12 @@ StatisticalShard ScenarioEngine::run_statistical(const Scenario& s,
         }
       },
       options_.sweep.threads);
+  samples_counter.add(count);
+  const std::uint64_t elapsed_ns = obs::now_ns() - t_stat0;
+  if (elapsed_ns > 0 && count > 0) {
+    rate_gauge.set(static_cast<double>(count) * 1e9 /
+                   static_cast<double>(elapsed_ns));
+  }
   return shard;
 }
 

@@ -125,12 +125,26 @@ bool ScenarioClient::ping() {
 }
 
 std::map<std::string, scenario::CacheStats> ScenarioClient::stats() {
+  const JsonValue msg = stats_raw();
+  return cache_stats_from_json(msg.at("cache").at("stages"));
+}
+
+JsonValue ScenarioClient::stats_raw() {
   send_line("{\"type\": \"stats\"}");
-  const JsonValue msg = parse_json(read_line());
+  JsonValue msg = parse_json(read_line());
   if (msg.at("type").as_string() == "error") {
     throw ProtocolError("server error: " + msg.at("message").as_string());
   }
-  return cache_stats_from_json(msg.at("cache").at("stages"));
+  return msg;
+}
+
+JsonValue ScenarioClient::metrics() {
+  send_line("{\"type\": \"metrics\"}");
+  JsonValue msg = parse_json(read_line());
+  if (msg.at("type").as_string() == "error") {
+    throw ProtocolError("server error: " + msg.at("message").as_string());
+  }
+  return msg.at("metrics");
 }
 
 void ScenarioClient::request_shutdown() {

@@ -43,6 +43,14 @@ class ScenarioClient {
   /// Fetches the server's cache stats without running anything.
   std::map<std::string, scenario::CacheStats> stats();
 
+  /// Full `stats` reply as parsed JSON — includes the per-stage disk-tier
+  /// breakdown ("disk".{"totals","stages"}) when the server runs one.
+  JsonValue stats_raw();
+
+  /// The server's metrics registry snapshot (the `metrics` wire verb):
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  JsonValue metrics();
+
   /// Asks the daemon to shut down gracefully (it drains queued work
   /// first); returns once the server acknowledges.
   void request_shutdown();

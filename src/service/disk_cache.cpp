@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/atomic_file.hpp"
+#include "obs/obs.hpp"
 
 namespace cnti::service {
 
@@ -175,6 +176,28 @@ std::string hex16(std::uint64_t v) {
   return std::string(buf, 16);
 }
 
+/// Disk-tier obs handles (`cnti.cache.disk.*`); process-wide, shared by
+/// every DiskCache instance (gauges are last-write-wins).
+struct DiskObs {
+  obs::Counter hits = obs::counter("cnti.cache.disk.hits");
+  obs::Counter misses = obs::counter("cnti.cache.disk.misses");
+  obs::Counter stores = obs::counter("cnti.cache.disk.stores");
+  obs::Counter store_failures = obs::counter("cnti.cache.disk.store_failures");
+  obs::Counter corrupt_evictions =
+      obs::counter("cnti.cache.disk.corrupt_evictions");
+  obs::Counter lru_evictions = obs::counter("cnti.cache.disk.lru_evictions");
+  obs::Counter evicted_bytes = obs::counter("cnti.cache.disk.evicted_bytes");
+  obs::Gauge bytes = obs::gauge("cnti.cache.disk.bytes");
+  obs::Gauge entries = obs::gauge("cnti.cache.disk.entries");
+  obs::Histogram load_hist = obs::histogram("cnti.cache.disk.load_ns");
+  obs::Histogram store_hist = obs::histogram("cnti.cache.disk.store_ns");
+};
+
+const DiskObs& disk_obs() {
+  static const DiskObs handles;
+  return handles;
+}
+
 }  // namespace
 
 DiskCache::DiskCache(DiskCacheOptions options) : options_(std::move(options)) {
@@ -213,6 +236,8 @@ DiskCache::DiskCache(DiskCacheOptions options) : options_(std::move(options)) {
   }
   stats_.entries = index_.size();
   stats_.bytes = total_bytes_;
+  disk_obs().entries.set(static_cast<double>(stats_.entries));
+  disk_obs().bytes.set(static_cast<double>(stats_.bytes));
 }
 
 std::string DiskCache::entry_path(std::string_view stage,
@@ -224,6 +249,7 @@ std::string DiskCache::entry_path(std::string_view stage,
 void DiskCache::drop_entry(const std::string& path) {
   const auto it = index_.find(path);
   if (it != index_.end()) {
+    disk_obs().evicted_bytes.add(it->second.size);
     total_bytes_ -= std::min(total_bytes_, it->second.size);
     index_.erase(it);
   }
@@ -231,6 +257,8 @@ void DiskCache::drop_entry(const std::string& path) {
   fs::remove(path, ec);
   stats_.entries = index_.size();
   stats_.bytes = total_bytes_;
+  disk_obs().entries.set(static_cast<double>(stats_.entries));
+  disk_obs().bytes.set(static_cast<double>(stats_.bytes));
 }
 
 void DiskCache::enforce_budget(const std::string& keep) {
@@ -247,12 +275,14 @@ void DiskCache::enforce_budget(const std::string& keep) {
     const std::string path = victim->first;
     drop_entry(path);
     ++stats_.lru_evictions;
+    disk_obs().lru_evictions.add();
   }
 }
 
 std::optional<std::string> DiskCache::load(std::string_view stage,
                                            std::string_view value_schema,
                                            const scenario::ContentKey& key) {
+  const obs::ObsSpan load_span("disk.load", "cache", disk_obs().load_hist);
   const std::string path = entry_path(stage, key);
   std::optional<std::string> raw;
   try {
@@ -261,8 +291,11 @@ std::optional<std::string> DiskCache::load(std::string_view stage,
     raw = std::nullopt;
   }
   const std::lock_guard<std::mutex> lock(mu_);
+  DiskStageStats& slice = stage_stats_[std::string(stage)];
   if (!raw) {
     ++stats_.misses;
+    ++slice.misses;
+    disk_obs().misses.add();
     return std::nullopt;
   }
   std::optional<std::string> payload =
@@ -273,6 +306,10 @@ std::optional<std::string> DiskCache::load(std::string_view stage,
     drop_entry(path);
     ++stats_.corrupt_evictions;
     ++stats_.misses;
+    ++slice.corrupt_evictions;
+    ++slice.misses;
+    disk_obs().corrupt_evictions.add();
+    disk_obs().misses.add();
     return std::nullopt;
   }
   auto it = index_.find(path);
@@ -286,12 +323,15 @@ std::optional<std::string> DiskCache::load(std::string_view stage,
   }
   it->second.last_use = ++use_counter_;
   ++stats_.hits;
+  ++slice.hits;
+  disk_obs().hits.add();
   return payload;
 }
 
 void DiskCache::store(std::string_view stage, std::string_view value_schema,
                       const scenario::ContentKey& key,
                       std::string_view bytes) {
+  const obs::ObsSpan store_span("disk.store", "cache", disk_obs().store_hist);
   const std::string path = entry_path(stage, key);
   const std::string entry = encode_entry(stage, value_schema, key, bytes);
   try {
@@ -299,6 +339,8 @@ void DiskCache::store(std::string_view stage, std::string_view value_schema,
   } catch (...) {
     const std::lock_guard<std::mutex> lock(mu_);
     ++stats_.store_failures;
+    ++stage_stats_[std::string(stage)].store_failures;
+    disk_obs().store_failures.add();
     return;
   }
   const std::lock_guard<std::mutex> lock(mu_);
@@ -312,14 +354,23 @@ void DiskCache::store(std::string_view stage, std::string_view value_schema,
   total_bytes_ += entry.size();
   it->second.last_use = ++use_counter_;
   ++stats_.stores;
+  ++stage_stats_[std::string(stage)].stores;
+  disk_obs().stores.add();
   enforce_budget(path);
   stats_.entries = index_.size();
   stats_.bytes = total_bytes_;
+  disk_obs().entries.set(static_cast<double>(stats_.entries));
+  disk_obs().bytes.set(static_cast<double>(stats_.bytes));
 }
 
 DiskCacheStats DiskCache::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::map<std::string, DiskStageStats> DiskCache::stats_by_stage() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {stage_stats_.begin(), stage_stats_.end()};
 }
 
 }  // namespace cnti::service

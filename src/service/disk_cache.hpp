@@ -47,6 +47,18 @@ struct DiskCacheStats {
   std::uint64_t entries = 0;  ///< Current entry count.
 };
 
+/// Per-stage slice of the disk-tier counters, so a warm-restart gap (one
+/// stage missing on disk while its siblings hit) is attributable from the
+/// service `stats` verb. LRU evictions and the current bytes/entries sizes
+/// stay aggregate-only: eviction picks victims by recency across stages.
+struct DiskStageStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t store_failures = 0;
+  std::uint64_t corrupt_evictions = 0;
+};
+
 class DiskCache final : public scenario::CacheTier {
  public:
   /// Creates the directory if needed, removes stray atomic-write temp
@@ -64,6 +76,8 @@ class DiskCache final : public scenario::CacheTier {
              std::string_view bytes) override;
 
   DiskCacheStats stats() const;
+  /// Per-stage counter slices; stage keys are the engine's stage names.
+  std::map<std::string, DiskStageStats> stats_by_stage() const;
   const std::string& dir() const { return options_.dir; }
 
  private:
@@ -86,6 +100,7 @@ class DiskCache final : public scenario::CacheTier {
   std::uint64_t total_bytes_ = 0;
   std::uint64_t use_counter_ = 0;
   DiskCacheStats stats_;
+  std::map<std::string, DiskStageStats, std::less<>> stage_stats_;
 };
 
 }  // namespace cnti::service

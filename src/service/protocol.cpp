@@ -400,4 +400,47 @@ std::map<std::string, scenario::CacheStats> cache_stats_from_json(
   return out;
 }
 
+namespace {
+
+std::uint64_t as_u64(const JsonValue& v, const char* where) {
+  const double d = v.as_number();
+  if (d < 0 || d != std::floor(d)) {
+    throw ProtocolError(std::string(where) +
+                        ": expected a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+obs::MetricsSnapshot metrics_snapshot_from_json(const JsonValue& v) {
+  check_members(v, "metrics", {"counters", "gauges", "histograms"});
+  obs::MetricsSnapshot snap;
+  for (const auto& [name, value] : v.at("counters").as_object()) {
+    snap.counters[name] = as_u64(value, "metrics counter");
+  }
+  for (const auto& [name, value] : v.at("gauges").as_object()) {
+    snap.gauges[name] = value.as_number();
+  }
+  for (const auto& [name, value] : v.at("histograms").as_object()) {
+    check_members(value, "metrics histogram", {"count", "sum_ns", "buckets"});
+    obs::HistogramSnapshot h;
+    h.count = as_u64(value.at("count"), "metrics histogram count");
+    h.sum_ns = as_u64(value.at("sum_ns"), "metrics histogram sum_ns");
+    for (const JsonValue& pair : value.at("buckets").as_array()) {
+      const auto& kv = pair.as_array();
+      if (kv.size() != 2) {
+        throw ProtocolError("metrics histogram bucket: expected [index, n]");
+      }
+      const std::uint64_t index = as_u64(kv[0], "metrics bucket index");
+      if (index >= obs::kHistogramBuckets) {
+        throw ProtocolError("metrics bucket index out of range");
+      }
+      h.buckets[index] = as_u64(kv[1], "metrics bucket count");
+    }
+    snap.histograms[name] = h;
+  }
+  return snap;
+}
+
 }  // namespace cnti::service

@@ -23,6 +23,7 @@
 
 #include <string>
 
+#include "obs/obs.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/spec.hpp"
 #include "service/json.hpp"
@@ -55,5 +56,11 @@ scenario::ScenarioResult result_from_json(const JsonValue& v);
 /// ({"<stage>": {"hits": h, "disk_hits": d, "misses": m}, ...}).
 std::map<std::string, scenario::CacheStats> cache_stats_from_json(
     const JsonValue& stages);
+
+/// Inverse of obs::write_metrics_json — rebuilds a metrics snapshot from
+/// the `metrics` verb's payload so clients can re-render it (e.g. as
+/// Prometheus text). Histogram buckets arrive as sparse [index, count]
+/// pairs; anything malformed is a ProtocolError.
+obs::MetricsSnapshot metrics_snapshot_from_json(const JsonValue& v);
 
 }  // namespace cnti::service

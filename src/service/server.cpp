@@ -7,10 +7,13 @@
 
 #include <cerrno>
 #include <cstring>
+#include <memory>
 #include <sstream>
 
 #include "common/json_sink.hpp"
+#include "obs/obs.hpp"
 #include "scenario/report.hpp"
+#include "service/disk_cache.hpp"
 
 namespace cnti::service {
 
@@ -44,6 +47,46 @@ std::string error_line(const std::string& message) {
          "\"}";
 }
 
+/// Service-tier obs handles (`cnti.service.*`).
+struct ServiceObs {
+  obs::Counter connections = obs::counter("cnti.service.connections");
+  obs::Counter requests = obs::counter("cnti.service.requests");
+  obs::Counter errors = obs::counter("cnti.service.errors");
+  obs::Counter batches = obs::counter("cnti.service.batches");
+  obs::Counter scenarios = obs::counter("cnti.service.scenarios");
+  obs::Gauge queue_depth = obs::gauge("cnti.service.queue_depth");
+  obs::Histogram request_hist = obs::histogram("cnti.service.request_ns");
+  obs::Histogram dispatch_hist = obs::histogram("cnti.service.dispatch_ns");
+};
+
+const ServiceObs& service_obs() {
+  static const ServiceObs handles;
+  return handles;
+}
+
+/// Aggregate + per-stage disk-tier counters as a JSON object — the
+/// warm-restart attribution block of the `stats` verb.
+void write_disk_stats_json(std::ostream& out, const DiskCache& cache) {
+  const DiskCacheStats t = cache.stats();
+  out << "{\"totals\": {\"hits\": " << t.hits << ", \"misses\": " << t.misses
+      << ", \"stores\": " << t.stores
+      << ", \"store_failures\": " << t.store_failures
+      << ", \"corrupt_evictions\": " << t.corrupt_evictions
+      << ", \"lru_evictions\": " << t.lru_evictions
+      << ", \"bytes\": " << t.bytes << ", \"entries\": " << t.entries
+      << "}, \"stages\": {";
+  bool first = true;
+  for (const auto& [stage, s] : cache.stats_by_stage()) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << json_escape(stage) << "\": {\"hits\": " << s.hits
+        << ", \"misses\": " << s.misses << ", \"stores\": " << s.stores
+        << ", \"store_failures\": " << s.store_failures
+        << ", \"corrupt_evictions\": " << s.corrupt_evictions << "}";
+  }
+  out << "}}";
+}
+
 }  // namespace
 
 ScenarioServer::ScenarioServer(ServerOptions options)
@@ -59,6 +102,9 @@ void ScenarioServer::start() {
     accepting_jobs_ = true;
     dispatcher_running_ = true;
   }
+  // The daemon always collects span latency histograms (the `metrics` verb
+  // serves them live); stop() releases the reference symmetrically.
+  obs::set_timing_enabled(true);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) sys_fail("socket");
   const int one = 1;
@@ -90,6 +136,7 @@ void ScenarioServer::accept_loop() {
       // Listener closed by stop() (EBADF/EINVAL) — time to leave.
       return;
     }
+    service_obs().connections.add();
     const std::lock_guard<std::mutex> lock(conn_mu_);
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
@@ -111,11 +158,16 @@ void ScenarioServer::dispatch_loop() {
       dispatch_in_flight_ = true;
       ++batches_dispatched_;
     }
+    service_obs().queue_depth.set(0.0);
     std::vector<scenario::Scenario> merged;
     for (const auto& job : batch_jobs) {
       merged.insert(merged.end(), job->scenarios.begin(),
                     job->scenarios.end());
     }
+    service_obs().batches.add();
+    service_obs().scenarios.add(merged.size());
+    const obs::ObsSpan dispatch_span("service.dispatch", "service",
+                                     service_obs().dispatch_hist);
     try {
       std::vector<scenario::ScenarioResult> results =
           engine_.run_batch(merged);
@@ -167,6 +219,9 @@ void ScenarioServer::serve_connection(int fd) {
 }
 
 void ScenarioServer::handle_request_line(int fd, const std::string& line) {
+  service_obs().requests.add();
+  const obs::ObsSpan request_span("service.request", "service",
+                                  service_obs().request_hist);
   try {
     const JsonValue req = parse_json(line);
     const std::string& type = req.at("type").as_string();
@@ -179,6 +234,19 @@ void ScenarioServer::handle_request_line(int fd, const std::string& line) {
       out << "{\"type\": \"stats\", \"batches_dispatched\": "
           << batches_dispatched() << ", \"cache\": ";
       scenario::write_cache_stats_json_object(out, engine_.cache(), "");
+      if (const auto disk = std::dynamic_pointer_cast<const DiskCache>(
+              engine_.cache().tier())) {
+        out << ", \"disk\": ";
+        write_disk_stats_json(out, *disk);
+      }
+      out << "}";
+      send_line(fd, out.str());
+      return;
+    }
+    if (type == "metrics") {
+      std::ostringstream out;
+      out << "{\"type\": \"metrics\", \"metrics\": ";
+      obs::write_metrics_json(out, obs::metrics_snapshot());
       out << "}";
       send_line(fd, out.str());
       return;
@@ -216,6 +284,7 @@ void ScenarioServer::handle_request_line(int fd, const std::string& line) {
         return;
       }
       queue_.push_back(job);
+      service_obs().queue_depth.set(static_cast<double>(queue_.size()));
     }
     queue_cv_.notify_one();
 
@@ -233,6 +302,7 @@ void ScenarioServer::handle_request_line(int fd, const std::string& line) {
     done << "}";
     send_line(fd, done.str());
   } catch (const std::exception& e) {
+    service_obs().errors.add();
     send_line(fd, error_line(e.what()));
   }
 }
@@ -281,6 +351,7 @@ void ScenarioServer::stop() {
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
   }
+  obs::set_timing_enabled(false);
 }
 
 bool ScenarioServer::wait_for_shutdown_request(

@@ -368,6 +368,44 @@ TEST(DiskCache, StoreLoadRoundTripAndStats) {
   EXPECT_GT(st.bytes, 0u);
 }
 
+TEST(DiskCache, PerStageStatSlicesSumToTheAggregateCounters) {
+  const TempDir dir;
+  sv::DiskCache cache({dir.path()});
+  EXPECT_TRUE(cache.stats_by_stage().empty());
+
+  cache.store("alpha", "s.v1", test_key(1), "a");
+  cache.store("beta", "s.v1", test_key(2), "b");
+  EXPECT_FALSE(cache.load("alpha", "s.v1", test_key(9)).has_value());
+  EXPECT_TRUE(cache.load("alpha", "s.v1", test_key(1)).has_value());
+  EXPECT_TRUE(cache.load("beta", "s.v1", test_key(2)).has_value());
+  // A schema bump on beta's entry reads as a corrupt eviction + miss,
+  // attributed to beta only.
+  EXPECT_FALSE(cache.load("beta", "s.v2", test_key(2)).has_value());
+
+  const auto by_stage = cache.stats_by_stage();
+  ASSERT_EQ(by_stage.size(), 2u);
+  const sv::DiskStageStats& alpha = by_stage.at("alpha");
+  EXPECT_EQ(alpha.hits, 1u);
+  EXPECT_EQ(alpha.misses, 1u);
+  EXPECT_EQ(alpha.stores, 1u);
+  EXPECT_EQ(alpha.corrupt_evictions, 0u);
+  const sv::DiskStageStats& beta = by_stage.at("beta");
+  EXPECT_EQ(beta.hits, 1u);
+  EXPECT_EQ(beta.misses, 1u);
+  EXPECT_EQ(beta.stores, 1u);
+  EXPECT_EQ(beta.corrupt_evictions, 1u);
+
+  // The sliced counters partition the aggregates exactly.
+  const sv::DiskCacheStats total = cache.stats();
+  EXPECT_EQ(alpha.hits + beta.hits, total.hits);
+  EXPECT_EQ(alpha.misses + beta.misses, total.misses);
+  EXPECT_EQ(alpha.stores + beta.stores, total.stores);
+  EXPECT_EQ(alpha.store_failures + beta.store_failures,
+            total.store_failures);
+  EXPECT_EQ(alpha.corrupt_evictions + beta.corrupt_evictions,
+            total.corrupt_evictions);
+}
+
 TEST(DiskCache, PersistsAcrossInstances) {
   const TempDir dir;
   {
@@ -710,6 +748,63 @@ TEST(ScenarioService, WarmRestartedDaemonServesFromDiskBitIdentically) {
   for (std::size_t i = 0; i < warm.size(); ++i) {
     expect_bit_identical(warm[i], cold[i]);
   }
+}
+
+TEST(ScenarioService, StatsVerbCarriesTheDiskTierBreakdown) {
+  const TempDir dir;
+  sv::ServerOptions options;
+  options.engine = tiered_options(dir.path());
+  sv::ScenarioServer server(options);
+  server.start();
+  sv::ScenarioClient client(server.port());
+  (void)client.run(full_batch(2));
+
+  const sv::JsonValue raw = client.stats_raw();
+  const sv::JsonValue* disk = raw.find("disk");
+  ASSERT_NE(disk, nullptr) << "tiered server must report disk stats";
+  const auto& totals = disk->at("totals");
+  EXPECT_GT(totals.at("stores").as_number(), 0.0);
+  EXPECT_GT(totals.at("bytes").as_number(), 0.0);
+  // Every per-stage slice names an engine stage and sums into the totals.
+  double stage_stores = 0.0;
+  for (const auto& [stage, slice] : disk->at("stages").as_object()) {
+    EXPECT_FALSE(stage.empty());
+    stage_stores += slice.at("stores").as_number();
+  }
+  EXPECT_EQ(stage_stores, totals.at("stores").as_number());
+  server.stop();
+
+  // A memory-only server omits the section rather than lying with zeros.
+  sv::ScenarioServer plain(sv::ServerOptions{});
+  plain.start();
+  sv::ScenarioClient plain_client(plain.port());
+  EXPECT_EQ(plain_client.stats_raw().find("disk"), nullptr);
+  plain.stop();
+}
+
+TEST(ScenarioService, MetricsVerbReturnsALiveRegistrySnapshot) {
+  sv::ScenarioServer server(sv::ServerOptions{});
+  server.start();
+  sv::ScenarioClient client(server.port());
+  (void)client.run(full_batch(2));
+
+  const sv::JsonValue raw = client.metrics();
+  const cnti::obs::MetricsSnapshot snap =
+      sv::metrics_snapshot_from_json(raw);
+  ASSERT_FALSE(snap.counters.empty());
+  // The service tier counted this connection's requests...
+  EXPECT_GE(snap.counters.at("cnti.service.requests"), 2u);
+  EXPECT_GE(snap.counters.at("cnti.service.scenarios"), 2u);
+  // ...and the engine/cache tiers were reached through the same registry.
+  EXPECT_GE(snap.counters.at("cnti.engine.scenarios"), 2u);
+  // The daemon holds a timing reference while running, so request
+  // latencies are live even without a trace session.
+  // (>= 1: the metrics request's own span is still open when the snapshot
+  // is taken, but the run request completed before it.)
+  const auto& req = snap.histograms.at("cnti.service.request_ns");
+  EXPECT_GE(req.count, 1u);
+  EXPECT_GT(req.sum_ns, 0u);
+  server.stop();
 }
 
 TEST(ScenarioService, RunAfterStopIsRefusedNotHung) {

@@ -2,19 +2,22 @@
 // scenario_server and writes the results as CSV/JSON reports.
 //
 //   scenario_client --port N [--demo N] [--csv PATH] [--json PATH]
-//                   [--require-warm] [--shutdown]
+//                   [--require-warm] [--metrics] [--shutdown]
 //
 // --demo N        Run an N-point study exercising every persisted stage
 //                 (TCAD capacitance, MNA delay, ROM bus noise, thermal).
 // --require-warm  Exit 3 unless the server computed *nothing* for this run
 //                 (every stage served from memory or disk cache) — the
 //                 warm-restart acceptance check.
+// --metrics       Fetch the server's metrics registry and print it as
+//                 Prometheus text exposition (after --demo, if both given).
 // --shutdown      Ask the daemon to stop gracefully afterwards.
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "scenario/report.hpp"
 #include "service/client.hpp"
 
@@ -23,7 +26,7 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --port N [--demo N] [--csv PATH] [--json PATH]"
-               " [--require-warm] [--shutdown]\n";
+               " [--require-warm] [--metrics] [--shutdown]\n";
   return 2;
 }
 
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string json_path;
   bool require_warm = false;
+  bool metrics = false;
   bool shutdown = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -74,6 +78,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--require-warm") {
       require_warm = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--shutdown") {
       shutdown = true;
     } else {
@@ -110,6 +116,11 @@ int main(int argc, char** argv) {
         if (cold) return 3;
         std::cout << "scenario_client: warm run confirmed (zero misses)\n";
       }
+    }
+    if (metrics) {
+      const service::JsonValue raw = client.metrics();
+      obs::write_metrics_prometheus(
+          std::cout, service::metrics_snapshot_from_json(raw));
     }
     if (shutdown) {
       client.request_shutdown();
