@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Bench regression gate for the supernodal LU path.
+#
+# Parses the flat JSON metric sink written by bench_mna_scaling (see
+# common/json_sink.hpp; produced when CNTI_BENCH_JSON is set) and fails
+# when the supernodal-vs-scalar refactorization speedup on the 32x640
+# (20578-unknown) bus ladder rung falls below the floor.
+#
+# The bench measures interleaved min-of-k wall clock, which filters most
+# scheduler noise but not all of it on shared CI runners, so the floor is
+# deliberately below the quiet-machine speedup (~1.5x single-core, see
+# docs/CIRCUIT_SOLVERS.md): the gate exists to catch the blocked kernels
+# regressing toward — or below — the scalar path, not to pin the exact
+# ratio.
+#
+# Usage: bench_gate.sh BENCH_bench_mna_scaling.json [min_speedup]
+set -eu
+
+json="${1:?usage: bench_gate.sh BENCH_bench_mna_scaling.json [min_speedup]}"
+floor="${2:-1.2}"
+
+[ -f "$json" ] || { echo "bench JSON not found: $json"; exit 1; }
+
+speedup="$(sed -n \
+  's/.*"supernodal_refactor_speedup_32x640": *\([0-9.eE+-]*\).*/\1/p' \
+  "$json" | head -1)"
+[ -n "$speedup" ] || {
+  echo "supernodal_refactor_speedup_32x640 missing from $json"
+  exit 1
+}
+
+awk -v s="$speedup" -v f="$floor" 'BEGIN { exit !(s >= f) }' || {
+  echo "supernodal refactor speedup ${speedup}x < ${floor}x floor"
+  exit 1
+}
+echo "supernodal refactor speedup ${speedup}x >= ${floor}x OK"

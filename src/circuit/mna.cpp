@@ -127,8 +127,21 @@ class DenseBackend {
 class SparseBackend {
  public:
   explicit SparseBackend(int size,
-                         OrderingKind ordering = OrderingKind::kAmd)
-      : assembler_(static_cast<std::size_t>(size)), ordering_(ordering) {}
+                         OrderingKind ordering = OrderingKind::kAmd,
+                         FactorKind factor = FactorKind::kAuto)
+      : assembler_(static_cast<std::size_t>(size)), ordering_(ordering) {
+    switch (factor) {
+      case FactorKind::kScalar:
+        lu_.set_factor_mode(numerics::FactorMode::kScalar);
+        break;
+      case FactorKind::kSupernodal:
+        lu_.set_factor_mode(numerics::FactorMode::kSupernodal);
+        break;
+      case FactorKind::kAuto:
+        lu_.set_factor_mode(numerics::FactorMode::kAuto);
+        break;
+    }
+  }
 
   void begin() { assembler_.begin(); }
   void add(int r, int c, double v) {
@@ -453,7 +466,7 @@ struct DcSolver::Impl {
 DcSolver::DcSolver(const Circuit& ckt, const MnaOptions& mna)
     : impl_(std::make_unique<Impl>(Impl{ckt, Layout(ckt), {}, {}})) {
   if (use_sparse(mna, impl_->layout.size)) {
-    impl_->sparse.emplace(impl_->layout.size, mna.ordering);
+    impl_->sparse.emplace(impl_->layout.size, mna.ordering, mna.factor);
   } else {
     impl_->dense.emplace(impl_->layout.size);
   }
@@ -481,7 +494,7 @@ TransientResult simulate_transient(const Circuit& ckt,
                "dt must be positive and below t_stop");
   const Layout layout(ckt);
   if (use_sparse(opt.mna, layout.size)) {
-    SparseBackend backend(layout.size, opt.mna.ordering);
+    SparseBackend backend(layout.size, opt.mna.ordering, opt.mna.factor);
     return simulate_transient_with(backend, ckt, layout, opt);
   }
   DenseBackend backend(layout.size);

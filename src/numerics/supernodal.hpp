@@ -1,0 +1,1079 @@
+// Supernodal (blocked) elimination engine for SparseLu. A supernode is a
+// maximal run of adjacent pivot columns whose below-diagonal L structure is
+// (near-)identical — exactly the clustering the AMD column pre-ordering
+// produces on coupled-bus MNA pencils. Detection runs on the *factored*
+// pattern of a completed scalar Gilbert–Peierls pass (whose per-column
+// reachability already encodes the elimination tree: column c chains onto
+// c-1 precisely when c is the etree parent of c-1, i.e. the first
+// below-diagonal row of column c-1), with a relaxed-amalgamation knob that
+// admits a bounded fraction of explicit zero padding in exchange for wider
+// panels. L and U are then re-stored as dense column-major blocks:
+//
+//  - one m x w panel per supernode (w pivot rows on top — the LU-combined
+//    diagonal block — then the below-diagonal rows), and
+//  - one dense w_d x w_s segment of U per (updating supernode d, target
+//    supernode s) pair.
+//
+// Numeric refactorization of an unchanged pattern then runs three
+// hand-tiled dense microkernels per supernode instead of one scalar
+// scatter per nonzero: a unit-lower triangular solve of the updating
+// panel's diagonal block against the gathered right-hand block (producing
+// the dense U segment), a GEMM-shaped Schur-complement update of the
+// panel's below rows into the supernode's dense scatter workspace, and a
+// partially pivoted dense factorization of the supernode's own panel
+// (pivots chosen among the supernode's pivot rows; a pivot that degrades
+// past the threshold bound aborts the replay so the caller can fall back
+// to a fresh scalar factorization). Blocked forward/backward substitution
+// runs on the same panels. Everything here is deterministic: the
+// partition is a pure function of the sparsity pattern and the reference
+// pivot order, and the numeric kernels follow a fixed operation order.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+// The microkernels below hand four independent accumulator streams to the
+// vectorizer; without a no-alias promise on the stream pointers GCC emits
+// runtime overlap checks (or scalar code) for every fused loop.
+#if defined(_MSC_VER)
+#define CNTI_SN_RESTRICT __restrict
+#else
+#define CNTI_SN_RESTRICT __restrict__
+#endif
+
+namespace cnti::numerics {
+
+/// Column elimination forest of a factored pattern (parent(j) = first
+/// below-diagonal row of column j in pivot space) and its postorder.
+/// Returns post such that new elimination position p should factor old
+/// factored column post[p]. Postordering relabels every etree subtree
+/// contiguously without changing fill, which is what makes supernode
+/// columns *adjacent* — the raw fill-reducing order scatters them.
+inline std::vector<std::size_t> etree_postorder(
+    std::size_t n, const std::vector<std::size_t>& lp,
+    const std::vector<std::size_t>& li,
+    const std::vector<std::size_t>& pinv) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> parent(n, kNone);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t p = kNone;
+    for (std::size_t t = lp[j]; t < lp[j + 1]; ++t) {
+      const std::size_t r = pinv[li[t]];
+      if (p == kNone || r < p) p = r;
+    }
+    parent[j] = p;
+  }
+  // Child lists (ascending; roots hang off virtual node n), then an
+  // iterative depth-first postorder over roots in ascending order.
+  std::vector<std::size_t> head(n + 1, kNone), next(n, kNone);
+  for (std::size_t j = n; j-- > 0;) {
+    const std::size_t p = parent[j] == kNone ? n : parent[j];
+    next[j] = head[p];
+    head[p] = j;
+  }
+  std::vector<std::size_t> post;
+  post.reserve(n);
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  for (std::size_t r = head[n]; r != kNone; r = next[r]) {
+    stack.emplace_back(r, head[r]);
+    while (!stack.empty()) {
+      auto& [node, child] = stack.back();
+      if (child != kNone) {
+        const std::size_t c = child;
+        child = next[c];
+        stack.emplace_back(c, head[c]);
+      } else {
+        post.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  return post;
+}
+
+/// Elimination-kernel selection for SparseLu.
+enum class FactorMode {
+  kScalar,      ///< Per-nonzero Gilbert–Peierls scatter (the PR-3 engine).
+  kSupernodal,  ///< Blocked panels + dense microkernels, always.
+  kAuto,        ///< Blocked when the system is large enough and the
+                ///< detected supernodes are wide enough to pay for panels.
+};
+
+/// Supernode detection / amalgamation knobs (pattern-only: any change
+/// invalidates the stored partition together with the symbolic analysis).
+struct SupernodeSettings {
+  /// Hard cap on supernode width (panel columns). Bounds the dense scatter
+  /// workspace and keeps the microkernels in cache.
+  std::size_t max_cols = 16;
+  /// Relaxed amalgamation: a column is merged into the current supernode
+  /// while the panel's cumulative explicit-zero padding stays at or below
+  /// this fraction of its L slots. 0 admits only exact structural matches.
+  /// Kept tight by default: padding is pure extra traffic for solve(),
+  /// and the leaf-subtree rule below already produces wide panels.
+  double relax_pad_frac = 0.05;
+  /// Relaxed leaf supernodes: an entire etree subtree with at most this
+  /// many columns is amalgamated into one supernode unconditionally (its
+  /// columns are contiguous after the postorder). Leaf subtrees dominate
+  /// the column count on grid-like patterns, and without this they land
+  /// in width-1/2 panels that cannot pay for the blocked kernels.
+  std::size_t relax_subtree_cols = 8;
+  /// kAuto engages the blocked path at or above this many unknowns.
+  std::size_t auto_min_unknowns = 1024;
+  /// ... and only when the detected mean supernode width reaches this
+  /// value (narrow partitions would pay panel overhead for scalar work).
+  double auto_min_mean_cols = 1.5;
+};
+
+class SupernodalFactor {
+ public:
+  bool active() const { return active_; }
+  std::size_t count() const { return active_ ? nodes_.size() : 0; }
+  std::size_t max_cols() const { return active_ ? max_cols_ : 0; }
+  double mean_cols() const {
+    return nodes_.empty() ? 0.0
+                          : static_cast<double>(n_) /
+                                static_cast<double>(nodes_.size());
+  }
+  /// Dense storage actually held (panel + U-segment slots, including
+  /// amalgamation padding) — the blocked analogue of nnz(L+U).
+  std::size_t panel_nnz() const {
+    return panel_vals_.size() + useg_vals_.size();
+  }
+  /// GEMM-shaped Schur-update flops retired by the last refactorize().
+  std::uint64_t last_gemm_flops() const { return last_gemm_flops_; }
+
+  void clear() {
+    active_ = false;
+    max_cols_ = 0;
+    max_rb_ = 0;
+    nodes_.clear();
+    sn_of_.clear();
+    panel_vals_.clear();
+    useg_vals_.clear();
+    upd_slots_.clear();
+  }
+
+  /// Detects the partition on a completed scalar factorization (pattern
+  /// arrays in the SparseLu layout: L columns hold original row ids,
+  /// U columns hold pivot steps) and fills the panels/segments from the
+  /// scalar numeric values, so the blocked structures are immediately
+  /// solvable and the next same-pattern factorize() can replay blocked.
+  void build_from_scalar(std::size_t n, const SupernodeSettings& settings,
+                         const std::vector<std::size_t>& lp,
+                         const std::vector<std::size_t>& li,
+                         const std::vector<double>& lx,
+                         const std::vector<std::size_t>& up,
+                         const std::vector<std::size_t>& ui,
+                         const std::vector<double>& ux,
+                         const std::vector<double>& udiag,
+                         const std::vector<std::size_t>& prow,
+                         const std::vector<std::size_t>& pinv) {
+    clear();
+    n_ = n;
+    detect(settings, lp, li, pinv);
+    build_symbolic(lp, li, up, ui, pinv);
+    fill_from_scalar(lp, li, lx, up, ui, ux, udiag, pinv);
+    refresh_row_targets(pinv);
+    for (Node& s : nodes_) {
+      s.diag_perm.resize(s.w);
+      for (std::size_t i = 0; i < s.w; ++i) {
+        s.diag_perm[i] = static_cast<std::uint32_t>(i);
+      }
+    }
+    (void)prow;
+    active_ = true;
+  }
+
+  /// Numeric-only blocked replay. Gathers values from the CSC view of the
+  /// new matrix, reuses the stored partition, re-pivots *within* each
+  /// supernode's pivot rows, and updates prow/pinv accordingly. Returns
+  /// false — leaving the factors invalid for the caller to rebuild — when
+  /// even the best in-block pivot degrades below `pivot_tol` times its
+  /// column magnitude (or below `singular_tol` absolutely).
+  bool refactorize(const std::vector<std::size_t>& acol_ptr,
+                   const std::vector<double>& acol_val,
+                   std::vector<std::size_t>& prow,
+                   std::vector<std::size_t>& pinv, double pivot_tol,
+                   double singular_tol) {
+    CNTI_EXPECTS(active_, "SupernodalFactor: refactorize without build");
+    last_gemm_flops_ = 0;
+    temp_.resize(4 * max_rb_);
+    cmax_.resize(max_cols_);
+#ifdef SN_PROF
+    auto now = [] { return std::chrono::steady_clock::now(); };
+    auto lap = [&](auto& acc, auto& t) {
+      auto t2 = now();
+      acc += std::chrono::duration<double>(t2 - t).count();
+      t = t2;
+    };
+    auto t = now();
+#endif
+    for (Node& s : nodes_) {
+      const std::size_t w = s.w, m = s.m;
+      const std::size_t stride = s.ext_m + 1;  // +1: trash row per column
+      work_.assign(stride * w, 0.0);
+#ifdef SN_PROF
+      lap(prof_zero, t);
+#endif
+
+      // Scatter A(:, supernode columns) through the precomputed slot map.
+      std::size_t ai = 0;
+      for (std::size_t t = 0; t < w; ++t) {
+        const std::size_t c = s.col0 + t;
+        double* wc = work_.data() + t * stride;
+        for (std::size_t idx = acol_ptr[c]; idx < acol_ptr[c + 1]; ++idx) {
+          wc[s.a_slots[ai++]] += acol_val[idx];
+        }
+      }
+#ifdef SN_PROF
+      lap(prof_scatter_a, t);
+#endif
+
+      // Left-looking updates from every earlier supernode that reaches
+      // this panel, in ascending order (a topological order of the
+      // elimination steps). Only the structurally touched target columns
+      // (ucols) are processed, four at a time so each loaded panel
+      // element feeds four independent accumulators (the kernels are
+      // load-bound, not flop-bound, at these supernode widths).
+      for (std::size_t si = 0; si < s.src.size(); ++si) {
+        const Node& d = nodes_[s.src[si]];
+        const std::size_t wd = d.w, md = d.m, rb = md - wd;
+        double* seg = useg_vals_.data() + s.seg[si];  // wd x w col-major
+        const double* pd = panel_vals_.data() + d.panel;
+        const double* lb = pd + wd;  // below block, ld = md
+        const std::uint32_t* cols = s.ucols.data() + s.ucol_off[si];
+        const std::size_t ncols = s.ucol_off[si + 1] - s.ucol_off[si];
+        const std::uint32_t* slots = upd_slots_.data() + s.upd_idx[si];
+        if (wd == 1) {
+          // Single-column source: no pivot permutation (diag_perm is
+          // trivially identity), no triangular solve, and the rank-one
+          // update is fused straight into the scatter with no temp.
+          for (std::size_t ci = 0; ci < ncols; ++ci) {
+            const std::size_t c = cols[ci];
+            double* CNTI_SN_RESTRICT wc = work_.data() + c * stride;
+            const double x = wc[s.slot0[si]];
+            seg[c] = x;
+            if (x == 0.0) continue;
+            for (std::size_t i = 0; i < rb; ++i) wc[slots[i]] -= lb[i] * x;
+            last_gemm_flops_ += 2ull * rb;
+          }
+          continue;
+        }
+        switch (wd) {
+          case 2: pair_update<2>(d, seg, cols, ncols, slots, s.slot0[si], stride); break;
+          case 3: pair_update<3>(d, seg, cols, ncols, slots, s.slot0[si], stride); break;
+          case 4: pair_update<4>(d, seg, cols, ncols, slots, s.slot0[si], stride); break;
+          case 5: pair_update<5>(d, seg, cols, ncols, slots, s.slot0[si], stride); break;
+          default: pair_update<0>(d, seg, cols, ncols, slots, s.slot0[si], stride); break;
+        }
+      }
+#ifdef SN_PROF
+      lap(prof_gemm, t);
+#endif
+
+      // Microkernel 3 — gather the accumulated panel out of the scattered
+      // workspace into its contiguous column-major home (leading
+      // dimension m, no trash rows) while recording each column's
+      // pre-elimination magnitude, then run the partially pivoted dense
+      // factorization there where the row swaps and rank-one updates stay
+      // cache-local. Pivots are chosen among the supernode's own pivot
+      // rows (the first w), which keeps the global structure fixed; the
+      // threshold check compares the best pivot against the column's
+      // static scale (its accumulated pre-elimination maximum), the
+      // blocked analogue of the scalar replay's degradation bound. On
+      // failure the half-factored panel is abandoned — the caller
+      // rebuilds from a fresh scalar factorization.
+      const double* pb = work_.data() + s.panel_base;
+      double* panel = panel_vals_.data() + s.panel;
+      for (std::size_t c = 0; c < w; ++c) {
+        const double* CNTI_SN_RESTRICT src = pb + c * stride;
+        double* CNTI_SN_RESTRICT dst = panel + c * m;
+        double cmax = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          dst[i] = src[i];
+          cmax = std::max(cmax, std::abs(src[i]));
+        }
+        cmax_[c] = cmax;
+      }
+#ifdef SN_PROF
+      lap(prof_copy, t);
+#endif
+      for (std::size_t i = 0; i < s.w; ++i) {
+        s.diag_perm[i] = static_cast<std::uint32_t>(i);
+      }
+      for (std::size_t k = 0; k < w; ++k) {
+        double* colk = panel + k * m;
+        std::size_t piv = k;
+        double best = std::abs(colk[k]);
+        for (std::size_t i = k + 1; i < w; ++i) {
+          const double v = std::abs(colk[i]);
+          if (v > best) {
+            best = v;
+            piv = i;
+          }
+        }
+        if (best < singular_tol || best < pivot_tol * cmax_[k]) return false;
+        if (piv != k) {
+          for (std::size_t c = 0; c < w; ++c) {
+            std::swap(panel[c * m + k], panel[c * m + piv]);
+          }
+          std::swap(s.diag_perm[k], s.diag_perm[piv]);
+        }
+        const double inv = 1.0 / colk[k];
+        for (std::size_t i = k + 1; i < m; ++i) colk[i] *= inv;
+        std::size_t c = k + 1;
+        for (; c + 1 < w; c += 2) {
+          double* c0 = panel + c * m;
+          double* c1 = c0 + m;
+          const double u0 = c0[k], u1 = c1[k];
+          if (u0 == 0.0 && u1 == 0.0) continue;
+          for (std::size_t i = k + 1; i < m; ++i) {
+            const double l = colk[i];
+            c0[i] -= l * u0;
+            c1[i] -= l * u1;
+          }
+        }
+        if (c < w) {
+          double* colc = panel + c * m;
+          const double u = colc[k];
+          if (u != 0.0) {
+            for (std::size_t i = k + 1; i < m; ++i) colc[i] -= colk[i] * u;
+          }
+        }
+      }
+#ifdef SN_PROF
+      lap(prof_getrf, t);
+#endif
+      for (std::size_t i = 0; i < w; ++i) {
+        const std::size_t r = s.rows_orig[s.diag_perm[i]];
+        prow[s.col0 + i] = r;
+        pinv[r] = s.col0 + i;
+      }
+    }
+    refresh_row_targets(pinv);
+    return true;
+  }
+
+  /// Blocked substitution on a pivot-space vector (already permuted by
+  /// prow): unit-lower forward pass, then U backward pass through the
+  /// dense segments. In place.
+  void solve(std::vector<double>& y) const {
+    CNTI_EXPECTS(active_, "SupernodalFactor: solve without factors");
+    std::vector<double> temp(max_rb_);
+    for (const Node& s : nodes_) {
+      const std::size_t w = s.w, m = s.m, rb = m - w;
+      const double* panel = panel_vals_.data() + s.panel;
+      double* ys = y.data() + s.col0;
+      if (w == 1) {
+        // Single-column node: rank-one scatter straight into y, no temp.
+        const double yk = ys[0];
+        if (yk == 0.0 || rb == 0) continue;
+        const double* CNTI_SN_RESTRICT below = panel + 1;
+        const std::uint32_t* rows = s.rows_piv.data() + 1;
+        for (std::size_t i = 0; i < rb; ++i) y[rows[i]] -= below[i] * yk;
+        continue;
+      }
+      for (std::size_t k = 0; k < w; ++k) {
+        const double yk = ys[k];
+        if (yk == 0.0) continue;
+        const double* colk = panel + k * m;
+        for (std::size_t i = k + 1; i < w; ++i) ys[i] -= colk[i] * yk;
+      }
+      if (rb == 0) continue;
+      double* CNTI_SN_RESTRICT t = temp.data();
+      std::fill(t, t + rb, 0.0);
+      std::size_t k = 0;
+      for (; k + 2 <= w; k += 2) {
+        const double a = ys[k], b = ys[k + 1];
+        if (a == 0.0 && b == 0.0) continue;
+        const double* CNTI_SN_RESTRICT ba = panel + k * m + w;
+        const double* CNTI_SN_RESTRICT bb = ba + m;
+        for (std::size_t i = 0; i < rb; ++i) t[i] += ba[i] * a + bb[i] * b;
+      }
+      if (k < w) {
+        const double a = ys[k];
+        if (a != 0.0) {
+          const double* CNTI_SN_RESTRICT ba = panel + k * m + w;
+          for (std::size_t i = 0; i < rb; ++i) t[i] += ba[i] * a;
+        }
+      }
+      const std::uint32_t* rows = s.rows_piv.data() + w;
+      for (std::size_t i = 0; i < rb; ++i) y[rows[i]] -= t[i];
+    }
+    for (std::size_t sn = nodes_.size(); sn-- > 0;) {
+      const Node& s = nodes_[sn];
+      const std::size_t w = s.w, m = s.m;
+      const double* panel = panel_vals_.data() + s.panel;
+      double* ys = y.data() + s.col0;
+      for (std::size_t k = w; k-- > 0;) {
+        const double* colk = panel + k * m;
+        const double xk = ys[k] / colk[k];
+        ys[k] = xk;
+        if (xk == 0.0) continue;
+        for (std::size_t i = 0; i < k; ++i) ys[i] -= colk[i] * xk;
+      }
+      for (std::size_t si = 0; si < s.src.size(); ++si) {
+        const Node& d = nodes_[s.src[si]];
+        const std::size_t wd = d.w;
+        const double* seg = useg_vals_.data() + s.seg[si];
+        double* CNTI_SN_RESTRICT yd = y.data() + d.col0;
+        const std::uint32_t* cols = s.ucols.data() + s.ucol_off[si];
+        const std::size_t ncols = s.ucol_off[si + 1] - s.ucol_off[si];
+        if (wd == 1) {
+          double acc = 0.0;
+          for (std::size_t ci = 0; ci < ncols; ++ci) {
+            acc += seg[cols[ci]] * ys[cols[ci]];
+          }
+          yd[0] -= acc;
+          continue;
+        }
+        std::size_t ci = 0;
+        for (; ci + 2 <= ncols; ci += 2) {
+          const double x0 = ys[cols[ci]], x1 = ys[cols[ci + 1]];
+          if (x0 == 0.0 && x1 == 0.0) continue;
+          const double* CNTI_SN_RESTRICT s0 = seg + cols[ci] * wd;
+          const double* CNTI_SN_RESTRICT s1 = seg + cols[ci + 1] * wd;
+          for (std::size_t i = 0; i < wd; ++i) {
+            yd[i] -= s0[i] * x0 + s1[i] * x1;
+          }
+        }
+        if (ci < ncols) {
+          const double xc = ys[cols[ci]];
+          if (xc != 0.0) {
+            const double* CNTI_SN_RESTRICT segc = seg + cols[ci] * wd;
+            for (std::size_t i = 0; i < wd; ++i) yd[i] -= segc[i] * xc;
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  struct Node {
+    std::size_t col0 = 0;  ///< First factored column.
+    std::size_t w = 0;     ///< Panel columns (pivot rows).
+    std::size_t m = 0;     ///< Panel rows (w pivots + below rows).
+    /// Panel row identities: [0, w) the pivot rows in *canonical*
+    /// (reference) order, [w, m) the below rows — all original row ids.
+    std::vector<std::uint32_t> rows_orig;
+    /// Pivot-space mirror of rows_orig: [0, w) is just col0+i, [w, m) is
+    /// refreshed after every factorization (other supernodes may have
+    /// re-pivoted internally). Used by the forward-solve scatter.
+    std::vector<std::uint32_t> rows_piv;
+    /// Current pivot order within the diagonal block: position i holds
+    /// canonical row diag_perm[i]. Identity after build.
+    std::vector<std::uint32_t> diag_perm;
+    std::size_t panel = 0;  ///< Offset into panel_vals_ (m x w col-major).
+    std::vector<std::uint32_t> src;  ///< Updating supernodes, ascending.
+    std::vector<std::size_t> seg;    ///< Per src: offset into useg_vals_.
+    std::vector<std::size_t> upd_idx;  ///< Per src: offset into upd_slots_.
+    std::vector<std::size_t> slot0;  ///< Per src: base workspace slot.
+    /// Per src: [ucol_off[si], ucol_off[si+1]) indexes into ucols — the
+    /// local target columns with any structural U entry in that source
+    /// supernode. The numeric kernels and the backward solve touch only
+    /// these columns; the rest of the dense segment stays exactly zero.
+    std::vector<std::size_t> ucol_off;
+    std::vector<std::uint32_t> ucols;
+    std::size_t ext_m = 0;       ///< Workspace rows (src pivots + panel).
+    std::size_t panel_base = 0;  ///< Workspace slot of the panel's rows.
+    /// Workspace slot per A entry of the supernode's columns, in CSC
+    /// order (SparseLu's acol arrays).
+    std::vector<std::uint32_t> a_slots;
+  };
+
+
+  /// Fused update microkernels for one (source d, target) pair with WD
+  /// source columns (WD = 0 selects the runtime-width fallback). The
+  /// compile-time width fully unrolls the gather and the dense triangular
+  /// solve; target columns are processed four/two/one at a time so each
+  /// loaded panel element feeds multiple independent accumulator streams.
+  template <std::size_t WD>
+  void pair_update(const Node& d, double* seg, const std::uint32_t* cols,
+                   std::size_t ncols, const std::uint32_t* slots,
+                   std::size_t slot0, std::size_t stride) {
+    const std::size_t wd = WD == 0 ? d.w : WD;
+    const std::size_t md = d.m, rb = md - wd;
+    const double* pd = panel_vals_.data() + d.panel;
+    const double* lb = pd + wd;  // below block, ld = md
+    double* CNTI_SN_RESTRICT t0 = temp_.data();
+    double* CNTI_SN_RESTRICT t1 = t0 + rb;
+    double* CNTI_SN_RESTRICT t2 = t1 + rb;
+    double* CNTI_SN_RESTRICT t3 = t2 + rb;
+    std::size_t ci = 0;
+    for (; ci + 4 <= ncols; ci += 4) {
+      const std::size_t c0 = cols[ci], c1 = cols[ci + 1];
+      const std::size_t c2 = cols[ci + 2], c3 = cols[ci + 3];
+      double* CNTI_SN_RESTRICT x0 = seg + c0 * wd;
+      double* CNTI_SN_RESTRICT x1 = seg + c1 * wd;
+      double* CNTI_SN_RESTRICT x2 = seg + c2 * wd;
+      double* CNTI_SN_RESTRICT x3 = seg + c3 * wd;
+      const double* g0 = work_.data() + c0 * stride + slot0;
+      const double* g1 = work_.data() + c1 * stride + slot0;
+      const double* g2 = work_.data() + c2 * stride + slot0;
+      const double* g3 = work_.data() + c3 * stride + slot0;
+      for (std::size_t k = 0; k < wd; ++k) {
+        const std::uint32_t p = d.diag_perm[k];
+        x0[k] = g0[p];
+        x1[k] = g1[p];
+        x2[k] = g2[p];
+        x3[k] = g3[p];
+      }
+      for (std::size_t k = 0; k < wd; ++k) {
+        const double a0 = x0[k], a1 = x1[k], a2 = x2[k], a3 = x3[k];
+        if (a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0) continue;
+        const double* CNTI_SN_RESTRICT lk = pd + k * md;
+        for (std::size_t i = k + 1; i < wd; ++i) {
+          const double l = lk[i];
+          x0[i] -= l * a0;
+          x1[i] -= l * a1;
+          x2[i] -= l * a2;
+          x3[i] -= l * a3;
+        }
+      }
+      if (rb == 0) continue;
+      std::fill(t0, t0 + 4 * rb, 0.0);
+      // Source columns are consumed two at a time so each temp load/store
+      // amortises over twice the flops (the temp streams dominate traffic).
+      std::size_t k = 0;
+      for (; k + 2 <= wd; k += 2) {
+        const double a0 = x0[k], a1 = x1[k], a2 = x2[k], a3 = x3[k];
+        const double b0 = x0[k + 1], b1 = x1[k + 1];
+        const double b2 = x2[k + 1], b3 = x3[k + 1];
+        if (a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 && b0 == 0.0 &&
+            b1 == 0.0 && b2 == 0.0 && b3 == 0.0)
+          continue;
+        const double* CNTI_SN_RESTRICT la = lb + k * md;
+        const double* CNTI_SN_RESTRICT lc = la + md;
+        for (std::size_t i = 0; i < rb; ++i) {
+          const double u = la[i], v = lc[i];
+          t0[i] += u * a0 + v * b0;
+          t1[i] += u * a1 + v * b1;
+          t2[i] += u * a2 + v * b2;
+          t3[i] += u * a3 + v * b3;
+        }
+      }
+      if (k < wd) {
+        const double a0 = x0[k], a1 = x1[k], a2 = x2[k], a3 = x3[k];
+        if (a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0) {
+          const double* CNTI_SN_RESTRICT lk = lb + k * md;
+          for (std::size_t i = 0; i < rb; ++i) {
+            const double l = lk[i];
+            t0[i] += l * a0;
+            t1[i] += l * a1;
+            t2[i] += l * a2;
+            t3[i] += l * a3;
+          }
+        }
+      }
+      double* CNTI_SN_RESTRICT w0 = work_.data() + c0 * stride;
+      double* CNTI_SN_RESTRICT w1 = work_.data() + c1 * stride;
+      double* CNTI_SN_RESTRICT w2 = work_.data() + c2 * stride;
+      double* CNTI_SN_RESTRICT w3 = work_.data() + c3 * stride;
+      for (std::size_t i = 0; i < rb; ++i) {
+        const std::uint32_t slot = slots[i];
+        w0[slot] -= t0[i];
+        w1[slot] -= t1[i];
+        w2[slot] -= t2[i];
+        w3[slot] -= t3[i];
+      }
+      last_gemm_flops_ += 8ull * static_cast<std::uint64_t>(rb) * wd;
+    }
+    for (; ci + 2 <= ncols; ci += 2) {
+      const std::size_t c0 = cols[ci], c1 = cols[ci + 1];
+      double* CNTI_SN_RESTRICT x0 = seg + c0 * wd;
+      double* CNTI_SN_RESTRICT x1 = seg + c1 * wd;
+      const double* g0 = work_.data() + c0 * stride + slot0;
+      const double* g1 = work_.data() + c1 * stride + slot0;
+      for (std::size_t k = 0; k < wd; ++k) {
+        const std::uint32_t p = d.diag_perm[k];
+        x0[k] = g0[p];
+        x1[k] = g1[p];
+      }
+      for (std::size_t k = 0; k < wd; ++k) {
+        const double a0 = x0[k], a1 = x1[k];
+        if (a0 == 0.0 && a1 == 0.0) continue;
+        const double* CNTI_SN_RESTRICT lk = pd + k * md;
+        for (std::size_t i = k + 1; i < wd; ++i) {
+          const double l = lk[i];
+          x0[i] -= l * a0;
+          x1[i] -= l * a1;
+        }
+      }
+      if (rb == 0) continue;
+      std::fill(t0, t0 + 2 * rb, 0.0);
+      std::size_t k = 0;
+      for (; k + 2 <= wd; k += 2) {
+        const double a0 = x0[k], a1 = x1[k];
+        const double b0 = x0[k + 1], b1 = x1[k + 1];
+        if (a0 == 0.0 && a1 == 0.0 && b0 == 0.0 && b1 == 0.0) continue;
+        const double* CNTI_SN_RESTRICT la = lb + k * md;
+        const double* CNTI_SN_RESTRICT lc = la + md;
+        for (std::size_t i = 0; i < rb; ++i) {
+          const double u = la[i], v = lc[i];
+          t0[i] += u * a0 + v * b0;
+          t1[i] += u * a1 + v * b1;
+        }
+      }
+      if (k < wd) {
+        const double a0 = x0[k], a1 = x1[k];
+        if (a0 != 0.0 || a1 != 0.0) {
+          const double* CNTI_SN_RESTRICT lk = lb + k * md;
+          for (std::size_t i = 0; i < rb; ++i) {
+            const double l = lk[i];
+            t0[i] += l * a0;
+            t1[i] += l * a1;
+          }
+        }
+      }
+      double* CNTI_SN_RESTRICT w0 = work_.data() + c0 * stride;
+      double* CNTI_SN_RESTRICT w1 = work_.data() + c1 * stride;
+      for (std::size_t i = 0; i < rb; ++i) {
+        const std::uint32_t slot = slots[i];
+        w0[slot] -= t0[i];
+        w1[slot] -= t1[i];
+      }
+      last_gemm_flops_ += 4ull * static_cast<std::uint64_t>(rb) * wd;
+    }
+    if (ci < ncols) {
+      const std::size_t c0 = cols[ci];
+      double* CNTI_SN_RESTRICT x0 = seg + c0 * wd;
+      const double* g0 = work_.data() + c0 * stride + slot0;
+      for (std::size_t k = 0; k < wd; ++k) x0[k] = g0[d.diag_perm[k]];
+      for (std::size_t k = 0; k < wd; ++k) {
+        const double a0 = x0[k];
+        if (a0 == 0.0) continue;
+        const double* CNTI_SN_RESTRICT lk = pd + k * md;
+        for (std::size_t i = k + 1; i < wd; ++i) x0[i] -= lk[i] * a0;
+      }
+      if (rb == 0) return;
+      std::fill(t0, t0 + rb, 0.0);
+      std::size_t k = 0;
+      for (; k + 2 <= wd; k += 2) {
+        const double a0 = x0[k], b0 = x0[k + 1];
+        if (a0 == 0.0 && b0 == 0.0) continue;
+        const double* CNTI_SN_RESTRICT la = lb + k * md;
+        const double* CNTI_SN_RESTRICT lc = la + md;
+        for (std::size_t i = 0; i < rb; ++i) {
+          t0[i] += la[i] * a0 + lc[i] * b0;
+        }
+      }
+      if (k < wd) {
+        const double a0 = x0[k];
+        if (a0 != 0.0) {
+          const double* CNTI_SN_RESTRICT lk = lb + k * md;
+          for (std::size_t i = 0; i < rb; ++i) t0[i] += lk[i] * a0;
+        }
+      }
+      double* CNTI_SN_RESTRICT w0 = work_.data() + c0 * stride;
+      for (std::size_t i = 0; i < rb; ++i) w0[slots[i]] -= t0[i];
+      last_gemm_flops_ += 2ull * static_cast<std::uint64_t>(rb) * wd;
+    }
+  }
+
+  /// Greedy adjacent-column merge with relaxed amalgamation. `below[c]`
+  /// tracks the current panel's below-diagonal set in pivot space.
+  void detect(const SupernodeSettings& settings,
+              const std::vector<std::size_t>& lp,
+              const std::vector<std::size_t>& li,
+              const std::vector<std::size_t>& pinv) {
+    // Per-column sorted below-diagonal structure in pivot space.
+    std::vector<std::uint32_t> scol(li.size());
+    std::vector<std::size_t> starts;
+    for (std::size_t j = 0; j < n_; ++j) {
+      for (std::size_t t = lp[j]; t < lp[j + 1]; ++t) {
+        scol[t] = static_cast<std::uint32_t>(pinv[li[t]]);
+      }
+      std::sort(scol.begin() + static_cast<std::ptrdiff_t>(lp[j]),
+                scol.begin() + static_cast<std::ptrdiff_t>(lp[j + 1]));
+    }
+
+    // Column etree (parent = first below-diagonal entry; scol is sorted,
+    // so that is the column's minimum) and subtree sizes. parent[j] > j
+    // always, so one ascending pass accumulates sizes bottom-up.
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> parent(n_, kNone), subtree(n_, 1);
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (lp[j] < lp[j + 1]) parent[j] = scol[lp[j]];
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (parent[j] != kNone) subtree[parent[j]] += subtree[j];
+    }
+    // Relaxed leaf groups: maximal subtrees of at most relax_subtree_cols
+    // columns become one supernode each. Valid only when the subtree is a
+    // contiguous column range [r - size + 1, r] (guaranteed by the
+    // postorder; verified here so a non-postordered pattern degrades to
+    // chain detection instead of mis-grouping).
+    const std::size_t leaf_cap =
+        std::min(settings.relax_subtree_cols, settings.max_cols);
+    std::vector<std::uint32_t> group(n_, 0);  // 0 = none, else root + 1
+    for (std::size_t r = 0; r < n_; ++r) {
+      if (subtree[r] > leaf_cap) continue;
+      if (parent[r] != kNone && subtree[parent[r]] <= leaf_cap) continue;
+      const std::size_t lo = r + 1 - subtree[r];
+      bool contiguous = true;
+      for (std::size_t j = lo; j < r && contiguous; ++j) {
+        contiguous = parent[j] != kNone && parent[j] <= r;
+      }
+      if (!contiguous) continue;
+      for (std::size_t j = lo; j <= r; ++j) {
+        group[j] = static_cast<std::uint32_t>(r + 1);
+      }
+    }
+
+    sn_of_.assign(n_, 0);
+    std::vector<std::uint32_t> below, merged;
+    std::size_t col0 = 0;
+    std::size_t struct_l = 0;
+    const auto col_struct = [&](std::size_t j) {
+      return std::pair(scol.begin() + static_cast<std::ptrdiff_t>(lp[j]),
+                       scol.begin() + static_cast<std::ptrdiff_t>(lp[j + 1]));
+    };
+    const auto open = [&](std::size_t j) {
+      col0 = j;
+      const auto [b, e] = col_struct(j);
+      below.assign(b, e);
+      struct_l = 1 + below.size();
+    };
+    const auto close = [&](std::size_t end) {
+      Node node;
+      node.col0 = col0;
+      node.w = end - col0;
+      node.m = node.w + below.size();
+      node.rows_orig.resize(node.m);
+      node.rows_piv.resize(node.m);
+      starts.push_back(col0);
+      for (std::size_t j = col0; j < end; ++j) {
+        sn_of_[j] = static_cast<std::uint32_t>(starts.size() - 1);
+      }
+      nodes_.push_back(std::move(node));
+    };
+    open(0);
+    for (std::size_t c = 1; c < n_; ++c) {
+      const std::size_t w = c - col0;
+      // A column joins the current supernode when it shares the same
+      // relaxed leaf group (whole small subtree, merged unconditionally)
+      // or chains onto it in the etree (c in the running below set) with
+      // acceptable padding.
+      const bool same_group = group[c] != 0 && group[c] == group[c - 1];
+      bool accept = false;
+      if (w < settings.max_cols &&
+          (same_group ||
+           std::binary_search(below.begin(), below.end(),
+                              static_cast<std::uint32_t>(c)))) {
+        // Candidate merge: drop c from the below set (it becomes a pivot)
+        // and union in c's own structure. Padding = L slots the panel
+        // would hold minus the structural entries it would cover.
+        const auto [b, e] = col_struct(c);
+        merged.clear();
+        const std::uint32_t cc = static_cast<std::uint32_t>(c);
+        auto it = below.begin();
+        auto jt = b;
+        while (it != below.end() || jt != e) {
+          std::uint32_t v;
+          if (jt == e || (it != below.end() && *it < *jt)) {
+            v = *it++;
+          } else if (it == below.end() || *jt < *it) {
+            v = *jt++;
+          } else {
+            v = *it++;
+            ++jt;
+          }
+          if (v != cc) merged.push_back(v);
+        }
+        const std::size_t w_new = w + 1;
+        const std::size_t m_new = w_new + merged.size();
+        const std::size_t l_slots =
+            w_new * m_new - w_new * (w_new - 1) / 2;
+        const std::size_t struct_new =
+            struct_l + 1 + static_cast<std::size_t>(e - b);
+        const std::size_t pad = l_slots - std::min(l_slots, struct_new);
+        if (same_group ||
+            static_cast<double>(pad) <=
+                settings.relax_pad_frac * static_cast<double>(l_slots)) {
+          accept = true;
+          below.swap(merged);
+          struct_l = struct_new;
+        }
+      }
+      if (!accept) {
+        close(c);
+        open(c);
+      }
+    }
+    close(n_);
+
+    // Second pass: record row identities now that membership is final.
+    // The detection loop consumed each node's below set as it went;
+    // rebuild it cheaply by re-running the union over the node's columns.
+    max_cols_ = 0;
+    for (Node& node : nodes_) {
+      below.clear();
+      for (std::size_t j = node.col0; j < node.col0 + node.w; ++j) {
+        const auto [b, e] = col_struct(j);
+        merged.clear();
+        std::merge(below.begin(), below.end(), b, e,
+                   std::back_inserter(merged));
+        merged.erase(std::unique(merged.begin(), merged.end()),
+                     merged.end());
+        below.swap(merged);
+      }
+      // Drop the node's own pivots from the union.
+      below.erase(std::remove_if(below.begin(), below.end(),
+                                 [&](std::uint32_t p) {
+                                   return p < node.col0 + node.w;
+                                 }),
+                  below.end());
+      CNTI_EXPECTS(node.m == node.w + below.size(),
+                   "supernode detection: inconsistent panel row count");
+      for (std::size_t i = 0; i < node.w; ++i) {
+        node.rows_piv[i] = static_cast<std::uint32_t>(node.col0 + i);
+      }
+      std::copy(below.begin(), below.end(), node.rows_piv.begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    node.w));
+      max_cols_ = std::max(max_cols_, node.w);
+    }
+  }
+
+  /// Lays out panels, update lists, dense U segments and the precomputed
+  /// scatter-slot maps. Row identities come from the reference pivot
+  /// order (prow/pinv of the scalar factorization that shaped the
+  /// pattern).
+  void build_symbolic(const std::vector<std::size_t>& lp,
+                      const std::vector<std::size_t>& li,
+                      const std::vector<std::size_t>& up,
+                      const std::vector<std::size_t>& ui,
+                      const std::vector<std::size_t>& pinv) {
+    (void)lp;
+    (void)li;
+    // Original-row identities of every panel row (pivot space -> row).
+    // rows_piv is authoritative here; invert pinv once.
+    std::vector<std::uint32_t> prow32(n_);
+    for (std::size_t r = 0; r < n_; ++r) {
+      prow32[pinv[r]] = static_cast<std::uint32_t>(r);
+    }
+    std::size_t panel_off = 0;
+    for (Node& s : nodes_) {
+      for (std::size_t i = 0; i < s.m; ++i) {
+        s.rows_orig[i] = prow32[s.rows_piv[i]];
+      }
+      s.panel = panel_off;
+      panel_off += s.m * s.w;
+    }
+    panel_vals_.assign(panel_off, 0.0);
+
+    // Update-source lists from the scalar U pattern (pivot steps outside
+    // the target's own column range), then the dense segment layout.
+    std::vector<char> mark(nodes_.size(), 0);
+    std::size_t seg_off = 0;
+    for (Node& s : nodes_) {
+      for (std::size_t c = s.col0; c < s.col0 + s.w; ++c) {
+        for (std::size_t t = up[c]; t < up[c + 1]; ++t) {
+          const std::size_t k = ui[t];
+          if (k >= s.col0) continue;
+          const std::uint32_t d = sn_of_[k];
+          if (!mark[d]) {
+            mark[d] = 1;
+            s.src.push_back(d);
+          }
+        }
+      }
+      std::sort(s.src.begin(), s.src.end());
+      for (const std::uint32_t d : s.src) mark[d] = 0;
+      s.seg.resize(s.src.size());
+      s.slot0.resize(s.src.size());
+      std::size_t ext = 0;
+      for (std::size_t si = 0; si < s.src.size(); ++si) {
+        s.seg[si] = seg_off;
+        seg_off += nodes_[s.src[si]].w * s.w;
+        s.slot0[si] = ext;
+        ext += nodes_[s.src[si]].w;
+      }
+      s.panel_base = ext;
+      s.ext_m = ext + s.m;
+      max_rb_ = std::max(max_rb_, s.m - s.w);
+      // Structural target-column lists per source pair: the kernels skip
+      // segment columns whose U rows are all structurally zero (frequent
+      // when relaxed amalgamation unions disjoint leaf branches).
+      std::vector<std::uint32_t> src_pos(nodes_.size(), 0);
+      for (std::size_t si = 0; si < s.src.size(); ++si) {
+        src_pos[s.src[si]] = static_cast<std::uint32_t>(si);
+      }
+      std::vector<std::vector<std::uint32_t>> percol(s.src.size());
+      for (std::size_t t = 0; t < s.w; ++t) {
+        const std::size_t c = s.col0 + t;
+        for (std::size_t t2 = up[c]; t2 < up[c + 1]; ++t2) {
+          const std::size_t k = ui[t2];
+          if (k >= s.col0) continue;
+          auto& cols = percol[src_pos[sn_of_[k]]];
+          if (cols.empty() || cols.back() != t) {
+            cols.push_back(static_cast<std::uint32_t>(t));
+          }
+        }
+      }
+      s.ucol_off.assign(s.src.size() + 1, 0);
+      for (std::size_t si = 0; si < s.src.size(); ++si) {
+        s.ucol_off[si + 1] = s.ucol_off[si] + percol[si].size();
+      }
+      s.ucols.resize(s.ucol_off.back());
+      for (std::size_t si = 0; si < s.src.size(); ++si) {
+        std::copy(percol[si].begin(), percol[si].end(),
+                  s.ucols.begin() +
+                      static_cast<std::ptrdiff_t>(s.ucol_off[si]));
+      }
+    }
+    useg_vals_.assign(seg_off, 0.0);
+
+    // Scatter-slot maps. slot_of maps a pivot-space row to its workspace
+    // slot for the node under construction (rebuilt per node); rows
+    // outside the node's reach map to the trash slot (their contributions
+    // are structurally zero — see the GEMM microkernel).
+    std::vector<std::uint32_t> slot_of(n_);
+    std::vector<char> have(n_, 0);
+    std::size_t upd_off = 0;
+    for (Node& s : nodes_) {
+      const std::uint32_t trash = static_cast<std::uint32_t>(s.ext_m);
+      const auto set_slot = [&](std::size_t p, std::size_t slot) {
+        slot_of[p] = static_cast<std::uint32_t>(slot);
+        have[p] = 1;
+      };
+      for (std::size_t si = 0; si < s.src.size(); ++si) {
+        const Node& d = nodes_[s.src[si]];
+        for (std::size_t i = 0; i < d.w; ++i) {
+          set_slot(d.col0 + i, s.slot0[si] + i);
+        }
+      }
+      for (std::size_t i = 0; i < s.m; ++i) {
+        set_slot(s.rows_piv[i], s.panel_base + i);
+      }
+      const auto slot_or_trash = [&](std::size_t p) {
+        return have[p] ? slot_of[p] : trash;
+      };
+      s.upd_idx.resize(s.src.size());
+      for (std::size_t si = 0; si < s.src.size(); ++si) {
+        const Node& d = nodes_[s.src[si]];
+        s.upd_idx[si] = upd_off;
+        upd_slots_.resize(upd_off + (d.m - d.w));
+        for (std::size_t i = d.w; i < d.m; ++i) {
+          upd_slots_[upd_off++] = slot_or_trash(d.rows_piv[i]);
+        }
+      }
+      s.a_slots.clear();
+      // The CSC column view covers exactly the closure rows, so every A
+      // entry has a real (non-trash) slot; keep slot_or_trash anyway for
+      // defence in depth.
+      extern_a_slots(s, slot_or_trash);
+      for (std::size_t si = 0; si < s.src.size(); ++si) {
+        const Node& d = nodes_[s.src[si]];
+        for (std::size_t i = 0; i < d.w; ++i) have[d.col0 + i] = 0;
+      }
+      for (std::size_t i = 0; i < s.m; ++i) have[s.rows_piv[i]] = 0;
+    }
+  }
+
+  /// A-scatter slots need the CSC view; SparseLu hands it in via
+  /// set_column_view before build_from_scalar.
+  template <typename SlotFn>
+  void extern_a_slots(Node& s, const SlotFn& slot_or_trash) {
+    for (std::size_t t = 0; t < s.w; ++t) {
+      const std::size_t c = s.col0 + t;
+      for (std::size_t idx = (*acol_ptr_)[c]; idx < (*acol_ptr_)[c + 1];
+           ++idx) {
+        s.a_slots.push_back(
+            slot_or_trash((*apinv_)[(*acol_row_)[idx]]));
+      }
+    }
+  }
+
+ public:
+  /// Borrow the CSC pattern view (and the reference pinv) for the slot
+  /// precomputation. Must be called before build_from_scalar; the
+  /// pointers are only used during the build.
+  void set_column_view(const std::vector<std::size_t>* acol_ptr,
+                       const std::vector<std::size_t>* acol_row,
+                       const std::vector<std::size_t>* pinv) {
+    acol_ptr_ = acol_ptr;
+    acol_row_ = acol_row;
+    apinv_ = pinv;
+  }
+
+ private:
+  void fill_from_scalar(const std::vector<std::size_t>& lp,
+                        const std::vector<std::size_t>& li,
+                        const std::vector<double>& lx,
+                        const std::vector<std::size_t>& up,
+                        const std::vector<std::size_t>& ui,
+                        const std::vector<double>& ux,
+                        const std::vector<double>& udiag,
+                        const std::vector<std::size_t>& pinv) {
+    // local_row: pivot-space row -> panel row index for the current node.
+    std::vector<std::uint32_t> local(n_, 0);
+    for (Node& s : nodes_) {
+      for (std::size_t i = 0; i < s.m; ++i) {
+        local[s.rows_piv[i]] = static_cast<std::uint32_t>(i);
+      }
+      double* panel = panel_vals_.data() + s.panel;
+      std::vector<std::uint32_t> src_pos(nodes_.size(), 0);
+      for (std::size_t si = 0; si < s.src.size(); ++si) {
+        src_pos[s.src[si]] = static_cast<std::uint32_t>(si);
+      }
+      for (std::size_t t = 0; t < s.w; ++t) {
+        const std::size_t c = s.col0 + t;
+        panel[t + t * s.m] = udiag[c];
+        for (std::size_t t2 = up[c]; t2 < up[c + 1]; ++t2) {
+          const std::size_t k = ui[t2];
+          if (k >= s.col0) {
+            panel[(k - s.col0) + t * s.m] = ux[t2];
+          } else {
+            const Node& d = nodes_[sn_of_[k]];
+            useg_vals_[s.seg[src_pos[sn_of_[k]]] + (k - d.col0) +
+                       t * d.w] = ux[t2];
+          }
+        }
+        for (std::size_t t3 = lp[c]; t3 < lp[c + 1]; ++t3) {
+          panel[local[pinv[li[t3]]] + t * s.m] = lx[t3];
+        }
+      }
+    }
+  }
+
+  void refresh_row_targets(const std::vector<std::size_t>& pinv) {
+    for (Node& s : nodes_) {
+      for (std::size_t i = s.w; i < s.m; ++i) {
+        s.rows_piv[i] = static_cast<std::uint32_t>(pinv[s.rows_orig[i]]);
+      }
+    }
+  }
+
+#ifdef SN_PROF
+ public:
+  double prof_zero = 0, prof_scatter_a = 0, prof_trsv = 0, prof_gemm = 0,
+         prof_scatterback = 0, prof_getrf = 0, prof_copy = 0;
+
+ private:
+#endif
+  std::size_t n_ = 0;
+  bool active_ = false;
+  std::size_t max_cols_ = 0;
+  std::size_t max_rb_ = 0;
+  std::uint64_t last_gemm_flops_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> sn_of_;
+  std::vector<double> panel_vals_;   // per-node m x w column-major blocks
+  std::vector<double> useg_vals_;    // dense U segments, w_d x w_s each
+  std::vector<std::uint32_t> upd_slots_;  // GEMM scatter targets
+  std::vector<double> work_, temp_;       // numeric scratch (reused)
+  std::vector<double> cmax_;              // per-column static pivot scale
+  const std::vector<std::size_t>* acol_ptr_ = nullptr;
+  const std::vector<std::size_t>* acol_row_ = nullptr;
+  const std::vector<std::size_t>* apinv_ = nullptr;
+};
+
+}  // namespace cnti::numerics

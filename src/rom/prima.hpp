@@ -13,6 +13,7 @@
 // driver/load/waveform scenarios against the q x q system.
 #pragma once
 
+#include "numerics/supernodal.hpp"
 #include "rom/reduced_model.hpp"
 #include "rom/state_space.hpp"
 
@@ -36,6 +37,11 @@ struct PrimaOptions {
   /// between full and reduced coordinates, e.g. two-level ROM
   /// preconditioning of full-system Krylov solves (rom_preconditioner.hpp).
   bool keep_basis = false;
+  /// Numeric kernel for the Arnoldi LU. PRIMA factorizes G + s0 C exactly
+  /// once and then back-substitutes q times, so the supernodal kernel's
+  /// refactorization advantage never materializes here — scalar is the
+  /// right default; the knob exists for experiments on very large nets.
+  numerics::FactorMode factor = numerics::FactorMode::kScalar;
 };
 
 /// Runs block Arnoldi + congruence projection on an extracted descriptor

@@ -48,6 +48,7 @@ ContentKey topology_drive_key(const char* schema,
       .add(drive.mna.solver)
       .add(drive.mna.sparse_threshold)
       .add(drive.mna.ordering)
+      .add(drive.mna.factor)
       .add(time_steps);
   return h.key();
 }
@@ -159,7 +160,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& s) const {
     if (s.analysis.delay_model == DelayModel::kMnaTransient) {
       const auto d = cache_.get_or_compute<double>(
           stage::kDelayMna,
-          line_rlc_hasher("stage.delay-mna.v2", cfg.line)
+          line_rlc_hasher("stage.delay-mna.v3", cfg.line)
               .add(cfg.driver_resistance_ohm)
               .add(cfg.driver_output_capacitance_f)
               .add(cfg.length_m)
@@ -199,7 +200,10 @@ ScenarioResult ScenarioEngine::run(const Scenario& s) const {
       // .v3: the settle window gained the receiver load and the delay
       // sentinel became NaN — same key inputs, different values, so the
       // schema bump retires every pre-fix persisted entry (PR-7 policy).
-      KeyHasher eval_key = line_rlc_hasher("stage.bus-rom-eval.v3",
+      // .v4: the sparse LU gained the supernodal kernel (kAuto default);
+      // last-bit rounding differs from the scalar path, so persisted
+      // numeric leaves from the scalar era are retired wholesale.
+      KeyHasher eval_key = line_rlc_hasher("stage.bus-rom-eval.v4",
                                            topology.line);
       eval_key.add(topology.coupling_cap_per_m)
           .add(topology.length_m)
@@ -214,7 +218,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& s) const {
       const auto result = cache_.get_or_compute<circuit::BusCrosstalkResult>(
           stage::kBusRomEval, eval_key.key(),
           [&] {
-            KeyHasher h = line_rlc_hasher("stage.bus-rom.v3", topology.line);
+            KeyHasher h = line_rlc_hasher("stage.bus-rom.v4", topology.line);
             h.add(topology.coupling_cap_per_m)
                 .add(topology.length_m)
                 .add(topology.lines)
@@ -240,7 +244,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& s) const {
       // memory-only, nested so a disk hit skips even the build.
       const auto result = cache_.get_or_compute<circuit::BusCrosstalkResult>(
           stage::kBusMna,
-          topology_drive_key("stage.bus-mna.v3", topology, drive,
+          topology_drive_key("stage.bus-mna.v4", topology, drive,
                              s.analysis.time_steps),
           [&] {
             const auto bare = cache_.get_or_compute<circuit::BusNetlist>(
